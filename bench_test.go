@@ -1,0 +1,434 @@
+package actyp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"actyp/internal/baseline"
+	"actyp/internal/core"
+	"actyp/internal/netsim"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+	"actyp/internal/workload"
+)
+
+// One benchmark per evaluation figure of the paper (Figures 4-9), plus the
+// centralized-scheduler comparison implied by Section 8 and the ablations
+// listed in DESIGN.md. Absolute numbers reflect this host, not the paper's
+// 2001 testbed; the relationships between configurations are the result.
+
+const benchScanCost = 2 * time.Microsecond
+
+func benchService(b *testing.B, machines int, scanCost time.Duration) *core.Service {
+	b.Helper()
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(machines).Populate(db, time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.New(core.Options{DB: db, ScanCost: scanCost})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	return svc
+}
+
+// requestRelease is the closed-loop client body shared by the benches.
+func requestRelease(b *testing.B, svc *core.Service, text string) {
+	b.Helper()
+	g, err := svc.Request(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Release(g); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig4Pools regenerates the Figure 4 relationship: striping 3,200
+// machines across more pools lowers per-query response time under
+// concurrent load.
+func BenchmarkFig4Pools(b *testing.B) {
+	for _, pools := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("pools=%d", pools), func(b *testing.B) {
+			svc := benchService(b, 3200, benchScanCost)
+			if err := svc.StripePools(pools); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.WarmPools(pools); err != nil {
+				b.Fatal(err)
+			}
+			var next uint64
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := atomic.AddUint64(&next, 1) % uint64(pools)
+					requestRelease(b, svc, fmt.Sprintf("punch.rsrc.pool = %d", k))
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig5WAN regenerates the Figure 5 relationship over real TCP
+// with injected wide-area latency: more pools still help, but the network
+// round trip sets the response-time floor. (Latency is scaled down from
+// the paper's transatlantic link to keep bench runs short.)
+func BenchmarkFig5WAN(b *testing.B) {
+	profile := netsim.Profile{Latency: 2 * time.Millisecond, Seed: 1}
+	for _, pools := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pools=%d", pools), func(b *testing.B) {
+			svc := benchService(b, 3200, benchScanCost)
+			if err := svc.StripePools(pools); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.WarmPools(pools); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := core.Serve(svc, "127.0.0.1:0", profile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Close)
+			client, err := core.Dial(srv.Addr(), profile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { client.Close() })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := client.Request(fmt.Sprintf("punch.rsrc.pool = %d", i%pools))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := client.Release(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6PoolSize regenerates the Figure 6 relationship: with a
+// single pool, per-query cost grows with pool size because every query
+// pays the full linear search.
+func BenchmarkFig6PoolSize(b *testing.B) {
+	for _, size := range []int{800, 1600, 3200} {
+		b.Run(fmt.Sprintf("machines=%d", size), func(b *testing.B) {
+			svc := benchService(b, size, benchScanCost)
+			if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				requestRelease(b, svc, "punch.rsrc.arch = sun")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Split regenerates the Figure 7 relationship: splitting the
+// hot 3,200-machine pool into 2x1,600 or 4x800 shortens each search and
+// lets searches proceed concurrently.
+func BenchmarkFig7Split(b *testing.B) {
+	for _, split := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("split=%d", split), func(b *testing.B) {
+			svc := benchService(b, 3200, benchScanCost)
+			if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+				b.Fatal(err)
+			}
+			if split > 1 {
+				if err := svc.SplitPool("punch.rsrc.arch = sun", split); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					requestRelease(b, svc, "punch.rsrc.arch = sun")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig8Replicas regenerates the Figure 8 relationship: replicating
+// the hot pool multiplies its scheduling processes; the instance bias
+// keeps replicas out of each other's way.
+func BenchmarkFig8Replicas(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("processes=%d", replicas), func(b *testing.B) {
+			svc := benchService(b, 3200, benchScanCost)
+			if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+				b.Fatal(err)
+			}
+			if replicas > 1 {
+				if err := svc.ReplicatePool("punch.rsrc.arch = sun", replicas); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					requestRelease(b, svc, "punch.rsrc.arch = sun")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig9Workload regenerates the Figure 9 input: drawing CPU times
+// from the fitted PUNCH mixture distribution.
+func BenchmarkFig9Workload(b *testing.B) {
+	model := workload.NewCPUTimeModel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Sample()
+	}
+}
+
+// BenchmarkBaselineCentralized measures the Section 8 comparison point: a
+// PBS-style centralized scheduler scanning the whole database under one
+// lock.
+func BenchmarkBaselineCentralized(b *testing.B) {
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(3200).Populate(db, time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	sched, err := baseline.New(db, nil, benchScanCost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.ParseBasic("punch.rsrc.arch = sun")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p, err := sched.Submit(q, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sched.Complete(p.JobID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPipelinedActYP is the pipelined counterpart of the centralized
+// baseline above: same fleet, same modelled scan cost, but machines are
+// pre-aggregated into 16 pools.
+func BenchmarkPipelinedActYP(b *testing.B) {
+	svc := benchService(b, 3200, benchScanCost)
+	if err := svc.StripePools(16); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.WarmPools(16); err != nil {
+		b.Fatal(err)
+	}
+	var next uint64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := atomic.AddUint64(&next, 1) % 16
+			requestRelease(b, svc, fmt.Sprintf("punch.rsrc.pool = %d", k))
+		}
+	})
+}
+
+// BenchmarkAblationFirstMatch compares the two composite-query QoS modes
+// of Section 6 on a four-way composite.
+func BenchmarkAblationFirstMatch(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode querymgr.QoS
+	}{{"wait-all", querymgr.WaitAll}, {"first-match", querymgr.FirstMatch}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := registry.NewDB()
+			if err := registry.DefaultFleetSpec(256).Populate(db, time.Now()); err != nil {
+				b.Fatal(err)
+			}
+			svc, err := core.New(core.Options{DB: db, ScanCost: benchScanCost, Mode: mode.mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(svc.Close)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				requestRelease(b, svc, "punch.rsrc.arch = sun | hp | alpha | x86")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSelect compares random and round-robin pool-manager
+// selection in the query-manager stage.
+func BenchmarkAblationSelect(b *testing.B) {
+	q := query.New().Set("punch.rsrc.arch", query.Eq("sun"))
+	mkManagers := func(svc *core.Service) []querymgr.ResourceManager {
+		pms := svc.PoolManagers()
+		out := make([]querymgr.ResourceManager, len(pms))
+		for i, pm := range pms {
+			out[i] = pm
+		}
+		return out
+	}
+	for _, sel := range []struct {
+		name string
+		mk   func() querymgr.Selector
+	}{
+		{"random", func() querymgr.Selector { return querymgr.NewRandomSelector(1) }},
+		{"round-robin", func() querymgr.Selector { return &querymgr.RoundRobinSelector{} }},
+	} {
+		b.Run(sel.name, func(b *testing.B) {
+			db := registry.NewDB()
+			if err := registry.HomogeneousFleetSpec(8).Populate(db, time.Now()); err != nil {
+				b.Fatal(err)
+			}
+			svc, err := core.New(core.Options{DB: db, PoolManagers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(svc.Close)
+			managers := mkManagers(svc)
+			s := sel.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.Select(q, managers) == nil {
+					b.Fatal("selector returned nil")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLinearVsPresorted compares the paper's per-query linear
+// search against a presorted pick for pool-internal scheduling.
+func BenchmarkAblationLinearVsPresorted(b *testing.B) {
+	cands := make([]*schedule.Candidate, 3200)
+	for i := range cands {
+		cands[i] = &schedule.Candidate{
+			Name: fmt.Sprintf("m%04d", i), Load: float64(i%17) / 10, Speed: float64(200 + i%400),
+		}
+	}
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if schedule.SelectLinear(cands, schedule.LeastLoad{}, nil) < 0 {
+				b.Fatal("no candidate")
+			}
+		}
+	})
+	b.Run("presorted", func(b *testing.B) {
+		cp := make([]*schedule.Candidate, len(cands))
+		copy(cp, cands)
+		schedule.Sort(cp, schedule.LeastLoad{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			found := false
+			for _, c := range cp {
+				if !c.Busy {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("no candidate")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStaticPools compares first-touch (dynamic) pool
+// creation against querying a pre-created pool.
+func BenchmarkAblationStaticPools(b *testing.B) {
+	b.Run("dynamic-first-touch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			svc := benchService(b, 400, 0)
+			b.StartTimer()
+			requestRelease(b, svc, "punch.rsrc.arch = sun")
+			b.StopTimer()
+			svc.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("static-warm", func(b *testing.B) {
+		svc := benchService(b, 400, 0)
+		if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			requestRelease(b, svc, "punch.rsrc.arch = sun")
+		}
+	})
+}
+
+// Microbenchmarks for the hot paths of the pipeline itself.
+
+func BenchmarkQueryParse(b *testing.B) {
+	text := `punch.rsrc.arch = sun
+punch.rsrc.memory = >=10
+punch.rsrc.license = tsuprem4
+punch.rsrc.domain = purdue
+punch.appl.expectedcpuuse = 1000
+punch.user.login = kapadia
+punch.user.accessgroup = ece`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolNameMapping(b *testing.B) {
+	q, err := query.ParseBasic("punch.rsrc.arch = sun\npunch.rsrc.memory = >=10\npunch.rsrc.license = tsuprem4\npunch.rsrc.domain = purdue")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if query.Name(q).Signature == "" {
+			b.Fatal("empty signature")
+		}
+	}
+}
+
+func BenchmarkPoolAllocateRelease(b *testing.B) {
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(3200).Populate(db, time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.ParseBasic("punch.rsrc.arch = sun")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pool.New(pool.Config{Name: query.Name(q), DB: db, Exclusive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := p.Allocate(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Release(lease.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

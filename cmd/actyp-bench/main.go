@@ -1,0 +1,184 @@
+// Command actyp-bench regenerates the evaluation figures of the paper
+// (Section 7, Figures 4-9) plus the design ablations, printing each as a
+// text table of the plotted series.
+//
+// Usage:
+//
+//	actyp-bench -fig 4        # one figure
+//	actyp-bench -fig all      # everything
+//	actyp-bench -fig all -quick   # reduced scale for a fast smoke run
+//
+// Absolute response times depend on the host; the paper's *shapes* (more
+// pools -> faster, bigger pools -> slower, splitting and replication help,
+// heavy-tailed CPU times) are what the tables reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"actyp/internal/experiments"
+	"actyp/internal/metrics"
+	"actyp/internal/netsim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations or all")
+	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	flag.Parse()
+
+	run := func(name string, fn func(bool) error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(*quick); err != nil {
+			log.Fatalf("actyp-bench: figure %s: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("4", fig4)
+	run("5", fig5)
+	run("6", fig6)
+	run("7", fig7)
+	run("8", fig8)
+	run("9", fig9)
+	run("ablations", ablations)
+}
+
+func fig4(quick bool) error {
+	cfg := experiments.DefaultFig4()
+	if quick {
+		cfg.Machines = 320
+		cfg.Pools = []int{2, 4, 8, 16}
+		cfg.Clients = 8
+		cfg.QueriesPerClient = 5
+		cfg.ScanCost = 20 * time.Microsecond
+	}
+	s, err := experiments.Fig4(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Figure 4: effect of pools on response time (LAN)",
+		"pools", "mean response (s)", []metrics.Series{s})
+}
+
+func fig5(quick bool) error {
+	cfg := experiments.DefaultFig5()
+	if quick {
+		cfg.Machines = 320
+		cfg.Pools = []int{1, 4, 16}
+		cfg.ClientCounts = []int{8, 16}
+		cfg.QueriesPerClient = 3
+		cfg.Profile = netsim.Profile{Latency: 10 * time.Millisecond, Jitter: time.Millisecond, Seed: 1}
+		cfg.ScanCost = 20 * time.Microsecond
+	}
+	series, err := experiments.Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Figure 5: effect of pools on response time (WAN)",
+		"pools", "mean response (s)", series)
+}
+
+func fig6(quick bool) error {
+	cfg := experiments.DefaultFig6()
+	if quick {
+		cfg.PoolSizes = []int{100, 400}
+		cfg.Clients = []int{1, 8, 16}
+		cfg.QueriesPerClient = 5
+		cfg.ScanCost = 50 * time.Microsecond
+	}
+	series, err := experiments.Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Figure 6: effect of pool size on response time",
+		"clients", "mean response (s)", series)
+}
+
+func fig7(quick bool) error {
+	cfg := experiments.DefaultFig7()
+	if quick {
+		cfg.Machines = 400
+		cfg.Clients = []int{8, 16}
+		cfg.QueriesPerClient = 5
+		cfg.ScanCost = 50 * time.Microsecond
+	}
+	series, err := experiments.Fig7(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Figure 7: effect of splitting on response time",
+		"clients", "mean response (s)", series)
+}
+
+func fig8(quick bool) error {
+	cfg := experiments.DefaultFig8()
+	if quick {
+		cfg.Machines = 400
+		cfg.Clients = []int{8, 16}
+		cfg.QueriesPerClient = 5
+		cfg.ScanCost = 50 * time.Microsecond
+	}
+	series, err := experiments.Fig8(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Figure 8: effect of replication on response time",
+		"clients", "mean response (s)", series)
+}
+
+func fig9(quick bool) error {
+	cfg := experiments.DefaultFig9()
+	if quick {
+		cfg.Runs = 30000
+	}
+	series, stats, err := experiments.Fig9(cfg)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Table(os.Stdout, "Figure 9: distribution of CPU times",
+		"cpu seconds (bucket edge)", "runs", []metrics.Series{series}); err != nil {
+		return err
+	}
+	fmt.Printf("# tail summary: n=%d mean=%.1fs median=%.1fs p99=%.0fs max=%.0fs short(<10s)=%.1f%%\n",
+		stats.N, stats.Mean, stats.Median, stats.P99, stats.Max, 100*stats.ShortFrac)
+	return nil
+}
+
+func ablations(quick bool) error {
+	machines, clients, per := 256, 8, 10
+	scan := 100 * time.Microsecond
+	if quick {
+		machines, clients, per = 64, 4, 5
+	}
+	fm, err := experiments.AblationFirstMatch(machines, clients, per, scan)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Table(os.Stdout, "Ablation: composite-query QoS (Section 6)",
+		"clients", "mean response (s)", fm); err != nil {
+		return err
+	}
+
+	sp, err := experiments.AblationStaticPools(machines, 4, scan)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Table(os.Stdout, "Ablation: dynamic vs static pool creation (0=first query, 1=steady state)",
+		"phase", "response (s)", sp); err != nil {
+		return err
+	}
+
+	sel, err := experiments.AblationSelection(experiments.PaperMachines, 200)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Ablation: linear search vs presorted selection",
+		"pool size", "ns per selection", sel)
+}

@@ -1,0 +1,187 @@
+// Command actyp-fleet manages white-pages snapshots: it generates
+// synthetic fleets, prints database statistics, and edits administrator
+// parameters (field 20) — the operations a PUNCH site administrator
+// performs on the resource database.
+//
+// Usage:
+//
+//	actyp-fleet gen -n 3200 -out fleet.json [-homogeneous]
+//	actyp-fleet stats -db fleet.json
+//	actyp-fleet set -db fleet.json -machine m0001 -key owner -value ece -out fleet.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = genCmd(os.Args[2:])
+	case "stats":
+		err = statsCmd(os.Args[2:])
+	case "set":
+		err = setCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatalf("actyp-fleet: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  actyp-fleet gen   -n N -out file [-homogeneous] [-seed S]
+  actyp-fleet stats -db file
+  actyp-fleet set   -db file -machine name -key k -value v [-out file]
+`)
+	os.Exit(2)
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 256, "fleet size")
+	out := fs.String("out", "fleet.json", "output snapshot")
+	homogeneous := fs.Bool("homogeneous", false, "all-sun single-domain fleet (the hot-spot setup)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := registry.DefaultFleetSpec(*n)
+	if *homogeneous {
+		spec = registry.HomogeneousFleetSpec(*n)
+	}
+	spec.Seed = *seed
+	db := registry.NewDB()
+	if err := spec.Populate(db, time.Now()); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d machines to %s\n", db.Len(), *out)
+	return nil
+}
+
+func loadDB(path string) (*registry.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db := registry.NewDB()
+	if err := db.Load(f); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("db", "fleet.json", "snapshot to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := loadDB(*path)
+	if err != nil {
+		return err
+	}
+
+	states := map[string]int{}
+	archs := map[string]int{}
+	domains := map[string]int{}
+	taken := 0
+	var totalMem, totalSpeed float64
+	cpus := 0
+	db.Walk(func(m *registry.Machine) bool {
+		states[m.State.String()]++
+		archs[m.Policy.Params["arch"].Str]++
+		domains[m.Policy.Params["domain"].Str]++
+		if m.TakenBy != "" {
+			taken++
+		}
+		totalMem += m.Policy.Params["memory"].Num
+		totalSpeed += m.Static.Speed
+		cpus += m.Static.CPUs
+		return true
+	})
+	n := db.Len()
+	fmt.Printf("machines: %d (%d CPUs, %d held by pools)\n", n, cpus, taken)
+	fmt.Printf("states:   %v\n", states)
+	fmt.Printf("archs:    %s\n", fmtCounts(archs))
+	fmt.Printf("domains:  %s\n", fmtCounts(domains))
+	if n > 0 {
+		fmt.Printf("averages: %.0f MB memory, %.0f speed units\n", totalMem/float64(n), totalSpeed/float64(n))
+	}
+	return nil
+}
+
+func setCmd(args []string) error {
+	fs := flag.NewFlagSet("set", flag.ExitOnError)
+	path := fs.String("db", "fleet.json", "snapshot to edit")
+	machine := fs.String("machine", "", "machine name")
+	key := fs.String("key", "", "admin parameter name (field 20)")
+	value := fs.String("value", "", "parameter value")
+	out := fs.String("out", "", "output snapshot (default: overwrite input)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *machine == "" || *key == "" || *value == "" {
+		return fmt.Errorf("set needs -machine, -key and -value")
+	}
+	db, err := loadDB(*path)
+	if err != nil {
+		return err
+	}
+	if err := db.SetParam(*machine, *key, query.StrAttr(*value)); err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = *path
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("set %s.%s = %s (snapshot %s)\n", *machine, *key, *value, dst)
+	return nil
+}
+
+func fmtCounts(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += "  "
+		}
+		s += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+// Command actypctl is the command-line client for an actypd daemon: it
+// submits queries in the native key-value language, prints the granted
+// lease, optionally holds it, and releases it.
+//
+// Usage:
+//
+//	actypctl -addr host:port ping
+//	actypctl -addr host:port request 'punch.rsrc.arch = sun' 'punch.rsrc.memory = >=10'
+//	actypctl -addr host:port request -hold 5s -file query.txt
+//
+// Each "key = value" argument is one query line; -file reads the whole
+// query from a file instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"actyp/internal/core"
+	"actyp/internal/netsim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7464", "actypd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := core.Dial(*addr, netsim.Local())
+	if err != nil {
+		log.Fatalf("actypctl: %v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "ping":
+		start := time.Now()
+		if err := client.Ping(); err != nil {
+			log.Fatalf("actypctl: ping: %v", err)
+		}
+		fmt.Printf("pong in %v\n", time.Since(start))
+	case "request":
+		if err := request(client, args[1:]); err != nil {
+			log.Fatalf("actypctl: %v", err)
+		}
+	default:
+		usage()
+	}
+}
+
+func request(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("request", flag.ExitOnError)
+	hold := fs.Duration("hold", 0, "hold the lease this long before releasing")
+	file := fs.String("file", "", "read the query from this file")
+	lang := fs.String("lang", "", "query language (default native)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var text string
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		text = string(raw)
+	} else {
+		text = strings.Join(fs.Args(), "\n")
+	}
+	if strings.TrimSpace(text) == "" {
+		return fmt.Errorf("empty query: pass 'key = value' arguments or -file")
+	}
+
+	start := time.Now()
+	grant, err := client.RequestLang(*lang, text)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("machine:   %s\n", grant.Lease.Machine)
+	fmt.Printf("address:   %s:%d\n", grant.Lease.Addr, grant.Lease.ExecUnitPort)
+	fmt.Printf("mountmgr:  port %d\n", grant.Lease.MountMgrPort)
+	fmt.Printf("accesskey: %s\n", grant.Lease.AccessKey)
+	fmt.Printf("shadow:    %s (uid %d)\n", grant.Shadow.User, grant.Shadow.UID)
+	fmt.Printf("pool:      %s\n", grant.Lease.Pool)
+	fmt.Printf("fragments: %d (%d succeeded)\n", grant.Fragments, grant.Succeeded)
+	fmt.Printf("response:  %v\n", elapsed)
+
+	if *hold > 0 {
+		fmt.Printf("holding for %v...\n", *hold)
+		time.Sleep(*hold)
+	}
+	if err := client.Release(grant); err != nil {
+		return err
+	}
+	fmt.Println("released")
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  actypctl [-addr host:port] ping
+  actypctl [-addr host:port] request [-hold d] [-lang name] [-file f] ['key = value' ...]
+`)
+	os.Exit(2)
+}

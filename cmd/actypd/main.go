@@ -1,0 +1,133 @@
+// Command actypd runs a complete Active Yellow Pages service as a network
+// daemon: white-pages database, resource monitor, and the query-manager /
+// pool-manager / resource-pool pipeline, exposed over TCP via the wire
+// protocol. Clients (see actypctl) submit queries and receive machine
+// leases with session access keys.
+//
+// Usage:
+//
+//	actypd [flags]
+//
+// With -db the white pages load from a JSON snapshot; otherwise a
+// synthetic fleet of -machines machines is generated. The -profile flag
+// injects LAN- or WAN-like latency for controlled experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"actyp/internal/core"
+	"actyp/internal/netsim"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7464", "listen address")
+		machines   = flag.Int("machines", 256, "synthetic fleet size (ignored with -db)")
+		dbPath     = flag.String("db", "", "load white pages from this JSON snapshot")
+		profile    = flag.String("profile", "local", "network profile: local, lan or wan")
+		scanCost   = flag.Duration("scancost", 0, "modelled per-entry linear-search cost (e.g. 2us)")
+		qms        = flag.Int("query-managers", 1, "query manager replicas")
+		pms        = flag.Int("pool-managers", 1, "pool manager replicas")
+		objective  = flag.String("objective", "least-load", "pool scheduling objective")
+		monitor    = flag.Duration("monitor", time.Second, "resource monitor sweep interval (0 disables)")
+		warm       = flag.Int("warm", 0, "pre-stripe machines across N pools and pre-create them")
+		firstMatch = flag.Bool("first-match", false, "return the first composite fragment instead of reintegrating all")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim leases not renewed within this lifetime (0 disables)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL); err != nil {
+		log.Fatalf("actypd: %v", err)
+	}
+}
+
+func run(addr string, machines int, dbPath, profileName string, scanCost time.Duration,
+	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration) error {
+
+	db := registry.NewDB()
+	if dbPath != "" {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return err
+		}
+		err = db.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("actypd: loaded %d machines from %s", db.Len(), dbPath)
+	} else {
+		if err := registry.DefaultFleetSpec(machines).Populate(db, time.Now()); err != nil {
+			return err
+		}
+		log.Printf("actypd: generated a synthetic fleet of %d machines", db.Len())
+	}
+
+	profile, err := profileByName(profileName)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{
+		DB:              db,
+		QueryManagers:   qms,
+		PoolManagers:    pms,
+		Objective:       objective,
+		ScanCost:        scanCost,
+		MonitorInterval: monitorIvl,
+		LeaseTTL:        leaseTTL,
+	}
+	if firstMatch {
+		opts.Mode = querymgr.FirstMatch
+	}
+	svc, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	if warm > 0 {
+		if err := svc.StripePools(warm); err != nil {
+			return err
+		}
+		if err := svc.WarmPools(warm); err != nil {
+			return err
+		}
+		log.Printf("actypd: pre-created %d striped pools", warm)
+	}
+
+	srv, err := core.Serve(svc, addr, profile)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Logf = log.Printf
+	log.Printf("actypd: serving on %s (profile %s)", srv.Addr(), profileName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("actypd: shutting down")
+	return nil
+}
+
+func profileByName(name string) (netsim.Profile, error) {
+	switch name {
+	case "local", "":
+		return netsim.Local(), nil
+	case "lan":
+		return netsim.LAN(), nil
+	case "wan":
+		return netsim.WAN(), nil
+	}
+	return netsim.Profile{}, fmt.Errorf("unknown profile %q (want local, lan or wan)", name)
+}

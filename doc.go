@@ -1,0 +1,12 @@
+// Package actyp is a from-scratch Go reproduction of "Active Yellow
+// Pages: A Pipelined Resource Management Architecture for Wide-Area
+// Network Computing" (Royo, Kapadia, Fortes, Díaz de Cerio; HPDC 2001):
+// the PUNCH resource-management pipeline in which query managers decompose
+// and route queries, pool managers map them to dynamically-created
+// resource pools, and pools answer with machine leases.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the daemon, client, and figure-regeneration
+// binaries; examples/ holds runnable walk-throughs; bench_test.go at this
+// level carries one benchmark per evaluation figure of the paper.
+package actyp

@@ -1,0 +1,113 @@
+// Distributed: every pipeline stage in its own "process" connected over
+// TCP — the deployment Section 6 describes ("All stages in the resource
+// management pipeline can be independently distributed and replicated
+// across machines. Queries propagate from one stage to the next via TCP
+// or UDP."). A local query manager routes fragments to two remote
+// pool-manager stages; one of them spawns its pools through a proxy
+// server on a third "machine"; and redundant forwarding (the higher QoS
+// level of Section 6) masks the slower stage.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/netsim"
+	"actyp/internal/poolmgr"
+	"actyp/internal/proxy"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+	"actyp/internal/stage"
+)
+
+func main() {
+	lan := netsim.LAN()
+
+	// "Machine" A: a pool manager over its own fleet, serving the
+	// pool-manager stage protocol on TCP.
+	dbA := registry.NewDB()
+	fleetA := registry.FleetSpec{N: 24, Archs: []string{"sun", "hp"}, Domains: []string{"purdue"}, Seed: 1}
+	if err := fleetA.Populate(dbA, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	facA := &poolmgr.LocalFactory{DB: dbA}
+	defer facA.CloseAll()
+	pmA, err := poolmgr.New(poolmgr.Config{Name: "pm-a", Dir: directory.New(), Factory: facA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvA, err := stage.Serve(pmA, "127.0.0.1:0", lan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvA.Close()
+
+	// "Machine" B: a pool manager whose pools are spawned on "machine"
+	// C through a proxy server (Section 5.2.3's remote creation).
+	dbC := registry.NewDB()
+	fleetC := registry.FleetSpec{N: 24, Archs: []string{"sun", "alpha"}, Domains: []string{"upc"}, Seed: 2}
+	if err := fleetC.Populate(dbC, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	proxyC, err := proxy.Start(dbC, "127.0.0.1:0", lan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxyC.Close()
+	facB := &proxy.RemoteFactory{Proxies: []string{proxyC.Addr()}, Profile: lan}
+	defer facB.CloseAll()
+	pmB, err := poolmgr.New(poolmgr.Config{Name: "pm-b", Dir: directory.New(), Factory: facB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvB, err := stage.Serve(pmB, "127.0.0.1:0", lan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvB.Close()
+
+	// The query-manager stage dials both remote pool managers.
+	remoteA, err := stage.DialRemote(srvA.Addr(), lan, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remoteA.Close()
+	remoteB, err := stage.DialRemote(srvB.Addr(), lan, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remoteB.Close()
+	fmt.Printf("query manager connected to remote stages %s (%s) and %s (%s)\n",
+		remoteA.Name(), srvA.Addr(), remoteB.Name(), srvB.Addr())
+
+	qm, err := querymgr.New(querymgr.Config{
+		Name:       "qm-front",
+		Managers:   []querymgr.ResourceManager{remoteA, remoteB},
+		Redundancy: 2, // Section 6: forward to multiple pool managers, use the best response
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A composite query: fragments fan out over TCP to both stages, each
+	// fragment redundantly; pm-b's pools materialize on machine C via
+	// the proxy.
+	resp, err := qm.SubmitText("", "punch.rsrc.arch = sun | alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composite resolved: %d fragments, %d grants raced, winner %s from pool %s\n",
+		resp.Fragments, resp.Succeeded, resp.Lease.Machine, resp.Lease.Pool)
+	fmt.Printf("pools spawned on machine C by the proxy: %v\n", proxyC.Pools())
+
+	if err := qm.Release(resp.Lease); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("winner lease released; duplicates were auto-released by reintegration")
+}

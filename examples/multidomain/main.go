@@ -1,0 +1,126 @@
+// Multidomain: decentralized scheduling across administrative domains
+// (Sections 5.2.2 and 6). Two pool managers — one per domain, each with
+// its own white pages and directory — peer with each other. A query that
+// the local domain cannot satisfy is forwarded to the peer, carrying its
+// visited list and TTL with it; a query nobody can satisfy dies when the
+// TTL expires. The remote domain's pools are spawned through a proxy
+// server, exercising the distributed pool-creation path.
+//
+// Run with:
+//
+//	go run ./examples/multidomain
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/netsim"
+	"actyp/internal/poolmgr"
+	"actyp/internal/proxy"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+func main() {
+	// Domain "purdue": sun machines only.
+	purdueDB := registry.NewDB()
+	purdueFleet := registry.FleetSpec{
+		N: 32, Archs: []string{"sun"}, Domains: []string{"purdue"},
+		Owners: []string{"ece"}, Tools: []string{"tsuprem4", "spice"}, Seed: 1,
+	}
+	if err := purdueFleet.Populate(purdueDB, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Domain "upc": alpha machines only, pools spawned via a proxy
+	// server (the remote-creation path of Section 5.2.3).
+	upcDB := registry.NewDB()
+	upcFleet := registry.FleetSpec{
+		N: 32, Archs: []string{"alpha"}, Domains: []string{"upc"},
+		Owners: []string{"dac"}, Tools: []string{"montecarlo"}, Seed: 2,
+	}
+	if err := upcFleet.Populate(upcDB, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	upcProxy, err := proxy.Start(upcDB, "127.0.0.1:0", netsim.LAN())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer upcProxy.Close()
+
+	// Pool managers, one per domain. Purdue creates pools locally; UPC
+	// creates them through its proxy.
+	purdueDir, upcDir := directory.New(), directory.New()
+	purdueFactory := &poolmgr.LocalFactory{DB: purdueDB}
+	defer purdueFactory.CloseAll()
+	upcFactory := &proxy.RemoteFactory{Proxies: []string{upcProxy.Addr()}, Profile: netsim.LAN()}
+	defer upcFactory.CloseAll()
+
+	purduePM, err := poolmgr.New(poolmgr.Config{Name: "pm-purdue", Dir: purdueDir, Factory: purdueFactory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	upcPM, err := poolmgr.New(poolmgr.Config{Name: "pm-upc", Dir: upcDir, Factory: upcFactory})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Peer the domains: each lists the other in its directory service.
+	purdueDir.AddPeer(upcPM)
+	upcDir.AddPeer(purduePM)
+
+	// A local query resolves in the local domain.
+	sun := mustParse("punch.rsrc.arch = sun")
+	lease, err := purduePM.Resolve(sun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sun query resolved locally at purdue: machine %s (pool %s)\n", lease.Machine, lease.Pool)
+
+	// An alpha query cannot be satisfied at purdue: the pool manager
+	// attaches its name, decrements the TTL, and forwards to UPC, whose
+	// proxy spawns the pool remotely.
+	alpha := mustParse("punch.rsrc.arch = alpha")
+	lease2, err := purduePM.Resolve(alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alpha query delegated to upc: machine %s (pool %s)\n", lease2.Machine, lease2.Pool)
+	fmt.Printf("upc proxy now hosts pools: %v\n", upcProxy.Pools())
+
+	_, _, forwarded, _ := purduePM.Stats()
+	fmt.Printf("purdue pool manager forwarded %d queries\n", forwarded)
+
+	// A query nobody can satisfy dies by TTL / peer exhaustion, not by
+	// looping forever.
+	cray := mustParse("punch.rsrc.arch = cray")
+	if _, err := purduePM.Resolve(cray); err != nil {
+		switch {
+		case errors.Is(err, poolmgr.ErrTTLExpired):
+			fmt.Println("cray query failed: TTL expired (as designed)")
+		default:
+			fmt.Printf("cray query failed: %v\n", err)
+		}
+	}
+
+	// Clean up the delegated lease through the peer that granted it.
+	if err := upcPM.Release(lease2); err != nil {
+		log.Fatal(err)
+	}
+	if err := purduePM.Release(lease); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all leases released")
+}
+
+func mustParse(text string) *query.Query {
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}

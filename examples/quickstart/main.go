@@ -1,0 +1,79 @@
+// Quickstart: stand up an in-process Active Yellow Pages service over a
+// synthetic fleet, submit the paper's Section 5.1 sample query, and walk
+// the grant lifecycle (allocate -> use -> release).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"actyp/internal/core"
+	"actyp/internal/registry"
+)
+
+func main() {
+	// 1. Build a white-pages database: 64 machines across four
+	//    architectures and two administrative domains.
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(64).Populate(db, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Start the ActYP service: query managers, pool managers, and
+	//    dynamically-created resource pools, plus a background monitor.
+	svc, err := core.New(core.Options{
+		DB:              db,
+		MonitorInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// 3. Submit the paper's sample query. The pool manager derives the
+	//    pool name arch:domain:license:memory,==:==:==:>= / sun:purdue:
+	//    tsuprem4:10 and creates the pool on first touch.
+	grant, err := svc.Request(`
+punch.rsrc.arch = sun
+punch.rsrc.memory = >=10
+punch.rsrc.license = tsuprem4
+punch.rsrc.domain = purdue
+punch.appl.expectedcpuuse = 1000
+punch.user.login = kapadia
+punch.user.accessgroup = ece
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("granted machine %s at %s:%d\n",
+		grant.Lease.Machine, grant.Lease.Addr, grant.Lease.ExecUnitPort)
+	fmt.Printf("session access key %s\n", grant.Lease.AccessKey)
+	fmt.Printf("shadow account %s (uid %d)\n", grant.Shadow.User, grant.Shadow.UID)
+
+	// 4. The directory now lists the dynamically-created pool.
+	for _, name := range svc.Directory().Names() {
+		fmt.Printf("active pool: %s\n", name)
+	}
+
+	// 5. A composite ("or") query fans out to two pools concurrently and
+	//    reintegrates at the end of the pipeline.
+	composite, err := svc.Request("punch.rsrc.arch = hp | alpha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composite query decomposed into %d fragments, %d succeeded, won by %s\n",
+		composite.Fragments, composite.Succeeded, composite.Lease.Machine)
+
+	// 6. Release everything.
+	for _, g := range []*core.Grant{grant, composite} {
+		if err := svc.Release(g); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("all resources released")
+}

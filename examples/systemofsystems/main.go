@@ -1,0 +1,105 @@
+// Systemofsystems: the delegation model of Section 6 — "the pipeline can
+// resolve a query down to, say, the level of a local resource management
+// system, and then simply allow the local system to take over." Here a
+// PBS-style centralized cluster scheduler (the baseline package) is
+// wrapped in an adapter and registered in the directory service as one
+// more resource pool; queries for the cluster's management system resolve
+// through ActYP but are placed by the local scheduler and its submit
+// queues.
+//
+// Run with:
+//
+//	go run ./examples/systemofsystems
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"actyp/internal/baseline"
+	"actyp/internal/directory"
+	"actyp/internal/poolmgr"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+func main() {
+	// The local cluster: 48 machines managed by a centralized PBS-style
+	// scheduler with short/medium/long submit queues.
+	clusterDB := registry.NewDB()
+	cluster := registry.FleetSpec{
+		N: 48, Archs: []string{"x86"}, Domains: []string{"cluster"},
+		Owners: []string{"hpc"}, Tools: []string{"matlab"}, Seed: 3,
+	}
+	if err := cluster.Populate(clusterDB, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	sched, err := baseline.New(clusterDB, baseline.DefaultQueues(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local cluster scheduler up with queues %v\n", sched.QueueNames())
+
+	// ActYP side: a pool manager whose directory lists the cluster as a
+	// pre-registered "pool" whose machines are managed elsewhere. The
+	// pool name is derived from the query criteria that should route to
+	// it: cms == pbs.
+	dir := directory.New()
+	pm, err := poolmgr.New(poolmgr.Config{Name: "pm", Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapter, err := baseline.NewAdapter("pbs-cluster#0", sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	routeQuery := mustParse("punch.rsrc.cms = pbs")
+	if err := dir.Register(directory.PoolRef{
+		Name:     query.Name(routeQuery),
+		Instance: adapter.ID,
+		Local:    adapter,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Jobs of very different sizes resolve through the same pipeline; the
+	// local scheduler routes them to its own queues.
+	for _, job := range []struct {
+		name string
+		cpu  float64
+	}{
+		{"interactive run", 5},
+		{"overnight batch", 30000},
+		{"course assignment", 90},
+	} {
+		q := mustParse("punch.rsrc.cms = pbs").
+			Set("punch.appl.expectedcpuuse", query.EqNum(job.cpu))
+		lease, err := pm.Resolve(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queueName, err := sched.Route(job.cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> machine %s via queue %-6s (lease %s)\n",
+			job.name, lease.Machine, queueName, lease.ID)
+		if err := pm.Release(lease); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if sched.Active() != 0 {
+		log.Fatalf("scheduler still has %d active jobs", sched.Active())
+	}
+	fmt.Println("all jobs completed through the system-of-systems path")
+}
+
+func mustParse(text string) *query.Query {
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}

@@ -1,0 +1,301 @@
+// Package appmgr implements the PUNCH application management component of
+// Section 3 (Figure 2): it parses user input, extracts and qualifies the
+// relevant parameters using a knowledge base, estimates the run time
+// through the performance-modeling service, ranks candidate algorithms,
+// determines hardware and software requirements, and composes the query
+// that is forwarded to the ActYP resource-management pipeline.
+package appmgr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"actyp/internal/perfmodel"
+	"actyp/internal/query"
+)
+
+// ParamSpec is one knowledge-base extraction rule: how a raw command-line
+// argument becomes a qualified numeric parameter.
+type ParamSpec struct {
+	Name    string  // qualified name, e.g. "carriers"
+	Flag    string  // command flag that carries it, e.g. "-n"
+	Default float64 // used when the flag is absent (0 means "omit")
+	Min     float64 // minimum legal value (inclusive) when > 0
+	Max     float64 // maximum legal value (inclusive) when > 0
+}
+
+// Algorithm is one way a tool can solve its problem; the knowledge base
+// ranks algorithms by fitness for the extracted parameters (the paper's
+// example ranks Monte Carlo, hydro-dynamic and drift-diffusion carrier
+// transport).
+type Algorithm struct {
+	Name string
+	// Fitness scores the algorithm for a parameter set; higher wins.
+	Fitness func(params map[string]float64) float64
+	// CostFactor scales the base CPU estimate when this algorithm runs.
+	CostFactor float64
+}
+
+// ToolSpec is the knowledge-base entry for one tool.
+type ToolSpec struct {
+	Name       string      // tool identifier, e.g. "tsuprem4"
+	ToolGroup  string      // tool group used in machine policy checks
+	License    string      // license token machines must hold
+	Params     []ParamSpec // extraction rules
+	Algorithms []Algorithm // ranked algorithm choices (may be empty)
+	// Archs lists acceptable architectures in preference order; more
+	// than one produces a composite (or-clause) query.
+	Archs []string
+	// MinMemoryMB is a hardware floor independent of the estimate.
+	MinMemoryMB float64
+}
+
+// RunRequest is what the network desktop sends: who wants to run what.
+type RunRequest struct {
+	Tool  string
+	Args  []string // raw command arguments, e.g. ["-n", "50000"]
+	Login string
+	Group string
+	// Domain, when non-empty, pins the run to one administrative domain.
+	Domain string
+}
+
+// PreparedRun is the component's output: the composed query plus the
+// supporting decisions, ready for the pipeline.
+type PreparedRun struct {
+	QueryText string // native-language query (possibly composite)
+	Params    map[string]float64
+	Estimate  perfmodel.Estimate
+	Algorithm string // chosen algorithm, "" if the tool has no choices
+}
+
+// Manager is the application management component.
+type Manager struct {
+	mu    sync.RWMutex
+	kb    map[string]*ToolSpec
+	perf  *perfmodel.Service
+	clamp bool
+}
+
+// New creates a manager around a performance-modeling service.
+func New(perf *perfmodel.Service) *Manager {
+	return &Manager{kb: make(map[string]*ToolSpec), perf: perf}
+}
+
+// Register installs a knowledge-base entry.
+func (m *Manager) Register(spec *ToolSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("appmgr: tool spec needs a name")
+	}
+	if len(spec.Archs) == 0 {
+		return fmt.Errorf("appmgr: tool %s needs at least one architecture", spec.Name)
+	}
+	for _, a := range spec.Algorithms {
+		if a.Fitness == nil {
+			return fmt.Errorf("appmgr: tool %s: algorithm %s needs a fitness function", spec.Name, a.Name)
+		}
+		if a.CostFactor <= 0 {
+			return fmt.Errorf("appmgr: tool %s: algorithm %s needs a positive cost factor", spec.Name, a.Name)
+		}
+	}
+	cp := *spec
+	cp.Params = append([]ParamSpec(nil), spec.Params...)
+	cp.Algorithms = append([]Algorithm(nil), spec.Algorithms...)
+	cp.Archs = append([]string(nil), spec.Archs...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kb[spec.Name] = &cp
+	return nil
+}
+
+// Tools lists registered tools, sorted.
+func (m *Manager) Tools() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.kb))
+	for t := range m.kb {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prepare runs the full Figure 2 sequence for one request.
+func (m *Manager) Prepare(req RunRequest) (*PreparedRun, error) {
+	m.mu.RLock()
+	spec, ok := m.kb[req.Tool]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("appmgr: unknown tool %q", req.Tool)
+	}
+
+	// 1. Extract relevant parameters from the user input.
+	params, err := extract(spec, req.Args)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Rank algorithms and select the best.
+	algo, costFactor := rank(spec, params)
+
+	// 3. Estimate the run via the performance-modeling service.
+	est, err := m.perf.Predict(spec.Name, params)
+	if err != nil {
+		return nil, err
+	}
+	est.CPUSeconds *= costFactor
+
+	// 4. Determine hardware requirements and compose the query.
+	memory := est.MemoryMB
+	if spec.MinMemoryMB > memory {
+		memory = spec.MinMemoryMB
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "punch.rsrc.arch = %s\n", strings.Join(spec.Archs, " | "))
+	fmt.Fprintf(&b, "punch.rsrc.memory = >=%s\n", query.FormatNum(roundUp(memory)))
+	if spec.License != "" {
+		fmt.Fprintf(&b, "punch.rsrc.license = %s\n", spec.License)
+	}
+	if req.Domain != "" {
+		fmt.Fprintf(&b, "punch.rsrc.domain = %s\n", req.Domain)
+	}
+	fmt.Fprintf(&b, "punch.appl.expectedcpuuse = %s\n", query.FormatNum(roundUp(est.CPUSeconds)))
+	if spec.ToolGroup != "" {
+		fmt.Fprintf(&b, "punch.appl.tool = %s\n", spec.ToolGroup)
+	}
+	if req.Login != "" {
+		fmt.Fprintf(&b, "punch.user.login = %s\n", req.Login)
+	}
+	if req.Group != "" {
+		fmt.Fprintf(&b, "punch.user.accessgroup = %s\n", req.Group)
+	}
+
+	return &PreparedRun{
+		QueryText: b.String(),
+		Params:    params,
+		Estimate:  est,
+		Algorithm: algo,
+	}, nil
+}
+
+// Observe feeds an actual run time back to the performance model.
+func (m *Manager) Observe(tool string, params map[string]float64, actualCPUSeconds float64) error {
+	return m.perf.Observe(tool, params, actualCPUSeconds)
+}
+
+func extract(spec *ToolSpec, args []string) (map[string]float64, error) {
+	params := make(map[string]float64)
+	for _, p := range spec.Params {
+		val := p.Default
+		found := false
+		for i := 0; i < len(args)-1; i++ {
+			if args[i] == p.Flag {
+				f, err := strconv.ParseFloat(args[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("appmgr: tool %s: flag %s needs a number, got %q", spec.Name, p.Flag, args[i+1])
+				}
+				val = f
+				found = true
+				break
+			}
+		}
+		if !found && p.Default == 0 {
+			continue // omitted optional parameter
+		}
+		if p.Min > 0 && val < p.Min {
+			return nil, fmt.Errorf("appmgr: tool %s: parameter %s=%v below minimum %v", spec.Name, p.Name, val, p.Min)
+		}
+		if p.Max > 0 && val > p.Max {
+			return nil, fmt.Errorf("appmgr: tool %s: parameter %s=%v above maximum %v", spec.Name, p.Name, val, p.Max)
+		}
+		params[p.Name] = val
+	}
+	return params, nil
+}
+
+func rank(spec *ToolSpec, params map[string]float64) (string, float64) {
+	if len(spec.Algorithms) == 0 {
+		return "", 1
+	}
+	best := spec.Algorithms[0]
+	bestScore := best.Fitness(params)
+	for _, a := range spec.Algorithms[1:] {
+		if score := a.Fitness(params); score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best.Name, best.CostFactor
+}
+
+func roundUp(f float64) float64 {
+	if f < 1 {
+		return 1
+	}
+	if f == float64(int64(f)) {
+		return f
+	}
+	return float64(int64(f) + 1)
+}
+
+// PunchKnowledgeBase registers the paper's example tools against the
+// matching performance models: the carrier-transport simulation of
+// Figure 2 (with its Monte Carlo / drift-diffusion algorithm choice),
+// T-Suprem4 from the sample query, and the supporting applications.
+func PunchKnowledgeBase(m *Manager) error {
+	specs := []*ToolSpec{
+		{
+			Name: "tsuprem4", ToolGroup: "tsuprem4", License: "tsuprem4",
+			Archs: []string{"sun"}, MinMemoryMB: 10,
+			Params: []ParamSpec{
+				{Name: "gridnodes", Flag: "-g", Default: 100, Min: 1},
+				{Name: "steps", Flag: "-s", Default: 10, Min: 1},
+			},
+		},
+		{
+			Name: "spice", ToolGroup: "spice", License: "spice",
+			Archs: []string{"sun", "hp"}, MinMemoryMB: 16,
+			Params: []ParamSpec{
+				{Name: "nodes", Flag: "-n", Default: 50, Min: 1},
+				{Name: "timepoints", Flag: "-t", Default: 1000, Min: 1},
+			},
+		},
+		{
+			Name: "montecarlo", ToolGroup: "transport", License: "montecarlo",
+			Archs: []string{"sun", "hp", "alpha"}, MinMemoryMB: 64,
+			Params: []ParamSpec{
+				{Name: "carriers", Flag: "-n", Default: 10000, Min: 1},
+				{Name: "devicesize", Flag: "-d", Default: 1, Min: 0.001},
+			},
+			Algorithms: []Algorithm{
+				{
+					Name:       "monte-carlo",
+					CostFactor: 3,
+					// Accurate but costly: wins for small carrier counts.
+					Fitness: func(p map[string]float64) float64 { return 1e6 / (1 + p["carriers"]) },
+				},
+				{
+					Name:       "drift-diffusion",
+					CostFactor: 1,
+					// Cheap approximation: wins for big problems.
+					Fitness: func(p map[string]float64) float64 { return p["carriers"] / 100 },
+				},
+			},
+		},
+		{
+			Name: "matlab", ToolGroup: "matlab", License: "matlab",
+			Archs: []string{"sun", "x86"}, MinMemoryMB: 64,
+			Params: []ParamSpec{
+				{Name: "matrixdim", Flag: "-m", Default: 256, Min: 1, Max: 16384},
+			},
+		},
+	}
+	for _, s := range specs {
+		if err := m.Register(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package appmgr
+
+import (
+	"strings"
+	"testing"
+
+	"actyp/internal/perfmodel"
+	"actyp/internal/query"
+)
+
+func manager(t *testing.T) *Manager {
+	t.Helper()
+	perf := perfmodel.NewService(0.2)
+	for _, mdl := range perfmodel.PunchModels() {
+		if err := perf.Register(mdl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(perf)
+	if err := PunchKnowledgeBase(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := New(perfmodel.NewService(0))
+	bad := []*ToolSpec{
+		{Name: "", Archs: []string{"sun"}},
+		{Name: "x"},
+		{Name: "x", Archs: []string{"sun"}, Algorithms: []Algorithm{{Name: "a", CostFactor: 1}}},                                          // nil fitness
+		{Name: "x", Archs: []string{"sun"}, Algorithms: []Algorithm{{Name: "a", Fitness: func(map[string]float64) float64 { return 0 }}}}, // zero cost
+	}
+	for i, spec := range bad {
+		if err := m.Register(spec); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPrepareComposesPaperStyleQuery(t *testing.T) {
+	m := manager(t)
+	prepared, err := m.Prepare(RunRequest{
+		Tool:   "tsuprem4",
+		Args:   []string{"-g", "200", "-s", "20"},
+		Login:  "kapadia",
+		Group:  "ece",
+		Domain: "purdue",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := query.Parse(prepared.QueryText)
+	if err != nil {
+		t.Fatalf("generated query does not parse: %v\n%s", err, prepared.QueryText)
+	}
+	q := c.Decompose()[0]
+	checks := map[string]string{
+		"punch.rsrc.arch":        "sun",
+		"punch.rsrc.license":     "tsuprem4",
+		"punch.rsrc.domain":      "purdue",
+		"punch.user.login":       "kapadia",
+		"punch.user.accessgroup": "ece",
+	}
+	for key, want := range checks {
+		cond, ok := q.Get(key)
+		if !ok || cond.Str != want {
+			t.Errorf("%s = %+v, want %s", key, cond, want)
+		}
+	}
+	mem, ok := q.Get("punch.rsrc.memory")
+	if !ok || mem.Op != query.OpGe || mem.Num < 10 {
+		t.Errorf("memory = %+v", mem)
+	}
+	cpu, ok := q.Get("punch.appl.expectedcpuuse")
+	if !ok || !cpu.IsNum || cpu.Num <= 0 {
+		t.Errorf("expectedcpuuse = %+v", cpu)
+	}
+	if prepared.Params["gridnodes"] != 200 || prepared.Params["steps"] != 20 {
+		t.Errorf("params = %v", prepared.Params)
+	}
+}
+
+func TestPrepareMultiArchProducesComposite(t *testing.T) {
+	m := manager(t)
+	prepared, err := m.Prepare(RunRequest{Tool: "montecarlo", Args: nil, Login: "u", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := query.Parse(prepared.QueryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsBasic() {
+		t.Error("three architectures should produce a composite query")
+	}
+	if got := c.Count(); got != 3 {
+		t.Errorf("alternatives = %d", got)
+	}
+}
+
+func TestAlgorithmRanking(t *testing.T) {
+	m := manager(t)
+	// Small problem: Monte Carlo wins; cost x3.
+	small, err := m.Prepare(RunRequest{Tool: "montecarlo", Args: []string{"-n", "100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Algorithm != "monte-carlo" {
+		t.Errorf("small problem algorithm = %s", small.Algorithm)
+	}
+	// Huge problem: drift-diffusion wins.
+	big, err := m.Prepare(RunRequest{Tool: "montecarlo", Args: []string{"-n", "10000000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Algorithm != "drift-diffusion" {
+		t.Errorf("big problem algorithm = %s", big.Algorithm)
+	}
+}
+
+func TestPrepareDefaultsAndErrors(t *testing.T) {
+	m := manager(t)
+	// Defaults fill missing flags.
+	p, err := m.Prepare(RunRequest{Tool: "spice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Params["nodes"] != 50 || p.Params["timepoints"] != 1000 {
+		t.Errorf("defaults = %v", p.Params)
+	}
+	// Unknown tool.
+	if _, err := m.Prepare(RunRequest{Tool: "nosuchtool"}); err == nil {
+		t.Error("unknown tool should fail")
+	}
+	// Non-numeric flag value.
+	if _, err := m.Prepare(RunRequest{Tool: "spice", Args: []string{"-n", "abc"}}); err == nil {
+		t.Error("non-numeric argument should fail")
+	}
+	// Bounds enforcement.
+	if _, err := m.Prepare(RunRequest{Tool: "matlab", Args: []string{"-m", "99999"}}); err == nil {
+		t.Error("above-max parameter should fail")
+	}
+	if _, err := m.Prepare(RunRequest{Tool: "spice", Args: []string{"-n", "0.5"}}); err == nil {
+		t.Error("below-min parameter should fail")
+	}
+}
+
+func TestObserveFlowsToPerfModel(t *testing.T) {
+	perf := perfmodel.NewService(0.5)
+	if err := perf.Register(&perfmodel.Model{Tool: "t", BaseCPU: 10}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(perf)
+	if err := m.Register(&ToolSpec{Name: "t", Archs: []string{"sun"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe("t", nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	corr, n := perf.Correction("t")
+	if n != 1 || corr <= 1 {
+		t.Errorf("correction = %v, %d", corr, n)
+	}
+}
+
+func TestToolsListing(t *testing.T) {
+	m := manager(t)
+	tools := m.Tools()
+	if len(tools) != 4 {
+		t.Fatalf("tools = %v", tools)
+	}
+	want := "matlab montecarlo spice tsuprem4"
+	if got := strings.Join(tools, " "); got != want {
+		t.Errorf("tools = %q, want %q", got, want)
+	}
+}

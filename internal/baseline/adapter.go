@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+// Adapter exposes the centralized scheduler through the resource-pool
+// allocation interface, realizing the paper's "system of systems" design
+// (Section 6): the ActYP pipeline resolves a query down to the level of a
+// local resource management system and then simply lets the local system
+// take over. Registering an Adapter in the directory service under a pool
+// name makes the baseline scheduler one more "resource pool" whose
+// machines are managed elsewhere.
+type Adapter struct {
+	// ID is the pool-instance identifier the adapter registers under.
+	ID string
+
+	sched *Scheduler
+
+	mu     sync.Mutex
+	leases map[string]int // lease id -> baseline job id
+	next   int
+}
+
+// NewAdapter wraps a scheduler.
+func NewAdapter(id string, sched *Scheduler) (*Adapter, error) {
+	if id == "" {
+		return nil, fmt.Errorf("baseline: adapter needs an id")
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("baseline: adapter needs a scheduler")
+	}
+	return &Adapter{ID: id, sched: sched, leases: make(map[string]int)}, nil
+}
+
+// Allocate implements directory.Allocator by delegating to the local
+// scheduler. The expected CPU time is read from the query's appl section
+// so the scheduler can route the job to the right submit queue.
+func (a *Adapter) Allocate(q *query.Query) (*pool.Lease, error) {
+	expected := 1.0
+	if cond, ok := q.Lookup(query.Key{Family: "punch", Class: query.ClassAppl, Name: "expectedcpuuse"}); ok && cond.IsNum {
+		expected = cond.Num
+	}
+	placement, err := a.sched.Submit(q, expected)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		_ = a.sched.Complete(placement.JobID)
+		return nil, fmt.Errorf("baseline: access key: %w", err)
+	}
+	a.mu.Lock()
+	a.next++
+	id := fmt.Sprintf("%s:%d", a.ID, a.next)
+	a.leases[id] = placement.JobID
+	a.mu.Unlock()
+	return &pool.Lease{
+		ID:        id,
+		Machine:   placement.Machine,
+		AccessKey: hex.EncodeToString(keyBytes[:]),
+		Pool:      a.ID,
+		Granted:   time.Now(),
+	}, nil
+}
+
+// Release implements directory.Allocator.
+func (a *Adapter) Release(leaseID string) error {
+	a.mu.Lock()
+	jobID, ok := a.leases[leaseID]
+	if ok {
+		delete(a.leases, leaseID)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("baseline: unknown lease %s", leaseID)
+	}
+	return a.sched.Complete(jobID)
+}

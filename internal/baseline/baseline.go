@@ -1,0 +1,190 @@
+// Package baseline implements a centralized, multi-queue cluster scheduler
+// in the style of PBS, DQS and (Sun) Grid Engine, which Section 8 contrasts
+// with ActYP: one central scheduler protected by one lock, with multiple
+// submit queues that segregate jobs by expected run time (e.g. one queue
+// for short jobs, another for large ones). It serves two purposes: it is
+// the comparison baseline for the scalability benches, and it doubles as
+// the "local resource management system" behind the system-of-systems
+// delegation example (Section 6) — ActYP can resolve a query down to this
+// scheduler and let it take over.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+// Queue is one submit queue: jobs whose expected CPU time falls in
+// [MinCPU, MaxCPU) are routed to it.
+type Queue struct {
+	Name   string
+	MinCPU float64
+	MaxCPU float64 // 0 means unbounded
+}
+
+// DefaultQueues mirrors a typical academic PBS deployment.
+func DefaultQueues() []Queue {
+	return []Queue{
+		{Name: "short", MinCPU: 0, MaxCPU: 60},
+		{Name: "medium", MinCPU: 60, MaxCPU: 3600},
+		{Name: "long", MinCPU: 3600, MaxCPU: 0},
+	}
+}
+
+// Placement is the scheduler's answer.
+type Placement struct {
+	Machine string
+	Queue   string
+	JobID   int
+}
+
+// Scheduler is the centralized baseline.
+type Scheduler struct {
+	db     *registry.DB
+	queues []Queue
+
+	mu      sync.Mutex // the central lock everything serializes on
+	nextJob int
+	placed  map[int]string // job id -> machine
+	jobs    map[string]int // machine -> active jobs placed by this scheduler
+	// ScanCost models the per-machine cost of the central scheduling
+	// scan, matching the pool.Config knob so comparisons are fair.
+	scanCost time.Duration
+}
+
+// New creates a scheduler over a shared white-pages database.
+func New(db *registry.DB, queues []Queue, scanCost time.Duration) (*Scheduler, error) {
+	if db == nil {
+		return nil, fmt.Errorf("baseline: scheduler needs a database")
+	}
+	if len(queues) == 0 {
+		queues = DefaultQueues()
+	}
+	return &Scheduler{
+		db:       db,
+		queues:   queues,
+		placed:   make(map[int]string),
+		jobs:     make(map[string]int),
+		scanCost: scanCost,
+	}, nil
+}
+
+// Route returns the queue a job of the given expected CPU time lands in.
+func (s *Scheduler) Route(expectedCPU float64) (string, error) {
+	for _, q := range s.queues {
+		if expectedCPU >= q.MinCPU && (q.MaxCPU == 0 || expectedCPU < q.MaxCPU) {
+			return q.Name, nil
+		}
+	}
+	return "", fmt.Errorf("baseline: no queue accepts cpu=%v", expectedCPU)
+}
+
+// Submit schedules one job: it routes by expected CPU time, then — under
+// the central lock — scans the entire machine database for the least
+// loaded machine matching the query's rsrc constraints. This whole-database
+// scan under one lock is precisely the bottleneck the ActYP pipeline
+// removes.
+func (s *Scheduler) Submit(q *query.Query, expectedCPU float64) (*Placement, error) {
+	queueName, err := s.Route(expectedCPU)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var bestName string
+	bestLoad := 0.0
+	scanned := 0
+	s.db.Walk(func(m *registry.Machine) bool {
+		scanned++
+		if !m.Usable() {
+			return true
+		}
+		if !m.Attrs().MatchRsrc(q) {
+			return true
+		}
+		load := m.Dynamic.Load + float64(s.jobs[m.Static.Name])/float64(m.Static.CPUs)
+		if load >= m.Static.MaxLoad {
+			return true
+		}
+		if bestName == "" || load < bestLoad {
+			bestName, bestLoad = m.Static.Name, load
+		}
+		return true
+	})
+	if s.scanCost > 0 {
+		time.Sleep(s.scanCost * time.Duration(scanned))
+	}
+	if bestName == "" {
+		return nil, fmt.Errorf("baseline: no machine available for queue %s", queueName)
+	}
+	s.nextJob++
+	s.placed[s.nextJob] = bestName
+	s.jobs[bestName]++
+	return &Placement{Machine: bestName, Queue: queueName, JobID: s.nextJob}, nil
+}
+
+// Complete releases a placed job.
+func (s *Scheduler) Complete(jobID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	machine, ok := s.placed[jobID]
+	if !ok {
+		return fmt.Errorf("baseline: job %d not placed", jobID)
+	}
+	delete(s.placed, jobID)
+	if s.jobs[machine] > 0 {
+		s.jobs[machine]--
+	}
+	return nil
+}
+
+// Active returns the number of running jobs.
+func (s *Scheduler) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.placed)
+}
+
+// QueueNames lists the configured queues in routing order.
+func (s *Scheduler) QueueNames() []string {
+	out := make([]string, len(s.queues))
+	for i, q := range s.queues {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// Utilization reports per-machine active job counts, sorted by machine.
+func (s *Scheduler) Utilization() []struct {
+	Machine string
+	Jobs    int
+} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.jobs))
+	for n := range s.jobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Machine string
+		Jobs    int
+	}, 0, len(names))
+	for _, n := range names {
+		if s.jobs[n] == 0 {
+			continue
+		}
+		out = append(out, struct {
+			Machine string
+			Jobs    int
+		}{n, s.jobs[n]})
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+func fleetDB(t testing.TB, n int) *registry.DB {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func sunQuery(t testing.TB) *query.Query {
+	t.Helper()
+	q, err := query.ParseBasic("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 0); err == nil {
+		t.Error("missing db should fail")
+	}
+	s, err := New(fleetDB(t, 2), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QueueNames(); len(got) != 3 || got[0] != "short" {
+		t.Errorf("default queues = %v", got)
+	}
+}
+
+func TestRoute(t *testing.T) {
+	s, err := New(fleetDB(t, 2), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]string{
+		5:     "short",
+		59.99: "short",
+		60:    "medium",
+		3599:  "medium",
+		3600:  "long",
+		1e6:   "long",
+	}
+	for cpu, want := range cases {
+		got, err := s.Route(cpu)
+		if err != nil || got != want {
+			t.Errorf("Route(%v) = %q, %v; want %q", cpu, got, err, want)
+		}
+	}
+	// A gap in custom queues is an error.
+	s2, err := New(fleetDB(t, 2), []Queue{{Name: "only", MinCPU: 10, MaxCPU: 20}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Route(5); err == nil {
+		t.Error("unroutable cpu time should fail")
+	}
+}
+
+func TestSubmitCompleteLifecycle(t *testing.T) {
+	s, err := New(fleetDB(t, 4), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sunQuery(t)
+	p, err := s.Submit(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine == "" || p.Queue != "short" || p.JobID == 0 {
+		t.Errorf("placement = %+v", p)
+	}
+	if s.Active() != 1 {
+		t.Errorf("active = %d", s.Active())
+	}
+	util := s.Utilization()
+	if len(util) != 1 || util[0].Jobs != 1 {
+		t.Errorf("utilization = %v", util)
+	}
+	if err := s.Complete(p.JobID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(p.JobID); err == nil {
+		t.Error("double complete should fail")
+	}
+	if s.Active() != 0 {
+		t.Errorf("active after complete = %d", s.Active())
+	}
+}
+
+func TestSubmitBalancesByLoad(t *testing.T) {
+	s, err := New(fleetDB(t, 4), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sunQuery(t)
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		p, err := s.Submit(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Machine]++
+	}
+	// Placement is load-based with per-CPU weighting (machines have 1-4
+	// CPUs), so exact counts vary — but 8 jobs over 4 idle machines must
+	// touch every machine at least once.
+	if len(counts) != 4 {
+		t.Errorf("jobs spread over %d machines, want 4: %v", len(counts), counts)
+	}
+}
+
+func TestSubmitRespectsQueryAndCapacity(t *testing.T) {
+	db := fleetDB(t, 1)
+	s, err := New(db, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := query.ParseBasic("punch.rsrc.arch = hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(hp, 10); err == nil {
+		t.Error("no hp machines; submit should fail")
+	}
+	// Saturate the single machine: maxLoad = 2*cpus, jobs add 1/cpus each.
+	q := sunQuery(t)
+	placedAll := 0
+	for i := 0; i < 100; i++ {
+		if _, err := s.Submit(q, 10); err != nil {
+			break
+		}
+		placedAll++
+	}
+	if placedAll == 0 || placedAll == 100 {
+		t.Errorf("placed %d jobs; capacity limit not working", placedAll)
+	}
+}
+
+func TestCentralLockSerializes(t *testing.T) {
+	s, err := New(fleetDB(t, 64), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sunQuery(t)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	placements := map[int]bool{}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p, err := s.Submit(q, 10)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				if placements[p.JobID] {
+					t.Errorf("job id %d duplicated", p.JobID)
+				}
+				placements[p.JobID] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Active() != 80 {
+		t.Errorf("active = %d", s.Active())
+	}
+}
+
+func TestAdapterSystemOfSystems(t *testing.T) {
+	s, err := New(fleetDB(t, 4), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdapter("", s); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewAdapter("x", nil); err == nil {
+		t.Error("nil scheduler should fail")
+	}
+	a, err := NewAdapter("pbs-cluster#0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sunQuery(t).Set("punch.appl.expectedcpuuse", query.EqNum(7200))
+	lease, err := a.Allocate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Machine == "" || lease.AccessKey == "" || lease.Pool != "pbs-cluster#0" {
+		t.Errorf("lease = %+v", lease)
+	}
+	if s.Active() != 1 {
+		t.Errorf("scheduler active = %d", s.Active())
+	}
+	if err := a.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(lease.ID); err == nil {
+		t.Error("double release should fail")
+	}
+	if s.Active() != 0 {
+		t.Errorf("active after release = %d", s.Active())
+	}
+}

@@ -1,0 +1,259 @@
+// Package classads implements a translator from a practical subset of
+// Condor's ClassAd requirement expressions to the ActYP query language.
+// Section 5.1 of the paper anticipates exactly this: "New families of
+// key-value pairs could be defined to allow the resource management
+// pipeline to simultaneously support multiple protocols and semantics:
+// this could allow ActYP to reuse Condor's ClassAds."
+//
+// The supported grammar is the conjunctive core of ClassAd Requirements:
+//
+//	expr   := clause { "&&" clause }
+//	clause := cmp | "(" cmp { "||" cmp } ")"
+//	cmp    := Ident op literal
+//	op     := "==" | "!=" | ">=" | "<=" | ">" | "<"
+//
+// Disjunctions must stay within one attribute (the shape ActYP composites
+// can express); a disjunction across different attributes is rejected with
+// a clear error. Attribute names map to punch rsrc keys through a
+// configurable table.
+package classads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"actyp/internal/query"
+)
+
+// DefaultAttrMap maps common Condor attribute names to punch rsrc keys.
+func DefaultAttrMap() map[string]string {
+	return map[string]string{
+		"Arch":   "arch",
+		"OpSys":  "ostype",
+		"Memory": "memory",
+		"Disk":   "swap",
+		"Domain": "domain",
+		"Owner":  "owner",
+	}
+}
+
+// Translator converts ClassAd requirement strings into composite queries.
+type Translator struct {
+	// Family is the target key family (default "punch").
+	Family string
+	// Attrs maps ClassAd attribute names to rsrc key names. Attributes
+	// not in the map are lowercased and used directly.
+	Attrs map[string]string
+}
+
+// New returns a translator with the default attribute map.
+func New() *Translator {
+	return &Translator{Family: "punch", Attrs: DefaultAttrMap()}
+}
+
+// Translate implements the querymgr Translator contract.
+func (t *Translator) Translate(text string) (*query.Composite, error) {
+	p := &parser{input: text}
+	p.next()
+	c := query.NewComposite()
+	for {
+		if err := t.clause(p, c); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokEOF {
+			return c, nil
+		}
+		if p.tok.kind != tokAnd {
+			return nil, fmt.Errorf("classads: expected && or end of expression at %q", p.tok.text)
+		}
+		p.next()
+	}
+}
+
+// clause parses one conjunct: a comparison or a parenthesized disjunction.
+func (t *Translator) clause(p *parser, c *query.Composite) error {
+	if p.tok.kind == tokLParen {
+		p.next()
+		key := ""
+		for {
+			k, cond, err := t.cmp(p)
+			if err != nil {
+				return err
+			}
+			if key == "" {
+				key = k
+			} else if key != k {
+				return fmt.Errorf("classads: disjunction mixes attributes %s and %s; ActYP composites require one attribute per or-clause", key, k)
+			}
+			c.Add(k, cond)
+			if p.tok.kind == tokRParen {
+				p.next()
+				return nil
+			}
+			if p.tok.kind != tokOr {
+				return fmt.Errorf("classads: expected || or ) at %q", p.tok.text)
+			}
+			p.next()
+		}
+	}
+	k, cond, err := t.cmp(p)
+	if err != nil {
+		return err
+	}
+	c.Add(k, cond)
+	return nil
+}
+
+// cmp parses "Ident op literal" and returns the mapped key and condition.
+func (t *Translator) cmp(p *parser) (string, query.Condition, error) {
+	if p.tok.kind != tokIdent {
+		return "", query.Condition{}, fmt.Errorf("classads: expected attribute name at %q", p.tok.text)
+	}
+	attr := p.tok.text
+	p.next()
+	if p.tok.kind != tokOp {
+		return "", query.Condition{}, fmt.Errorf("classads: expected comparison operator after %s", attr)
+	}
+	op := p.tok.text
+	p.next()
+
+	var operand string
+	switch p.tok.kind {
+	case tokString, tokNumber, tokIdent:
+		operand = p.tok.text
+	default:
+		return "", query.Condition{}, fmt.Errorf("classads: expected literal after %s %s", attr, op)
+	}
+	p.next()
+
+	family := t.Family
+	if family == "" {
+		family = "punch"
+	}
+	name, ok := t.Attrs[attr]
+	if !ok {
+		name = strings.ToLower(attr)
+	}
+	key := query.Key{Family: family, Class: query.ClassRsrc, Name: name}.String()
+
+	var cond query.Condition
+	switch op {
+	case "==":
+		cond = query.Eq(strings.ToLower(operand))
+	case "!=":
+		cond = query.Ne(strings.ToLower(operand))
+	case ">=", "<=", ">", "<":
+		f, err := strconv.ParseFloat(operand, 64)
+		if err != nil {
+			return "", query.Condition{}, fmt.Errorf("classads: operator %s needs a numeric operand, got %q", op, operand)
+		}
+		switch op {
+		case ">=":
+			cond = query.Ge(f)
+		case "<=":
+			cond = query.Le(f)
+		case ">":
+			cond = query.Gt(f)
+		default:
+			cond = query.Lt(f)
+		}
+	default:
+		return "", query.Condition{}, fmt.Errorf("classads: unsupported operator %q", op)
+	}
+	return key, cond, nil
+}
+
+// Lexer.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokOp
+	tokAnd
+	tokOr
+	tokLParen
+	tokRParen
+	tokBad
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "("}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")"}
+	case c == '&':
+		if strings.HasPrefix(p.input[p.pos:], "&&") {
+			p.pos += 2
+			p.tok = token{kind: tokAnd, text: "&&"}
+		} else {
+			p.pos++
+			p.tok = token{kind: tokBad, text: "&"}
+		}
+	case c == '|':
+		if strings.HasPrefix(p.input[p.pos:], "||") {
+			p.pos += 2
+			p.tok = token{kind: tokOr, text: "||"}
+		} else {
+			p.pos++
+			p.tok = token{kind: tokBad, text: "|"}
+		}
+	case c == '"':
+		end := strings.IndexByte(p.input[p.pos+1:], '"')
+		if end < 0 {
+			p.tok = token{kind: tokBad, text: p.input[p.pos:]}
+			p.pos = len(p.input)
+			return
+		}
+		p.tok = token{kind: tokString, text: p.input[p.pos+1 : p.pos+1+end]}
+		p.pos += end + 2
+	case strings.ContainsRune("=!<>", rune(c)):
+		start := p.pos
+		for p.pos < len(p.input) && strings.ContainsRune("=!<>", rune(p.input[p.pos])) {
+			p.pos++
+		}
+		p.tok = token{kind: tokOp, text: p.input[start:p.pos]}
+	case unicode.IsDigit(rune(c)) || c == '-' || c == '.':
+		start := p.pos
+		for p.pos < len(p.input) && (unicode.IsDigit(rune(p.input[p.pos])) || p.input[p.pos] == '.' || p.input[p.pos] == '-') {
+			p.pos++
+		}
+		p.tok = token{kind: tokNumber, text: p.input[start:p.pos]}
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.pos
+		for p.pos < len(p.input) && (unicode.IsLetter(rune(p.input[p.pos])) || unicode.IsDigit(rune(p.input[p.pos])) || p.input[p.pos] == '_') {
+			p.pos++
+		}
+		p.tok = token{kind: tokIdent, text: p.input[start:p.pos]}
+	default:
+		p.tok = token{kind: tokBad, text: string(c)}
+		p.pos++
+	}
+}

@@ -1,0 +1,134 @@
+package classads
+
+import (
+	"strings"
+	"testing"
+
+	"actyp/internal/query"
+)
+
+func TestTranslateConjunction(t *testing.T) {
+	tr := New()
+	c, err := tr.Translate(`Arch == "SUN4u" && Memory >= 64 && OpSys == "SOLARIS28"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsBasic() {
+		t.Fatal("pure conjunction should be basic")
+	}
+	q := c.Decompose()[0]
+	arch, _ := q.Get("punch.rsrc.arch")
+	if arch.Op != query.OpEq || arch.Str != "sun4u" {
+		t.Errorf("arch = %+v", arch)
+	}
+	mem, _ := q.Get("punch.rsrc.memory")
+	if mem.Op != query.OpGe || mem.Num != 64 {
+		t.Errorf("memory = %+v", mem)
+	}
+	os, _ := q.Get("punch.rsrc.ostype")
+	if os.Str != "solaris28" {
+		t.Errorf("ostype = %+v", os)
+	}
+}
+
+func TestTranslateDisjunction(t *testing.T) {
+	tr := New()
+	c, err := tr.Translate(`(Arch == "sun" || Arch == "hp") && Memory >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsBasic() {
+		t.Fatal("or-clause should make the query composite")
+	}
+	qs := c.Decompose()
+	if len(qs) != 2 {
+		t.Fatalf("decomposed into %d", len(qs))
+	}
+	archs := map[string]bool{}
+	for _, q := range qs {
+		a, _ := q.Get("punch.rsrc.arch")
+		archs[a.Str] = true
+		m, ok := q.Get("punch.rsrc.memory")
+		if !ok || m.Num != 10 {
+			t.Errorf("memory missing from fragment: %+v", m)
+		}
+	}
+	if !archs["sun"] || !archs["hp"] {
+		t.Errorf("archs = %v", archs)
+	}
+}
+
+func TestTranslateOperators(t *testing.T) {
+	tr := New()
+	c, err := tr.Translate(`Memory >= 64 && Disk <= 4096 && Arch != "vax" && Memory < 1024 && Memory > 32`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Decompose()[0]
+	if a, _ := q.Get("punch.rsrc.arch"); a.Op != query.OpNe {
+		t.Errorf("!= lost: %+v", a)
+	}
+	if d, _ := q.Get("punch.rsrc.swap"); d.Op != query.OpLe || d.Num != 4096 {
+		t.Errorf("Disk mapping = %+v", d)
+	}
+}
+
+func TestTranslateUnmappedAttributeLowercases(t *testing.T) {
+	tr := New()
+	c, err := tr.Translate(`License == "tsuprem4"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Decompose()[0]
+	if l, ok := q.Get("punch.rsrc.license"); !ok || l.Str != "tsuprem4" {
+		t.Errorf("license = %+v, %v", l, ok)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	tr := New()
+	bad := []string{
+		``,                                // nothing to parse
+		`Arch ==`,                         // missing literal
+		`== "sun"`,                        // missing attribute
+		`Arch = "sun"`,                    // single = is not a ClassAd operator... (lexed as op "=")
+		`Memory >= "lots"`,                // non-numeric ordering operand
+		`Arch == "sun" Memory >= 10`,      // missing &&
+		`(Arch == "sun" || Memory >= 10)`, // disjunction across attributes
+		`(Arch == "sun"`,                  // unclosed paren
+		`Arch == "sun" &`,                 // bad operator
+		`Arch == "unterminated`,           // unterminated string
+		`(Arch == "sun" && Memory >= 10)`, // && inside parens unsupported
+	}
+	for _, text := range bad {
+		if _, err := tr.Translate(text); err == nil {
+			t.Errorf("Translate(%q) should fail", text)
+		}
+	}
+}
+
+func TestTranslateMixedAttrDisjunctionError(t *testing.T) {
+	tr := New()
+	_, err := tr.Translate(`(Arch == "sun" || OpSys == "linux")`)
+	if err == nil || !strings.Contains(err.Error(), "one attribute per or-clause") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTranslateEndToEndWithQueryManager(t *testing.T) {
+	// The translated composite must validate against the punch schema.
+	tr := New()
+	c, err := tr.Translate(`(Arch == "sun" || Arch == "hp") && Memory >= 10 && Domain == "purdue"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.PunchSchema().ValidateComposite(c); err != nil {
+		t.Errorf("translated query fails schema validation: %v", err)
+	}
+	// And the pool naming works on its fragments.
+	for _, q := range c.Decompose() {
+		if query.Name(q).Signature == "" {
+			t.Error("fragment has no pool name")
+		}
+	}
+}

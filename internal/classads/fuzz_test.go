@@ -1,0 +1,32 @@
+package classads
+
+import "testing"
+
+// FuzzTranslate checks the ClassAds translator never panics and that every
+// accepted expression yields fragments the punch pool-naming code can
+// process.
+func FuzzTranslate(f *testing.F) {
+	seeds := []string{
+		`Arch == "sun"`,
+		`(Arch == "sun" || Arch == "hp") && Memory >= 64`,
+		`Memory >= 64 && Disk <= 4096 && OpSys != "vax"`,
+		`Arch ==`,
+		`((((`,
+		`Arch == "unterminated`,
+		`A == "x" && B == "y" && C == "z"`,
+		`Memory >= -12.5`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tr := New()
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := tr.Translate(text)
+		if err != nil {
+			return
+		}
+		for _, q := range c.Decompose() {
+			_ = q.String() // rendering must not panic either
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"actyp/internal/registry"
+)
+
+func homogService(t testing.TB, n int, mut ...func(*Options)) *Service {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{DB: db}
+	for _, f := range mut {
+		f(&opts)
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPrecreate(t *testing.T) {
+	s := homogService(t, 8)
+	if err := s.Precreate("punch.rsrc.arch = sun"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Directory().Instances() != 1 {
+		t.Errorf("instances = %d", s.Directory().Instances())
+	}
+	// Idempotent.
+	if err := s.Precreate("punch.rsrc.arch = sun"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Directory().Instances() != 1 {
+		t.Errorf("precreate duplicated the pool")
+	}
+	if err := s.Precreate("not a query"); err == nil {
+		t.Error("bad criteria should fail")
+	}
+}
+
+func TestStripeAndWarmPools(t *testing.T) {
+	s := homogService(t, 12)
+	if err := s.StripePools(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StripePools(0); err == nil {
+		t.Error("zero stripes should fail")
+	}
+	if err := s.WarmPools(4); err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.PoolSizes()
+	if len(sizes) != 4 {
+		t.Fatalf("pool sizes = %v", sizes)
+	}
+	for inst, size := range sizes {
+		if size != 3 {
+			t.Errorf("pool %s size = %d, want 3", inst, size)
+		}
+	}
+	// Queries against each stripe allocate from disjoint machine sets.
+	seen := map[string]bool{}
+	for k := 0; k < 4; k++ {
+		g, err := s.Request(fmt.Sprintf("punch.rsrc.pool = %d", k))
+		if err != nil {
+			t.Fatalf("stripe %d: %v", k, err)
+		}
+		if seen[g.Lease.Machine] {
+			t.Errorf("machine %s served two stripes", g.Lease.Machine)
+		}
+		seen[g.Lease.Machine] = true
+		if err := s.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSplitPool(t *testing.T) {
+	s := homogService(t, 12)
+	crit := "punch.rsrc.arch = sun"
+	if err := s.SplitPool(crit, 2); err == nil {
+		t.Error("splitting a non-existent pool should fail")
+	}
+	if err := s.Precreate(crit); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SplitPool(crit, 4); err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.PoolSizes()
+	if len(sizes) != 4 {
+		t.Fatalf("after split: %v", sizes)
+	}
+	for inst, size := range sizes {
+		if size != 3 {
+			t.Errorf("child %s size = %d", inst, size)
+		}
+	}
+	// Allocation still works and covers all children.
+	var grants []*Grant
+	for i := 0; i < 12; i++ {
+		g, err := s.Request(crit)
+		if err != nil {
+			t.Fatalf("request %d after split: %v", i, err)
+		}
+		grants = append(grants, g)
+	}
+	seen := map[string]bool{}
+	for _, g := range grants {
+		if seen[g.Lease.Machine] {
+			t.Errorf("machine %s double-leased after split", g.Lease.Machine)
+		}
+		seen[g.Lease.Machine] = true
+		if err := s.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("split pools served %d machines, want 12", len(seen))
+	}
+	// Splitting again fails: more than one instance now exists.
+	if err := s.SplitPool(crit, 2); err == nil {
+		t.Error("splitting a split pool should fail")
+	}
+}
+
+func TestReplicatePool(t *testing.T) {
+	s := homogService(t, 8)
+	crit := "punch.rsrc.arch = sun"
+	if err := s.ReplicatePool(crit, 2); err == nil {
+		t.Error("replicating a non-existent pool should fail")
+	}
+	if err := s.Precreate(crit); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplicatePool(crit, 0); err == nil {
+		t.Error("zero replicas should fail")
+	}
+	if err := s.ReplicatePool(crit, 3); err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.PoolSizes()
+	if len(sizes) != 3 {
+		t.Fatalf("after replicate: %v", sizes)
+	}
+	// Replicas share the full machine set.
+	for inst, size := range sizes {
+		if size != 8 {
+			t.Errorf("replica %s size = %d, want 8", inst, size)
+		}
+	}
+	// Replicas do not share allocation state — the instance bias is the
+	// paper's (approximate) integrity mechanism, and machines are
+	// timeshared. Assert that requests succeed and spread widely, and
+	// that no single replica double-leases a machine.
+	seen := map[string]bool{}
+	perPool := map[string]map[string]bool{}
+	var grants []*Grant
+	for i := 0; i < 8; i++ {
+		g, err := s.Request(crit)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if perPool[g.Lease.Pool] == nil {
+			perPool[g.Lease.Pool] = map[string]bool{}
+		}
+		if perPool[g.Lease.Pool][g.Lease.Machine] {
+			t.Errorf("replica %s double-leased %s", g.Lease.Pool, g.Lease.Machine)
+		}
+		perPool[g.Lease.Pool][g.Lease.Machine] = true
+		seen[g.Lease.Machine] = true
+		grants = append(grants, g)
+	}
+	if len(seen) < 5 {
+		t.Errorf("bias spread allocations over only %d machines", len(seen))
+	}
+	for _, g := range grants {
+		if err := s.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

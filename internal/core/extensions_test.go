@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/classads"
+	"actyp/internal/policy"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+)
+
+// TestClassAdsLanguageThroughService exercises the multi-protocol support
+// of Section 5.1: a Condor-style requirements expression is translated by
+// the query manager and resolved by the same pipeline.
+func TestClassAdsLanguageThroughService(t *testing.T) {
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(32).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{
+		DB:          db,
+		Translators: map[string]querymgr.Translator{"classads": classads.New()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	g, err := svc.RequestLang("classads", `(Arch == "sun" || Arch == "hp") && Memory >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fragments != 2 {
+		t.Errorf("fragments = %d", g.Fragments)
+	}
+	if g.Lease == nil || g.Lease.Machine == "" {
+		t.Fatal("no lease from classads query")
+	}
+	if err := svc.Release(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// The native language still works alongside.
+	g2, err := svc.Request("punch.rsrc.arch = alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Release(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUsagePolicyThroughService exercises white-pages field 19 end to end:
+// the paper's example policy ("public users are only allowed to access
+// this machine if its load is below a specified threshold") governs
+// allocation.
+func TestUsagePolicyThroughService(t *testing.T) {
+	db := registry.NewDB()
+	machines, err := registry.HomogeneousFleetSpec(2).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m0000 carries the paper's policy; m0001 is unrestricted. Give
+	// m0000 a high load so the policy bites for public users.
+	machines[0].Policy.UsagePolicy = "/punch/policies/public-threshold"
+	machines[0].Dynamic.Load = 1.5
+	for _, m := range machines {
+		if err := db.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := policy.NewStore()
+	if err := store.Register("/punch/policies/public-threshold",
+		"deny if group == public && load >= 0.5\nallow"); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db, Policies: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A public user can only get the unrestricted machine.
+	pub := "punch.rsrc.arch = sun\npunch.user.accessgroup = public"
+	g1, err := svc.Request(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Lease.Machine != "m0001" {
+		t.Errorf("public user landed on %s", g1.Lease.Machine)
+	}
+	// Second public request starves: m0001 is taken, m0000 denied.
+	if _, err := svc.Request(pub); err == nil {
+		t.Error("second public request should starve on the policy")
+	}
+	// An ece user is allowed onto the loaded machine... but it is over
+	// its own load ceiling? MaxLoad is 2*cpus >= 2, load 1.5 is fine.
+	g2, err := svc.Request("punch.rsrc.arch = sun\npunch.user.accessgroup = ece")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Lease.Machine != "m0000" {
+		t.Errorf("ece user landed on %s", g2.Lease.Machine)
+	}
+	for _, g := range []*Grant{g1, g2} {
+		if err := svc.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUnknownPolicyRefBehavesLikeUnimplemented pins the compatibility
+// behaviour: a field-19 reference with no registered policy allows
+// everything, exactly like the paper's unimplemented field.
+func TestUnknownPolicyRefBehavesLikeUnimplemented(t *testing.T) {
+	db := registry.NewDB()
+	machines, err := registry.HomogeneousFleetSpec(1).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines[0].Policy.UsagePolicy = "/punch/policies/never-registered"
+	if err := db.Add(machines[0]); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db, Policies: policy.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	g, err := svc.Request("punch.rsrc.arch = sun\npunch.user.accessgroup = public")
+	if err != nil {
+		t.Fatalf("unknown policy ref must not deny: %v", err)
+	}
+	if err := svc.Release(g); err != nil {
+		t.Fatal(err)
+	}
+}

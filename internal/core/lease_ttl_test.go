@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/registry"
+)
+
+// TestLeaseTTLReapsCrashedClients verifies the end-to-end crash-recovery
+// path: a grant that is never released (a crashed desktop) is reclaimed by
+// the background reaper and its machine becomes allocatable again.
+func TestLeaseTTLReapsCrashedClients(t *testing.T) {
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(1).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{
+		DB:           db,
+		LeaseTTL:     20 * time.Millisecond,
+		ReapInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Reaper() == nil {
+		t.Fatal("reaper not started")
+	}
+
+	// The "crashing" client takes the only machine and vanishes.
+	if _, err := svc.Request("punch.rsrc.arch = sun"); err != nil {
+		t.Fatal(err)
+	}
+	// A second request fails while the lease is live...
+	if _, err := svc.Request("punch.rsrc.arch = sun"); err == nil {
+		t.Fatal("machine should be busy before expiry")
+	}
+	// ...and succeeds once the reaper reclaims the expired lease.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		g, err := svc.Request("punch.rsrc.arch = sun")
+		if err == nil {
+			if svc.Reaper().Reaped() == 0 {
+				t.Error("reaper counter did not move")
+			}
+			if err := svc.Release(g); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease never reclaimed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLeaseTTLDisabledByDefault pins that services without a TTL never
+// reap.
+func TestLeaseTTLDisabledByDefault(t *testing.T) {
+	s := fleetService(t, 2)
+	if s.Reaper() != nil {
+		t.Error("reaper should not exist without LeaseTTL")
+	}
+}

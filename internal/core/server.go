@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"actyp/internal/netsim"
+	"actyp/internal/wire"
+)
+
+// Server exposes a Service over TCP using the wire protocol, so clients
+// (network desktops) and remote pipeline stages can reach it across a LAN
+// or WAN. Each connection is served by its own goroutine; requests on one
+// connection are handled sequentially, which matches the closed-loop
+// clients of the paper's experiments.
+type Server struct {
+	svc *Service
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	// Logf, when set, receives connection-level errors (default: drop).
+	Logf func(format string, args ...any)
+}
+
+// Serve starts a server for svc on addr (for example "127.0.0.1:0") with
+// the given network profile applied to every connection.
+func Serve(svc *Service, addr string, profile netsim.Profile) (*Server, error) {
+	ln, err := netsim.Listen(addr, profile)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen %s: %w", addr, err)
+	}
+	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every live connection, and waits for the
+// handler goroutines to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // client went away or sent garbage
+		}
+		reply, err := s.dispatch(env)
+		if err != nil {
+			reply, _ = wire.NewEnvelope(wire.TypeError, env.ID, wire.ErrorReply{Message: err.Error()})
+		}
+		if reply == nil {
+			continue
+		}
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			s.logf("core: server write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
+	switch env.Type {
+	case wire.TypePing:
+		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}, nil
+	case wire.TypeQuery:
+		var req wire.QueryRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		grant, err := s.svc.RequestLang(req.Lang, req.Text)
+		if err != nil {
+			return nil, err
+		}
+		reply := wire.QueryReply{
+			Lease:     grant.Lease,
+			Fragments: grant.Fragments,
+			Succeeded: grant.Succeeded,
+			ElapsedNS: grant.Elapsed.Nanoseconds(),
+			Shadow:    &grant.Shadow,
+		}
+		return wire.NewEnvelope(wire.TypeQuery, env.ID, reply)
+	case wire.TypeRelease:
+		var req wire.ReleaseRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		g := &Grant{Lease: &req.Lease}
+		if req.Shadow != nil {
+			g.Shadow = *req.Shadow
+		}
+		if err := s.svc.Release(g); err != nil {
+			return nil, err
+		}
+		return wire.NewEnvelope(wire.TypeRelease, env.ID, wire.ReleaseReply{})
+	case wire.TypeRenew:
+		var req wire.RenewRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		if err := s.svc.Renew(&Grant{Lease: &req.Lease}); err != nil {
+			return nil, err
+		}
+		return wire.NewEnvelope(wire.TypeRenew, env.ID, wire.RenewReply{})
+	default:
+		return nil, fmt.Errorf("core: unknown message type %q", env.Type)
+	}
+}
+
+// Client is the remote counterpart of a Service: it speaks the wire
+// protocol over a single TCP connection. It is safe for one goroutine;
+// experiment clients each own one (closed-loop behaviour).
+type Client struct {
+	conn   net.Conn
+	nextID uint64
+}
+
+// Dial connects a client to a server with the given network profile.
+func Dial(addr string, profile netsim.Profile) (*Client, error) {
+	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	env, err := c.roundTrip(&wire.Envelope{Type: wire.TypePing, ID: c.id()})
+	if err != nil {
+		return err
+	}
+	if env.Type != wire.TypePing {
+		return fmt.Errorf("core: ping got %q", env.Type)
+	}
+	return nil
+}
+
+// Request submits a query text and returns the grant.
+func (c *Client) Request(text string) (*Grant, error) { return c.RequestLang("", text) }
+
+// RequestLang submits a query in the named language.
+func (c *Client) RequestLang(lang, text string) (*Grant, error) {
+	req, err := wire.NewEnvelope(wire.TypeQuery, c.id(), wire.QueryRequest{Lang: lang, Text: text})
+	if err != nil {
+		return nil, err
+	}
+	env, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	var reply wire.QueryReply
+	if err := env.Decode(&reply); err != nil {
+		return nil, err
+	}
+	if reply.Lease == nil {
+		return nil, errors.New("core: server granted no lease")
+	}
+	g := &Grant{
+		Lease:     reply.Lease,
+		Fragments: reply.Fragments,
+		Succeeded: reply.Succeeded,
+	}
+	if reply.Shadow != nil {
+		g.Shadow = *reply.Shadow
+	}
+	return g, nil
+}
+
+// Release returns a grant.
+func (c *Client) Release(g *Grant) error {
+	if g == nil || g.Lease == nil {
+		return errors.New("core: nil grant")
+	}
+	req := wire.ReleaseRequest{Lease: *g.Lease}
+	if g.Shadow.User != "" {
+		sh := g.Shadow
+		req.Shadow = &sh
+	}
+	env, err := wire.NewEnvelope(wire.TypeRelease, c.id(), req)
+	if err != nil {
+		return err
+	}
+	reply, err := c.roundTrip(env)
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypeRelease {
+		return fmt.Errorf("core: release got %q", reply.Type)
+	}
+	return nil
+}
+
+// Renew heartbeats a grant on a TTL-enabled service.
+func (c *Client) Renew(g *Grant) error {
+	if g == nil || g.Lease == nil {
+		return errors.New("core: nil grant")
+	}
+	env, err := wire.NewEnvelope(wire.TypeRenew, c.id(), wire.RenewRequest{Lease: *g.Lease})
+	if err != nil {
+		return err
+	}
+	reply, err := c.roundTrip(env)
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypeRenew {
+		return fmt.Errorf("core: renew got %q", reply.Type)
+	}
+	return nil
+}
+
+func (c *Client) id() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+func (c *Client) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	if err := wire.WriteFrame(c.conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != env.ID {
+		return nil, fmt.Errorf("core: reply id %d for request %d", reply.ID, env.ID)
+	}
+	if reply.Type == wire.TypeError {
+		var e wire.ErrorReply
+		if err := reply.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: server: %s", e.Message)
+	}
+	return reply, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/netsim"
+	"actyp/internal/registry"
+)
+
+func startServer(t *testing.T, n int, profile netsim.Profile) (*Server, *Service) {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(svc, "127.0.0.1:0", profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func TestClientServerLifecycle(t *testing.T) {
+	srv, _ := startServer(t, 16, netsim.Local())
+	c, err := Dial(srv.Addr(), netsim.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lease == nil || g.Lease.AccessKey == "" {
+		t.Fatalf("grant = %+v", g)
+	}
+	if g.Shadow.User == "" {
+		t.Error("grant missing shadow account")
+	}
+	if err := c.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(g); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := c.Release(nil); err == nil {
+		t.Error("nil grant should fail")
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	srv, _ := startServer(t, 4, netsim.Local())
+	c, err := Dial(srv.Addr(), netsim.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Request("punch.rsrc.arch = cray")
+	if err == nil || !strings.Contains(err.Error(), "no resources matched") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = c.Request("garbage ===")
+	if err == nil {
+		t.Error("parse errors should propagate")
+	}
+	// The connection survives server-side errors.
+	if err := c.Ping(); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, 64, netsim.Local())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr(), netsim.Local())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 5; i++ {
+				g, err := c.Request("punch.rsrc.arch = sun | hp")
+				if err != nil {
+					t.Errorf("request: %v", err)
+					return
+				}
+				if err := c.Release(g); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWANLatencyDominatesResponseTime(t *testing.T) {
+	profile := netsim.Profile{Latency: 15 * time.Millisecond, Seed: 1}
+	srv, _ := startServer(t, 8, profile)
+	c, err := Dial(srv.Addr(), profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	g, err := c.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// One request round trip: client->server 15ms, server->client 15ms.
+	if elapsed < 30*time.Millisecond {
+		t.Errorf("WAN request took %v, want >= 30ms", elapsed)
+	}
+	if err := c.Release(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIsIdempotentAndDisconnectsClients(t *testing.T) {
+	srv, _ := startServer(t, 4, netsim.Local())
+	c, err := Dial(srv.Addr(), netsim.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+	if err := c.Ping(); err == nil {
+		t.Error("ping should fail after server close")
+	}
+}

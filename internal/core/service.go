@@ -1,0 +1,421 @@
+// Package core assembles the complete Active Yellow Pages service of
+// Sections 4–5: the white-pages database, the resource monitoring service,
+// and the resource-management pipeline (query managers -> pool managers ->
+// resource pools), plus the shadow-account allocation performed when a
+// machine is granted. It offers the same contract the paper describes for
+// the network desktop: ask with a query, get back an address, a port, and
+// a session-specific access key.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/monitor"
+	"actyp/internal/policy"
+	"actyp/internal/pool"
+	"actyp/internal/poolmgr"
+	"actyp/internal/query"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+	"actyp/internal/shadow"
+)
+
+// Options configures a Service.
+type Options struct {
+	// DB is the white-pages database. Required.
+	DB *registry.DB
+	// Schemas validates queries (default: punch family only).
+	Schemas *query.SchemaRegistry
+	// QueryManagers and PoolManagers set the replication degree of the
+	// first two pipeline stages (default 1 each).
+	QueryManagers int
+	PoolManagers  int
+	// Objective names the scheduling objective of created pools.
+	Objective string
+	// Mode is the reintegration QoS for composite queries.
+	Mode querymgr.QoS
+	// TTL bounds pool-manager delegation hops.
+	TTL int
+	// Seed drives all random selection (default 1).
+	Seed int64
+	// ScanCost models per-entry linear-search cost; see pool.Config.
+	ScanCost time.Duration
+	// ShadowAccounts is the per-machine shadow pool size (default 8).
+	ShadowAccounts int
+	// MonitorInterval, when positive, starts a background monitor sweep
+	// at this period using the synthetic sampler.
+	MonitorInterval time.Duration
+	// RefreshInterval, when positive, periodically folds the monitor's
+	// database updates into every live pool cache (the pools' scheduling
+	// processes re-reading machine state). Defaults to MonitorInterval
+	// when that is set.
+	RefreshInterval time.Duration
+	// Selector overrides the query managers' pool-manager selection
+	// (default: random).
+	Selector querymgr.Selector
+	// Policies resolves usage-policy references (white-pages field 19);
+	// nil behaves like the paper's unimplemented field (allow-all).
+	Policies *policy.Store
+	// MaxPoolSize caps how many machines a dynamically-created pool may
+	// take from the white pages (0: unlimited). Because pool creation
+	// marks machines taken, a cap keeps overlapping criteria (for
+	// example per-license pools over multi-license machines) from
+	// letting the first pool monopolize the fleet.
+	MaxPoolSize int
+	// LeaseTTL enables lease expiry in all created pools: grants not
+	// renewed within this lifetime are reclaimed by a background reaper
+	// (crashed desktops cannot strand machines). Zero disables expiry.
+	LeaseTTL time.Duration
+	// ReapInterval is the background reaper's sweep period (default
+	// LeaseTTL/2 when LeaseTTL is set).
+	ReapInterval time.Duration
+	// Translators installs extra query languages by name (for example
+	// the classads translator), on top of the native language.
+	Translators map[string]querymgr.Translator
+}
+
+// Grant is a completed resource grant: the machine lease plus the shadow
+// account the run will execute in.
+type Grant struct {
+	Lease     *pool.Lease
+	Shadow    shadow.Account
+	Fragments int
+	Succeeded int
+	Elapsed   time.Duration
+}
+
+// Service is a running ActYP instance.
+type Service struct {
+	db      *registry.DB
+	schemas *query.SchemaRegistry
+	dir     *directory.Service
+	factory *poolmgr.LocalFactory
+	pms     []*poolmgr.Manager
+	qms     []*querymgr.Manager
+	shadows *shadow.Manager
+	mon     *monitor.Monitor
+	reaper  *pool.Reaper
+	opts    Options
+
+	refreshStop chan struct{}
+	refreshDone chan struct{}
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nextQM  int
+	closed  bool
+	shadowN int
+}
+
+// New builds and starts a Service.
+func New(opts Options) (*Service, error) {
+	if opts.DB == nil {
+		return nil, fmt.Errorf("core: options need a database")
+	}
+	if opts.Schemas == nil {
+		opts.Schemas = query.NewSchemaRegistry()
+	}
+	if opts.QueryManagers <= 0 {
+		opts.QueryManagers = 1
+	}
+	if opts.PoolManagers <= 0 {
+		opts.PoolManagers = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ShadowAccounts <= 0 {
+		opts.ShadowAccounts = 8
+	}
+
+	s := &Service{
+		db:      opts.DB,
+		schemas: opts.Schemas,
+		dir:     directory.New(),
+		shadows: shadow.NewManager(),
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		shadowN: opts.ShadowAccounts,
+	}
+	s.factory = &poolmgr.LocalFactory{
+		DB:          opts.DB,
+		Objective:   opts.Objective,
+		ScanCost:    opts.ScanCost,
+		Policies:    opts.Policies,
+		MaxMachines: opts.MaxPoolSize,
+		LeaseTTL:    opts.LeaseTTL,
+	}
+	if opts.LeaseTTL > 0 {
+		ivl := opts.ReapInterval
+		if ivl <= 0 {
+			ivl = opts.LeaseTTL / 2
+		}
+		s.reaper = pool.NewReaper(s.allPools, ivl)
+		s.reaper.Start()
+	}
+	for i := 0; i < opts.PoolManagers; i++ {
+		pm, err := poolmgr.New(poolmgr.Config{
+			Name:    fmt.Sprintf("pm-%d", i),
+			Dir:     s.dir,
+			Factory: s.factory,
+			Seed:    opts.Seed + int64(i),
+			TTL:     opts.TTL,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pms = append(s.pms, pm)
+	}
+	rms := make([]querymgr.ResourceManager, len(s.pms))
+	for i, pm := range s.pms {
+		rms[i] = pm
+	}
+	for i := 0; i < opts.QueryManagers; i++ {
+		sel := opts.Selector
+		if sel == nil {
+			sel = querymgr.NewRandomSelector(opts.Seed + int64(i))
+		}
+		qm, err := querymgr.New(querymgr.Config{
+			Name:        fmt.Sprintf("qm-%d", i),
+			Schemas:     opts.Schemas,
+			Managers:    rms,
+			Selector:    sel,
+			Mode:        opts.Mode,
+			Translators: opts.Translators,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.qms = append(s.qms, qm)
+	}
+	if opts.MonitorInterval > 0 {
+		s.mon = monitor.New(monitor.Config{
+			DB:       opts.DB,
+			Sampler:  monitor.NewSyntheticSampler(opts.Seed),
+			Interval: opts.MonitorInterval,
+		})
+		s.mon.Start()
+	}
+	refreshIvl := opts.RefreshInterval
+	if refreshIvl <= 0 {
+		refreshIvl = opts.MonitorInterval
+	}
+	if refreshIvl > 0 {
+		s.refreshStop = make(chan struct{})
+		s.refreshDone = make(chan struct{})
+		go s.refreshLoop(refreshIvl)
+	}
+	return s, nil
+}
+
+// refreshLoop periodically runs every live pool's Refresh, folding the
+// monitor's white-pages updates into the pool caches.
+func (s *Service) refreshLoop(interval time.Duration) {
+	defer close(s.refreshDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.refreshStop:
+			return
+		case <-t.C:
+			for _, p := range s.allPools() {
+				p.Refresh()
+			}
+		}
+	}
+}
+
+// Request submits a native-language query and returns a full grant.
+func (s *Service) Request(text string) (*Grant, error) {
+	return s.RequestLang("", text)
+}
+
+// RequestLang submits a query in the named translator language.
+func (s *Service) RequestLang(lang, text string) (*Grant, error) {
+	qm := s.pickQM()
+	resp, err := qm.SubmitText(lang, text)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := s.allocateShadow(resp.Lease.Machine)
+	if err != nil {
+		// The machine was granted but no shadow account is free: undo
+		// the lease so the machine is not stranded.
+		_ = qm.Release(resp.Lease)
+		return nil, err
+	}
+	return &Grant{
+		Lease:     resp.Lease,
+		Shadow:    acct,
+		Fragments: resp.Fragments,
+		Succeeded: resp.Succeeded,
+		Elapsed:   resp.Elapsed,
+	}, nil
+}
+
+// Release returns a grant's machine and shadow account.
+func (s *Service) Release(g *Grant) error {
+	if g == nil || g.Lease == nil {
+		return fmt.Errorf("core: nil grant")
+	}
+	var firstErr error
+	if g.Shadow.User != "" {
+		if err := s.shadows.Release(g.Shadow.Machine, g.Shadow.User); err != nil {
+			firstErr = err
+		}
+	}
+	if err := s.pickQM().Release(g.Lease); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Renew extends a grant's lease lifetime on TTL-enabled services. Clients
+// running long jobs heartbeat with it so the reaper does not reclaim their
+// machines. On services without a TTL it is a validity check: it fails for
+// unknown leases and succeeds for live ones.
+func (s *Service) Renew(g *Grant) error {
+	if g == nil || g.Lease == nil {
+		return fmt.Errorf("core: nil grant")
+	}
+	ref, ok := s.dir.ByInstance(g.Lease.Pool)
+	if !ok {
+		return fmt.Errorf("core: unknown pool instance %s", g.Lease.Pool)
+	}
+	p, ok := ref.Local.(*pool.Pool)
+	if !ok {
+		return fmt.Errorf("core: instance %s does not support renewal", g.Lease.Pool)
+	}
+	return p.Renew(g.Lease.ID)
+}
+
+// pickQM round-robins across query-manager replicas.
+func (s *Service) pickQM() *querymgr.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qm := s.qms[s.nextQM%len(s.qms)]
+	s.nextQM++
+	return qm
+}
+
+// allocateShadow leases a shadow account, lazily creating the machine's
+// pool on first touch.
+func (s *Service) allocateShadow(machine string) (shadow.Account, error) {
+	acct, err := s.shadows.Allocate(machine)
+	if err == nil {
+		return acct, nil
+	}
+	s.mu.Lock()
+	// Another goroutine may have added the pool while we were unlocked.
+	addErr := s.shadows.AddMachine(machine, s.shadowN, 20000)
+	s.mu.Unlock()
+	if addErr != nil {
+		return s.shadows.Allocate(machine)
+	}
+	return s.shadows.Allocate(machine)
+}
+
+// Directory exposes the directory service (admin and experiment use).
+func (s *Service) Directory() *directory.Service { return s.dir }
+
+// DB exposes the white-pages database.
+func (s *Service) DB() *registry.DB { return s.db }
+
+// PoolManagers exposes the pool-manager stage.
+func (s *Service) PoolManagers() []*poolmgr.Manager {
+	out := make([]*poolmgr.Manager, len(s.pms))
+	copy(out, s.pms)
+	return out
+}
+
+// QueryManagers exposes the query-manager stage.
+func (s *Service) QueryManagers() []*querymgr.Manager {
+	out := make([]*querymgr.Manager, len(s.qms))
+	copy(out, s.qms)
+	return out
+}
+
+// allPools enumerates every live local pool: factory-created ones plus
+// split children and replicas registered directly in the directory.
+func (s *Service) allPools() []*pool.Pool {
+	seen := map[string]bool{}
+	var out []*pool.Pool
+	for _, p := range s.factory.Pools() {
+		if !seen[p.ID()] {
+			seen[p.ID()] = true
+			out = append(out, p)
+		}
+	}
+	for _, name := range s.dir.Names() {
+		for _, ref := range s.dir.Lookup(name) {
+			if p, ok := ref.Local.(*pool.Pool); ok && !seen[p.ID()] {
+				seen[p.ID()] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Reaper exposes the lease reaper (nil when LeaseTTL is unset).
+func (s *Service) Reaper() *pool.Reaper { return s.reaper }
+
+// Stats is an aggregate operational snapshot of the pipeline.
+type Stats struct {
+	Queries      int // composite queries submitted across query managers
+	Fragments    int // basic fragments produced by decomposition
+	Resolved     int // fragments resolved by pool managers
+	PoolsCreated int // pools created on demand
+	Forwards     int // delegations attempted between pool managers
+	Failures     int // fragments that exhausted every option
+	Pools        int // live pool instances
+	Machines     int // machines in the white pages
+}
+
+// Stats aggregates counters from every pipeline stage.
+func (s *Service) Stats() Stats {
+	var out Stats
+	for _, qm := range s.qms {
+		submitted, fragments, _ := qm.Stats()
+		out.Queries += submitted
+		out.Fragments += fragments
+	}
+	for _, pm := range s.pms {
+		resolved, created, forwarded, failed := pm.Stats()
+		out.Resolved += resolved
+		out.PoolsCreated += created
+		out.Forwards += forwarded
+		out.Failures += failed
+	}
+	out.Pools = s.dir.Instances()
+	out.Machines = s.db.Len()
+	return out
+}
+
+// Close stops the monitor and reaper and shuts every created pool down,
+// releasing all white-pages claims.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.mon != nil {
+		s.mon.Stop()
+	}
+	if s.reaper != nil {
+		s.reaper.Stop()
+	}
+	if s.refreshStop != nil {
+		close(s.refreshStop)
+		<-s.refreshDone
+	}
+	s.factory.CloseAll()
+}

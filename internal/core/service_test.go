@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+)
+
+func fleetService(t testing.TB, n int, mut ...func(*Options)) *Service {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{DB: db}
+	for _, f := range mut {
+		f(&opts)
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("missing db should fail")
+	}
+}
+
+func TestRequestReleaseLifecycle(t *testing.T) {
+	s := fleetService(t, 16)
+	g, err := s.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lease == nil || g.Lease.Machine == "" {
+		t.Fatal("no lease")
+	}
+	if g.Lease.Addr == "" || g.Lease.ExecUnitPort == 0 || g.Lease.AccessKey == "" {
+		t.Errorf("incomplete coordinates: %+v", g.Lease)
+	}
+	if g.Shadow.User == "" || g.Shadow.Machine != g.Lease.Machine {
+		t.Errorf("shadow account = %+v", g.Shadow)
+	}
+	if err := s.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(g); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := s.Release(nil); err == nil {
+		t.Error("nil grant should fail")
+	}
+}
+
+func TestRequestCompositeCreatesPoolsPerArch(t *testing.T) {
+	s := fleetService(t, 16)
+	g, err := s.Request("punch.rsrc.arch = sun | hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fragments != 2 {
+		t.Errorf("fragments = %d", g.Fragments)
+	}
+	if s.Directory().Instances() != 2 {
+		t.Errorf("instances = %d", s.Directory().Instances())
+	}
+	if err := s.Release(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestNoMatch(t *testing.T) {
+	s := fleetService(t, 8)
+	if _, err := s.Request("punch.rsrc.arch = cray"); err == nil {
+		t.Error("unmatched query should fail")
+	}
+	if !errors.Is(mustErr(t, s, "punch.rsrc.arch = cray"), querymgr.ErrNoMatch) {
+		t.Error("should be ErrNoMatch")
+	}
+}
+
+func mustErr(t *testing.T, s *Service, text string) error {
+	t.Helper()
+	_, err := s.Request(text)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	return err
+}
+
+func TestShadowAccountsRecycled(t *testing.T) {
+	// 1 machine with 2 shadow accounts: three sequential runs must work,
+	// and two concurrent grants exhaust the shadow pool.
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(1).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{DB: db, ShadowAccounts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		g, err := s.Request("punch.rsrc.arch = sun")
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := s.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloseReleasesWhitePagesClaims(t *testing.T) {
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(4).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Request("punch.rsrc.arch = sun"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	taken := 0
+	db.Walk(func(m *registry.Machine) bool {
+		if m.TakenBy != "" {
+			taken++
+		}
+		return true
+	})
+	if taken != 0 {
+		t.Errorf("%d machines still taken after Close", taken)
+	}
+}
+
+func TestReplicatedStages(t *testing.T) {
+	s := fleetService(t, 32, func(o *Options) {
+		o.QueryManagers = 3
+		o.PoolManagers = 2
+	})
+	if len(s.QueryManagers()) != 3 || len(s.PoolManagers()) != 2 {
+		t.Fatalf("stages = %d qm, %d pm", len(s.QueryManagers()), len(s.PoolManagers()))
+	}
+	var grants []*Grant
+	for i := 0; i < 6; i++ {
+		g, err := s.Request("punch.rsrc.arch = sun")
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants = append(grants, g)
+	}
+	for _, g := range grants {
+		if err := s.Release(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMonitorIntegration(t *testing.T) {
+	s := fleetService(t, 4, func(o *Options) {
+		o.MonitorInterval = time.Millisecond
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := s.DB().Get("m0000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Dynamic.LastUpdate.IsZero() && m.Dynamic.LastUpdate.After(time.Unix(1, 0)) {
+			return // monitor refreshed the record with wall-clock time
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Error("monitor never refreshed the database")
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s := fleetService(t, 64)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	machines := map[string]int{}
+	errs := 0
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				g, err := s.Request("punch.rsrc.arch = sun | hp | alpha | x86")
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				machines[g.Lease.Machine]++
+				mu.Unlock()
+				if err := s.Release(g); err != nil {
+					t.Errorf("release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errs > 0 {
+		t.Errorf("%d requests failed on a 64-machine fleet", errs)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := fleetService(t, 4)
+	g, err := s.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drain(10 * time.Millisecond) {
+		t.Error("drain should time out with an outstanding lease")
+	}
+	if err := s.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drain(time.Second) {
+		t.Error("drain should succeed after release")
+	}
+}

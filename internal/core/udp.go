@@ -1,0 +1,272 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"actyp/internal/wire"
+)
+
+// UDPServer exposes a Service over UDP. Section 6 of the paper notes that
+// "queries propagate from one stage to the next via TCP or UDP"; the UDP
+// path trades connection state for datagram semantics — each request and
+// reply is one datagram (a JSON envelope, no length prefix). Requests
+// larger than a datagram or replies lost in flight are the client's
+// problem, exactly as with the paper's UDP stages.
+type UDPServer struct {
+	svc  *Service
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0").
+func ServeUDP(svc *Service, addr string) (*UDPServer, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen udp %s: %w", addr, err)
+	}
+	s := &UDPServer{svc: svc, conn: conn}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the endpoint address.
+func (s *UDPServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the endpoint.
+func (s *UDPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.conn.Close()
+	s.wg.Wait()
+}
+
+func (s *UDPServer) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var env wire.Envelope
+		if err := json.Unmarshal(buf[:n], &env); err != nil || env.Type == "" {
+			continue // drop malformed datagrams, as UDP services do
+		}
+		// Handle each datagram concurrently; replies race, which is fine
+		// because the client correlates by envelope id.
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		s.wg.Add(1)
+		go func(env wire.Envelope, from *net.UDPAddr) {
+			defer s.wg.Done()
+			reply := s.handle(&env)
+			if reply == nil {
+				return
+			}
+			raw, err := json.Marshal(reply)
+			if err != nil {
+				return
+			}
+			_, _ = s.conn.WriteToUDP(raw, from)
+		}(env, from)
+	}
+}
+
+func (s *UDPServer) handle(env *wire.Envelope) *wire.Envelope {
+	switch env.Type {
+	case wire.TypePing:
+		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
+	case wire.TypeQuery:
+		var req wire.QueryRequest
+		if err := env.Decode(&req); err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		grant, err := s.svc.RequestLang(req.Lang, req.Text)
+		if err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		reply, err := wire.NewEnvelope(wire.TypeQuery, env.ID, wire.QueryReply{
+			Lease:     grant.Lease,
+			Shadow:    &grant.Shadow,
+			Fragments: grant.Fragments,
+			Succeeded: grant.Succeeded,
+			ElapsedNS: grant.Elapsed.Nanoseconds(),
+		})
+		if err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		return reply
+	case wire.TypeRelease:
+		var req wire.ReleaseRequest
+		if err := env.Decode(&req); err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		g := &Grant{Lease: &req.Lease}
+		if req.Shadow != nil {
+			g.Shadow = *req.Shadow
+		}
+		if err := s.svc.Release(g); err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		reply, err := wire.NewEnvelope(wire.TypeRelease, env.ID, wire.ReleaseReply{})
+		if err != nil {
+			return errEnvelopeUDP(env.ID, err)
+		}
+		return reply
+	default:
+		return errEnvelopeUDP(env.ID, fmt.Errorf("core: unknown message type %q", env.Type))
+	}
+}
+
+func errEnvelopeUDP(id uint64, err error) *wire.Envelope {
+	env, marshalErr := wire.NewEnvelope(wire.TypeError, id, wire.ErrorReply{Message: err.Error()})
+	if marshalErr != nil {
+		return &wire.Envelope{Type: wire.TypeError, ID: id}
+	}
+	return env
+}
+
+// UDPClient is the datagram counterpart of Client. Lost datagrams surface
+// as timeouts; the caller retries (queries are idempotent until granted).
+type UDPClient struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	nextID  uint64
+}
+
+// DialUDP connects a UDP client. A non-positive timeout defaults to 2s.
+func DialUDP(addr string, timeout time.Duration) (*UDPClient, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &UDPClient{conn: conn, timeout: timeout}, nil
+}
+
+// Close drops the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// Ping round-trips a liveness datagram.
+func (c *UDPClient) Ping() error {
+	reply, err := c.roundTrip(&wire.Envelope{Type: wire.TypePing, ID: c.id()})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypePing {
+		return fmt.Errorf("core: udp ping got %q", reply.Type)
+	}
+	return nil
+}
+
+// Request submits a query over UDP.
+func (c *UDPClient) Request(text string) (*Grant, error) {
+	env, err := wire.NewEnvelope(wire.TypeQuery, c.id(), wire.QueryRequest{Text: text})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.roundTrip(env)
+	if err != nil {
+		return nil, err
+	}
+	var qr wire.QueryReply
+	if err := reply.Decode(&qr); err != nil {
+		return nil, err
+	}
+	if qr.Lease == nil {
+		return nil, fmt.Errorf("core: udp server granted no lease")
+	}
+	g := &Grant{Lease: qr.Lease, Fragments: qr.Fragments, Succeeded: qr.Succeeded}
+	if qr.Shadow != nil {
+		g.Shadow = *qr.Shadow
+	}
+	return g, nil
+}
+
+// Release returns a grant over UDP.
+func (c *UDPClient) Release(g *Grant) error {
+	if g == nil || g.Lease == nil {
+		return fmt.Errorf("core: nil grant")
+	}
+	req := wire.ReleaseRequest{Lease: *g.Lease}
+	if g.Shadow.User != "" {
+		sh := g.Shadow
+		req.Shadow = &sh
+	}
+	env, err := wire.NewEnvelope(wire.TypeRelease, c.id(), req)
+	if err != nil {
+		return err
+	}
+	reply, err := c.roundTrip(env)
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypeRelease {
+		return fmt.Errorf("core: udp release got %q", reply.Type)
+	}
+	return nil
+}
+
+func (c *UDPClient) id() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(raw); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	deadline := time.Now().Add(c.timeout)
+	for {
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: udp read: %w", err)
+		}
+		var reply wire.Envelope
+		if err := json.Unmarshal(buf[:n], &reply); err != nil {
+			continue // malformed datagram; keep waiting for ours
+		}
+		if reply.ID != env.ID {
+			continue // stale reply from an earlier (timed-out) exchange
+		}
+		if reply.Type == wire.TypeError {
+			var e wire.ErrorReply
+			if err := reply.Decode(&e); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: server: %s", e.Message)
+		}
+		return &reply, nil
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"actyp/internal/registry"
+)
+
+func startUDP(t *testing.T, n int) (*UDPServer, *UDPClient) {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeUDP(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialUDP(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		svc.Close()
+	})
+	return srv, client
+}
+
+func TestUDPLifecycle(t *testing.T) {
+	_, client := startUDP(t, 16)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := client.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lease == nil || g.Lease.AccessKey == "" || g.Shadow.User == "" {
+		t.Fatalf("grant = %+v", g)
+	}
+	if err := client.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Release(g); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := client.Release(nil); err == nil {
+		t.Error("nil grant should fail")
+	}
+}
+
+func TestUDPErrorsPropagate(t *testing.T) {
+	_, client := startUDP(t, 4)
+	_, err := client.Request("punch.rsrc.arch = cray")
+	if err == nil || !strings.Contains(err.Error(), "no resources matched") {
+		t.Errorf("err = %v", err)
+	}
+	// The endpoint survives errors.
+	if err := client.Ping(); err != nil {
+		t.Errorf("ping after error: %v", err)
+	}
+}
+
+func TestUDPServerCloseIdempotent(t *testing.T) {
+	srv, client := startUDP(t, 4)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+	if err := client.Ping(); err == nil {
+		t.Error("ping should time out after server close")
+	}
+}
+
+func TestUDPCompositeQuery(t *testing.T) {
+	_, client := startUDP(t, 32)
+	g, err := client.Request("punch.rsrc.arch = sun | hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fragments != 2 {
+		t.Errorf("fragments = %d", g.Fragments)
+	}
+	if err := client.Release(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package desktop implements the PUNCH network desktop of Sections 2–3:
+// the user-facing component that authorizes a run, drives the application
+// management component to compose a query, obtains a machine grant from
+// the ActYP service, mounts the application and data disks through the
+// virtual file system service, executes the run, and finally unmounts and
+// relinquishes all resources. The execution itself is simulated (a scaled
+// sleep), preserving the full event sequence 1–6 of Figure 1.
+package desktop
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"actyp/internal/appmgr"
+	"actyp/internal/core"
+	"actyp/internal/vfs"
+)
+
+// ActYP is the resource-management service as the desktop sees it: the
+// in-process core.Service and the TCP core.Client both satisfy it.
+type ActYP interface {
+	Request(text string) (*core.Grant, error)
+	Release(g *core.Grant) error
+}
+
+// User is one PUNCH account.
+type User struct {
+	Login   string
+	Group   string   // access group, e.g. "ece"
+	Tools   []string // tools this user may run; empty means all
+	Storage vfs.Volume
+}
+
+// RunResult records one completed run.
+type RunResult struct {
+	Job        string        // tool name
+	Machine    string        // where it ran
+	ShadowUser string        // shadow account it ran in
+	Algorithm  string        // algorithm the knowledge base chose
+	Queue      time.Duration // time spent acquiring resources
+	Wall       time.Duration // simulated execution time
+	CPUSeconds float64       // simulated CPU demand
+}
+
+// Config assembles a desktop.
+type Config struct {
+	App   *appmgr.Manager // required
+	ActYP ActYP           // required
+	VFS   *vfs.Manager    // required
+	// TimeScale compresses simulated execution: a job of S CPU seconds
+	// sleeps S*TimeScale. Zero disables sleeping entirely (the lifecycle
+	// still runs).
+	TimeScale float64
+	// Clock supplies time; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Desktop is the network desktop.
+type Desktop struct {
+	cfg   Config
+	mu    sync.RWMutex
+	users map[string]User
+
+	statMu sync.Mutex
+	runs   int
+	denied int
+}
+
+// New creates a desktop.
+func New(cfg Config) (*Desktop, error) {
+	if cfg.App == nil || cfg.ActYP == nil || cfg.VFS == nil {
+		return nil, fmt.Errorf("desktop: config needs app manager, actyp service and vfs")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Desktop{cfg: cfg, users: make(map[string]User)}, nil
+}
+
+// AddUser provisions an account (the paper's implicit storage location is
+// configured at account-request time).
+func (d *Desktop) AddUser(u User) error {
+	if u.Login == "" {
+		return fmt.Errorf("desktop: user needs a login")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.users[u.Login]; dup {
+		return fmt.Errorf("desktop: user %s already exists", u.Login)
+	}
+	d.users[u.Login] = u
+	return nil
+}
+
+// authorize verifies the user exists and may run the tool — the first step
+// of the Section 2 walk-through.
+func (d *Desktop) authorize(login, tool string) (User, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.users[login]
+	if !ok {
+		return User{}, fmt.Errorf("desktop: unknown user %q", login)
+	}
+	if len(u.Tools) == 0 {
+		return u, nil
+	}
+	for _, t := range u.Tools {
+		if t == tool {
+			return u, nil
+		}
+	}
+	return User{}, fmt.Errorf("desktop: user %s is not authorized to run %s", login, tool)
+}
+
+// RunTool executes the complete Section 2 lifecycle for one run and blocks
+// until it finishes.
+func (d *Desktop) RunTool(login, tool string, args []string) (*RunResult, error) {
+	// 1. Authorization.
+	user, err := d.authorize(login, tool)
+	if err != nil {
+		d.countDenied()
+		return nil, err
+	}
+
+	// 2. Application management: parameters, algorithm, estimate, query.
+	prepared, err := d.cfg.App.Prepare(appmgr.RunRequest{
+		Tool: tool, Args: args, Login: user.Login, Group: user.Group,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. ActYP identifies, locates, and selects the compute server.
+	qStart := d.cfg.Clock()
+	grant, err := d.cfg.ActYP.Request(prepared.QueryText)
+	if err != nil {
+		return nil, fmt.Errorf("desktop: resource request for %s: %w", tool, err)
+	}
+	queue := d.cfg.Clock().Sub(qStart)
+	session := grant.Lease.AccessKey
+
+	// Undo everything on any later failure.
+	fail := func(err error) (*RunResult, error) {
+		d.cfg.VFS.UnmountSession(session)
+		_ = d.cfg.ActYP.Release(grant)
+		return nil, err
+	}
+
+	// 4. The virtual file system mounts the application and data disks.
+	appVol := vfs.Volume{Server: "punch-apps", Export: "/apps/" + tool}
+	if _, err := d.cfg.VFS.MountVolume(grant.Lease.Machine, appVol, session); err != nil {
+		return fail(fmt.Errorf("desktop: mount application: %w", err))
+	}
+	if user.Storage.Server != "" {
+		if _, err := d.cfg.VFS.MountVolume(grant.Lease.Machine, user.Storage, session); err != nil {
+			return fail(fmt.Errorf("desktop: mount user data: %w", err))
+		}
+	}
+
+	// 5. Invoke the application (simulated execution).
+	wallStart := d.cfg.Clock()
+	if d.cfg.TimeScale > 0 {
+		time.Sleep(time.Duration(prepared.Estimate.CPUSeconds * d.cfg.TimeScale * float64(time.Second)))
+	}
+	wall := d.cfg.Clock().Sub(wallStart)
+
+	// Feed the observed run time back into the performance model.
+	actual := prepared.Estimate.CPUSeconds // simulation runs exactly as predicted
+	_ = d.cfg.App.Observe(tool, prepared.Params, actual)
+
+	// 6. Unmount and relinquish the shadow account and machine.
+	d.cfg.VFS.UnmountSession(session)
+	if err := d.cfg.ActYP.Release(grant); err != nil {
+		return nil, fmt.Errorf("desktop: release: %w", err)
+	}
+
+	d.statMu.Lock()
+	d.runs++
+	d.statMu.Unlock()
+	return &RunResult{
+		Job:        tool,
+		Machine:    grant.Lease.Machine,
+		ShadowUser: grant.Shadow.User,
+		Algorithm:  prepared.Algorithm,
+		Queue:      queue,
+		Wall:       wall,
+		CPUSeconds: prepared.Estimate.CPUSeconds,
+	}, nil
+}
+
+// Stats reports completed and denied runs.
+func (d *Desktop) Stats() (runs, denied int) {
+	d.statMu.Lock()
+	defer d.statMu.Unlock()
+	return d.runs, d.denied
+}
+
+func (d *Desktop) countDenied() {
+	d.statMu.Lock()
+	d.denied++
+	d.statMu.Unlock()
+}

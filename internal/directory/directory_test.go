@@ -1,0 +1,160 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+type fakeAllocator struct{ id string }
+
+func (f *fakeAllocator) Allocate(q *query.Query) (*pool.Lease, error) {
+	return &pool.Lease{ID: f.id}, nil
+}
+func (f *fakeAllocator) Release(leaseID string) error { return nil }
+
+type fakeForwarder struct{ name string }
+
+func (f *fakeForwarder) Name() string { return f.name }
+func (f *fakeForwarder) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	return nil, nil
+}
+
+func poolName(t *testing.T, text string) query.PoolName {
+	t.Helper()
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Name(q)
+}
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	s := New()
+	n := poolName(t, "punch.rsrc.arch = sun")
+	ref := PoolRef{Name: n, Instance: "i0", Local: &fakeAllocator{id: "a"}}
+	if err := s.Register(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ref); err == nil {
+		t.Error("duplicate instance should fail")
+	}
+	if err := s.Register(PoolRef{Name: n, Instance: "i1", Addr: "host:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lookup(n); len(got) != 2 {
+		t.Errorf("lookup = %d refs", len(got))
+	}
+	if s.Instances() != 2 {
+		t.Errorf("instances = %d", s.Instances())
+	}
+	if ref, ok := s.ByInstance("i1"); !ok || ref.Addr != "host:1" {
+		t.Errorf("ByInstance = %+v, %v", ref, ok)
+	}
+	s.Unregister("i0")
+	s.Unregister("i0") // no-op
+	if got := s.Lookup(n); len(got) != 1 || got[0].Instance != "i1" {
+		t.Errorf("after unregister: %v", got)
+	}
+	s.Unregister("i1")
+	if got := s.Names(); len(got) != 0 {
+		t.Errorf("names after full unregister = %v", got)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := New()
+	n := poolName(t, "punch.rsrc.arch = sun")
+	bad := []PoolRef{
+		{Name: n, Instance: "", Local: &fakeAllocator{}},
+		{Instance: "x", Local: &fakeAllocator{}},
+		{Name: n, Instance: "x"}, // neither local nor addr
+	}
+	for i, ref := range bad {
+		if err := s.Register(ref); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	s := New()
+	n := poolName(t, "punch.rsrc.arch = sun")
+	if err := s.Register(PoolRef{Name: n, Instance: "i0", Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Lookup(n)
+	got[0].Instance = "mutated"
+	if again := s.Lookup(n); again[0].Instance != "i0" {
+		t.Error("Lookup aliases internal slice")
+	}
+}
+
+func TestPickRandomCoversInstances(t *testing.T) {
+	s := New()
+	n := poolName(t, "punch.rsrc.arch = sun")
+	for _, inst := range []string{"i0", "i1", "i2"} {
+		if err := s.Register(PoolRef{Name: n, Instance: inst, Addr: "x:1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		ref, ok := s.Pick(n, rng)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		seen[ref.Instance] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random pick covered %d instances, want 3", len(seen))
+	}
+	if _, ok := s.Pick(poolName(t, "punch.rsrc.arch = hp"), rng); ok {
+		t.Error("pick on unknown name should fail")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := New()
+	for _, text := range []string{
+		"punch.rsrc.arch = sun",
+		"punch.rsrc.arch = hp",
+		"punch.rsrc.memory = >=10",
+	} {
+		n := poolName(t, text)
+		if err := s.Register(PoolRef{Name: n, Instance: n.String(), Addr: "x:1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := s.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1].String() >= names[i].String() {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestPeers(t *testing.T) {
+	s := New()
+	if got := s.Peers(); len(got) != 0 {
+		t.Errorf("fresh directory has peers: %v", got)
+	}
+	a, b := &fakeForwarder{name: "pm-a"}, &fakeForwarder{name: "pm-b"}
+	s.AddPeer(a)
+	s.AddPeer(b)
+	got := s.Peers()
+	if len(got) != 2 || got[0].Name() != "pm-a" || got[1].Name() != "pm-b" {
+		t.Errorf("peers = %v", got)
+	}
+	// Returned slice is a copy.
+	got[0] = b
+	if s.Peers()[0].Name() != "pm-a" {
+		t.Error("Peers aliases internal slice")
+	}
+}

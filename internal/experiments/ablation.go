@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"actyp/internal/core"
+	"actyp/internal/metrics"
+	"actyp/internal/querymgr"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+)
+
+// Ablation drivers for the design decisions DESIGN.md calls out. Each
+// returns series comparing the paper's choice against an alternative.
+
+// AblationFirstMatch compares the two reintegration QoS policies of
+// Section 6 on composite queries: WaitAll (reintegrate every fragment,
+// return the best) versus FirstMatch (return the first available match).
+func AblationFirstMatch(machines, clients, perClient int, scanCost time.Duration) ([]metrics.Series, error) {
+	var out []metrics.Series
+	for _, mode := range []struct {
+		label string
+		mode  querymgr.QoS
+	}{{"wait-all", querymgr.WaitAll}, {"first-match", querymgr.FirstMatch}} {
+		db := registry.NewDB()
+		if err := registry.DefaultFleetSpec(machines).Populate(db, time.Now()); err != nil {
+			return out, err
+		}
+		svc, err := core.New(core.Options{DB: db, ScanCost: scanCost, Mode: mode.mode})
+		if err != nil {
+			return out, err
+		}
+		rec := metrics.NewRecorder()
+		err = closedLoop(clients, perClient, rec, func(client, iter int) error {
+			g, err := svc.Request("punch.rsrc.arch = sun | hp | alpha | x86")
+			if err != nil {
+				return err
+			}
+			return svc.Release(g)
+		})
+		svc.Close()
+		if err != nil {
+			return out, err
+		}
+		s := metrics.Series{Label: mode.label}
+		s.Add(float64(clients), rec.Mean().Seconds())
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationStaticPools compares dynamic first-touch pool creation against
+// statically pre-created pools: the first query to a cold criteria pays
+// the aggregation walk, which static pre-aggregation hides.
+func AblationStaticPools(machines, pools int, scanCost time.Duration) ([]metrics.Series, error) {
+	measure := func(warm bool) (first, rest time.Duration, err error) {
+		svc, err := newService(machines, scanCost, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer svc.Close()
+		if err := svc.StripePools(pools); err != nil {
+			return 0, 0, err
+		}
+		if warm {
+			if err := svc.WarmPools(pools); err != nil {
+				return 0, 0, err
+			}
+		}
+		restRec := metrics.NewRecorder()
+		for k := 0; k < pools; k++ {
+			q := fmt.Sprintf("punch.rsrc.pool = %d", k)
+			start := time.Now()
+			g, err := svc.Request(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(start)
+			if k == 0 {
+				first = d
+			} else {
+				restRec.Record(d)
+			}
+			if err := svc.Release(g); err != nil {
+				return 0, 0, err
+			}
+		}
+		return first, restRec.Mean(), nil
+	}
+
+	coldFirst, coldRest, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	warmFirst, warmRest, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	dynamic := metrics.Series{Label: "dynamic"}
+	dynamic.Add(0, coldFirst.Seconds())
+	dynamic.Add(1, coldRest.Seconds())
+	static := metrics.Series{Label: "static"}
+	static.Add(0, warmFirst.Seconds())
+	static.Add(1, warmRest.Seconds())
+	return []metrics.Series{dynamic, static}, nil
+}
+
+// AblationSelection compares the paper's linear search against a
+// pre-sorted scan for pool-internal scheduling: it reports nanoseconds per
+// selection for each strategy over one synthetic candidate population.
+func AblationSelection(poolSize, rounds int) ([]metrics.Series, error) {
+	if poolSize <= 0 || rounds <= 0 {
+		return nil, fmt.Errorf("experiments: bad ablation config")
+	}
+	cands := make([]*schedule.Candidate, poolSize)
+	for i := range cands {
+		cands[i] = &schedule.Candidate{
+			Name:  fmt.Sprintf("m%04d", i),
+			Load:  float64(i%17) / 10,
+			Speed: float64(200 + i%400),
+		}
+	}
+
+	linear := metrics.Series{Label: "linear-scan"}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		schedule.SelectLinear(cands, schedule.LeastLoad{}, nil)
+	}
+	linear.Add(float64(poolSize), float64(time.Since(start).Nanoseconds())/float64(rounds))
+
+	// Pre-sorted: sort once (amortized by the background scheduling
+	// process), then pick the first free candidate per query.
+	sorted := metrics.Series{Label: "presorted"}
+	cp := make([]*schedule.Candidate, len(cands))
+	copy(cp, cands)
+	schedule.Sort(cp, schedule.LeastLoad{})
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, c := range cp {
+			if !c.Busy {
+				break
+			}
+		}
+	}
+	sorted.Add(float64(poolSize), float64(time.Since(start).Nanoseconds())/float64(rounds))
+	return []metrics.Series{linear, sorted}, nil
+}

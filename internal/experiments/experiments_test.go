@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/netsim"
+)
+
+// The tests run the figure drivers at reduced scale and assert the shapes
+// the paper reports, not absolute numbers.
+
+func TestFig4ShapeMorePoolsFaster(t *testing.T) {
+	cfg := Fig4Config{
+		Machines:         320,
+		Pools:            []int{1, 4, 16},
+		Clients:          16,
+		QueriesPerClient: 6,
+		ScanCost:         20 * time.Microsecond, // exaggerated so the trend dominates noise
+		Profile:          netsim.Local(),
+		Seed:             1,
+	}
+	s, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %v", s.Points)
+	}
+	first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+	if last >= first {
+		t.Errorf("16 pools (%.6fs) should beat 1 pool (%.6fs)", last, first)
+	}
+}
+
+func TestFig5ShapeWANFloor(t *testing.T) {
+	profile := netsim.Profile{Latency: 5 * time.Millisecond, Seed: 1}
+	cfg := Fig5Config{
+		Machines:         160,
+		Pools:            []int{1, 4},
+		ClientCounts:     []int{2, 8},
+		QueriesPerClient: 3,
+		ScanCost:         10 * time.Microsecond,
+		Profile:          profile,
+		Seed:             1,
+	}
+	series, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Every point sits above the network floor (2 one-way delays per
+	// request plus 2 per release = 4 x 5ms = 20ms per iteration, of which
+	// the request accounts for at least 10ms).
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Y < 0.010 {
+				t.Errorf("%s at pools=%v: %.4fs is below the WAN floor", s.Label, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig6ShapeBiggerPoolsSlower(t *testing.T) {
+	cfg := Fig6Config{
+		PoolSizes:        []int{100, 400},
+		Clients:          []int{1, 16},
+		QueriesPerClient: 6,
+		ScanCost:         50 * time.Microsecond,
+		Seed:             1,
+	}
+	series, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// At the same client count, the larger pool responds slower.
+	small16 := series[0].Points[1].Y
+	large16 := series[1].Points[1].Y
+	if large16 <= small16 {
+		t.Errorf("pool=400 (%.6fs) should be slower than pool=100 (%.6fs) at 16 clients", large16, small16)
+	}
+	// Within a series, more clients mean slower responses.
+	for _, s := range series {
+		if s.Points[1].Y <= s.Points[0].Y {
+			t.Errorf("%s: 16 clients (%.6fs) should be slower than 1 (%.6fs)", s.Label, s.Points[1].Y, s.Points[0].Y)
+		}
+	}
+}
+
+func TestFig7ShapeSplittingHelps(t *testing.T) {
+	cfg := Fig7Config{
+		Machines:         400,
+		Splits:           []int{1, 4},
+		Clients:          []int{16},
+		QueriesPerClient: 8,
+		ScanCost:         50 * time.Microsecond,
+		Seed:             1,
+	}
+	series, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsplit := series[0].Points[0].Y
+	split4 := series[1].Points[0].Y
+	if split4 >= unsplit {
+		t.Errorf("4x100 split (%.6fs) should beat unsplit (%.6fs)", split4, unsplit)
+	}
+}
+
+func TestFig8ShapeReplicationHelps(t *testing.T) {
+	cfg := Fig8Config{
+		Machines:         400,
+		Replicas:         []int{1, 4},
+		Clients:          []int{16},
+		QueriesPerClient: 8,
+		ScanCost:         50 * time.Microsecond,
+		Seed:             1,
+	}
+	series, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := series[0].Points[0].Y
+	four := series[1].Points[0].Y
+	if four >= one {
+		t.Errorf("4 processes (%.6fs) should beat 1 (%.6fs)", four, one)
+	}
+}
+
+func TestFig9ShapeHeavyTail(t *testing.T) {
+	cfg := Fig9Config{Runs: 30000, Buckets: 100, MaxCPU: 1000, Seed: 1}
+	series, stats, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 100 {
+		t.Fatalf("buckets = %d", len(series.Points))
+	}
+	// The first bucket (0-10s) is the overwhelming mode.
+	if series.Points[0].Y < series.Points[1].Y {
+		t.Error("first bucket should dominate")
+	}
+	total := 0.0
+	for _, p := range series.Points {
+		total += p.Y
+	}
+	if series.Points[0].Y/total < 0.4 {
+		t.Errorf("mode holds %.2f%% of plotted mass, want >40%%", 100*series.Points[0].Y/total)
+	}
+	if stats.Max < 1e5 {
+		t.Errorf("tail max = %v", stats.Max)
+	}
+	if stats.ShortFrac < 0.5 {
+		t.Errorf("short fraction = %v", stats.ShortFrac)
+	}
+
+	if _, _, err := Fig9(Fig9Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestAblationFirstMatchFaster(t *testing.T) {
+	series, err := AblationFirstMatch(64, 4, 6, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	waitAll := series[0].Points[0].Y
+	firstMatch := series[1].Points[0].Y
+	// First-match returns without waiting for the slowest fragment; with
+	// 4 architectures and a real scan cost it must not be slower by more
+	// than noise.
+	if firstMatch > waitAll*1.5 {
+		t.Errorf("first-match (%.6fs) much slower than wait-all (%.6fs)", firstMatch, waitAll)
+	}
+}
+
+func TestAblationStaticPoolsHidesCreation(t *testing.T) {
+	series, err := AblationStaticPools(200, 4, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamicFirst := series[0].Points[0].Y
+	staticFirst := series[1].Points[0].Y
+	if staticFirst >= dynamicFirst {
+		t.Errorf("warm first query (%.6fs) should beat cold first query (%.6fs)", staticFirst, dynamicFirst)
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	series, err := AblationSelection(2000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	linear := series[0].Points[0].Y
+	presorted := series[1].Points[0].Y
+	if presorted >= linear {
+		t.Errorf("presorted pick (%vns) should beat linear scan (%vns)", presorted, linear)
+	}
+	if _, err := AblationSelection(0, 0); err == nil {
+		t.Error("bad config should fail")
+	}
+}

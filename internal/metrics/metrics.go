@@ -1,0 +1,276 @@
+// Package metrics provides the measurement plumbing for the controlled
+// experiments of Section 7: concurrency-safe response-time recorders,
+// percentile summaries, fixed-bucket histograms (for the Figure 9 CPU-time
+// distribution), and a plain-text series printer that emits the rows each
+// figure plots.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 with no samples.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Min and Max return the extremes, or 0 with no samples.
+func (r *Recorder) Min() time.Duration { return r.extreme(true) }
+
+// Max returns the largest sample.
+func (r *Recorder) Max() time.Duration { return r.extreme(false) }
+
+func (r *Recorder) extreme(min bool) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	out := r.samples[0]
+	for _, d := range r.samples[1:] {
+		if (min && d < out) || (!min && d > out) {
+			out = d
+		}
+	}
+	return out
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary is a one-line digest of a recorder.
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		r.Count(), r.Mean(), r.Percentile(50), r.Percentile(95), r.Max())
+}
+
+// Histogram counts float64 observations in uniform buckets over [Lo, Hi);
+// out-of-range values land in the first or last bucket. Figure 9 uses it
+// for CPU-time distributions.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	mu     sync.Mutex
+	n      int
+	sum    float64
+}
+
+// NewHistogram builds a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("metrics: histogram needs positive bucket count")
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("metrics: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, buckets)}, nil
+}
+
+// Observe adds a value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Buckets returns (lower-edge, count) pairs.
+func (h *Histogram) Buckets() []struct {
+	Edge  float64
+	Count int
+} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	out := make([]struct {
+		Edge  float64
+		Count int
+	}, len(h.counts))
+	for i, c := range h.counts {
+		out[i].Edge = h.Lo + float64(i)*width
+		out[i].Count = c
+	}
+	return out
+}
+
+// PeakBucket returns the lower edge and count of the fullest bucket.
+func (h *Histogram) PeakBucket() (edge float64, count int) {
+	for _, b := range h.Buckets() {
+		if b.Count > count {
+			edge, count = b.Edge, b.Count
+		}
+	}
+	return edge, count
+}
+
+// Series is a named list of (x, y) points — one plotted line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Table prints one or more series sharing an x-axis as an aligned text
+// table: the regenerated figure data. Missing points print as "-".
+func Table(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	if _, err := fmt.Fprintf(w, "# %s\n# y: %s\n", title, yLabel); err != nil {
+		return err
+	}
+	// Collect the union of x values.
+	xsSeen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSeen[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSeen))
+	for x := range xsSeen {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					val = trimFloat(p.Y)
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+// Monotone reports whether the series' y values never increase (dir < 0)
+// or never decrease (dir > 0) beyond the tolerance fraction tol — the
+// shape checks the experiment tests assert.
+func (s *Series) Monotone(dir int, tol float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		prev, cur := s.Points[i-1].Y, s.Points[i].Y
+		slack := tol * math.Max(math.Abs(prev), math.Abs(cur))
+		if dir < 0 && cur > prev+slack {
+			return false
+		}
+		if dir > 0 && cur < prev-slack {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 || r.Percentile(50) != 0 {
+		t.Error("empty recorder should be all zeros")
+	}
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		r.Record(d * time.Millisecond)
+	}
+	if r.Count() != 5 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != 30*time.Millisecond {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	if r.Min() != 10*time.Millisecond || r.Max() != 50*time.Millisecond {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if got := r.Percentile(50); got != 30*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(100); got != 50*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(200); got != 50*time.Millisecond {
+		t.Errorf("p>100 should clamp, got %v", got)
+	}
+	if !strings.Contains(r.Summary(), "n=5") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets should fail")
+	}
+	if _, err := NewHistogram(10, 10, 5); err == nil {
+		t.Error("hi <= lo should fail")
+	}
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 15, 15, 95, -3, 250} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	buckets := h.Buckets()
+	if len(buckets) != 10 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	// -3 clamps into bucket 0 alongside 5; 250 clamps into the last.
+	if buckets[0].Count != 2 {
+		t.Errorf("bucket 0 = %d", buckets[0].Count)
+	}
+	if buckets[1].Count != 2 {
+		t.Errorf("bucket 1 = %d", buckets[1].Count)
+	}
+	if buckets[9].Count != 2 {
+		t.Errorf("bucket 9 = %d", buckets[9].Count)
+	}
+	edge, count := h.PeakBucket()
+	if count != 2 || edge != 0 {
+		t.Errorf("peak = (%v, %d)", edge, count)
+	}
+	wantMean := (5.0 + 15 + 15 + 95 - 3 + 250) / 6
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	s1 := Series{Label: "clients=8"}
+	s1.Add(2, 1.2)
+	s1.Add(4, 0.8)
+	s2 := Series{Label: "clients=16"}
+	s2.Add(2, 1.9)
+	s2.Add(8, 0.5)
+
+	var buf bytes.Buffer
+	if err := Table(&buf, "Fig 4", "pools", "response (s)", []Series{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Fig 4", "pools\tclients=8\tclients=16", "2\t1.2\t1.9", "4\t0.8\t-", "8\t-\t0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	dec := Series{Label: "d"}
+	for i, y := range []float64{10, 8, 6, 5, 5.1} {
+		dec.Add(float64(i), y)
+	}
+	if !dec.Monotone(-1, 0.05) {
+		t.Error("near-monotone decreasing series rejected at 5% tolerance")
+	}
+	if dec.Monotone(-1, 0) {
+		t.Error("strictly checking should catch the 5->5.1 bump")
+	}
+	inc := Series{Label: "i"}
+	for i, y := range []float64{1, 2, 3, 10} {
+		inc.Add(float64(i), y)
+	}
+	if !inc.Monotone(1, 0) {
+		t.Error("increasing series rejected")
+	}
+	if inc.Monotone(-1, 0.1) {
+		t.Error("increasing series accepted as decreasing")
+	}
+}
+
+// Property: the recorder mean is always between min and max.
+func TestRecorderMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		for _, v := range raw {
+			r.Record(time.Duration(v) * time.Microsecond)
+		}
+		m := r.Mean()
+		return m >= r.Min() && m <= r.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram counts always sum to the number of observations.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h, err := NewHistogram(-100, 100, 7)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			h.Observe(float64(v))
+		}
+		sum := 0
+		for _, b := range h.Buckets() {
+			sum += b.Count
+		}
+		return sum == len(vals) && h.Count() == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package monitor implements the ActYP resource monitoring service of
+// Section 4.2: it keeps the dynamic fields 2–7 of every white-pages record
+// fresh. The paper notes that almost any monitoring system can provide this
+// functionality (PUNCH evaluated SGI's Performance Co-Pilot); here a
+// pluggable Sampler abstraction stands in for the probe, and a synthetic
+// sampler reproduces plausible load dynamics for controlled experiments.
+package monitor
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"actyp/internal/registry"
+)
+
+// Sampler produces the next dynamic snapshot for one machine. prev is the
+// snapshot currently in the database.
+type Sampler interface {
+	Sample(machine string, prev registry.Dynamic, now time.Time) registry.Dynamic
+}
+
+// SamplerFunc adapts a function to the Sampler interface.
+type SamplerFunc func(machine string, prev registry.Dynamic, now time.Time) registry.Dynamic
+
+// Sample calls f.
+func (f SamplerFunc) Sample(machine string, prev registry.Dynamic, now time.Time) registry.Dynamic {
+	return f(machine, prev, now)
+}
+
+// SyntheticSampler random-walks machine load and derives memory pressure
+// from it, emulating the background activity of a shared workstation fleet.
+// It is deterministic for a given seed and machine name.
+type SyntheticSampler struct {
+	mu   sync.Mutex
+	rngs map[string]*rand.Rand
+	seed int64
+
+	// Volatility is the maximum per-sample load delta (default 0.25).
+	Volatility float64
+	// BaseMemory is the free memory of an idle machine in MB (default 512).
+	BaseMemory float64
+}
+
+// NewSyntheticSampler returns a sampler with deterministic per-machine
+// random streams derived from seed.
+func NewSyntheticSampler(seed int64) *SyntheticSampler {
+	return &SyntheticSampler{
+		rngs:       make(map[string]*rand.Rand),
+		seed:       seed,
+		Volatility: 0.25,
+		BaseMemory: 512,
+	}
+}
+
+func (s *SyntheticSampler) rng(machine string) *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rngs[machine]
+	if !ok {
+		var h int64
+		for _, c := range machine {
+			h = h*131 + int64(c)
+		}
+		r = rand.New(rand.NewSource(s.seed ^ h))
+		s.rngs[machine] = r
+	}
+	return r
+}
+
+// Sample random-walks the load in [0, 4] and scales free memory down as
+// load rises. Jobs counted by the allocator are preserved.
+func (s *SyntheticSampler) Sample(machine string, prev registry.Dynamic, now time.Time) registry.Dynamic {
+	r := s.rng(machine)
+	next := prev
+	next.Load += (r.Float64()*2 - 1) * s.Volatility
+	if next.Load < 0 {
+		next.Load = 0
+	}
+	if next.Load > 4 {
+		next.Load = 4
+	}
+	frac := 1 - next.Load/8 // even a loaded machine keeps half its memory
+	next.FreeMemory = s.BaseMemory * frac
+	next.FreeSwap = 2 * s.BaseMemory * frac
+	next.LastUpdate = now
+	next.ServiceFlag |= registry.FlagMonitorOK
+	return next
+}
+
+// Config controls a Monitor.
+type Config struct {
+	DB       *registry.DB
+	Sampler  Sampler
+	Interval time.Duration // default 1s
+	// Staleness, when positive, marks machines down if their LastUpdate
+	// is older than this at sweep time (a missed-heartbeat policy).
+	Staleness time.Duration
+	// Now supplies the current time; defaults to time.Now. Tests inject a
+	// fake clock here.
+	Now func() time.Time
+}
+
+// Monitor periodically sweeps the database, refreshing fields 2–7 for every
+// machine via the Sampler and optionally enforcing the staleness policy.
+type Monitor struct {
+	cfg    Config
+	stop   chan struct{}
+	done   chan struct{}
+	mu     sync.Mutex
+	sweeps int
+}
+
+// New creates a Monitor. DB and Sampler are required.
+func New(cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Monitor{cfg: cfg}
+}
+
+// Sweep performs one monitoring pass synchronously and returns the number
+// of machines refreshed. Machines that are down stay down; the staleness
+// policy can newly mark machines down.
+func (m *Monitor) Sweep() int {
+	now := m.cfg.Now()
+	n := 0
+	var stale []string
+	m.cfg.DB.Walk(func(rec *registry.Machine) bool {
+		name := rec.Static.Name
+		if m.cfg.Staleness > 0 && rec.State == registry.StateUp &&
+			!rec.Dynamic.LastUpdate.IsZero() && now.Sub(rec.Dynamic.LastUpdate) > m.cfg.Staleness {
+			stale = append(stale, name)
+			return true
+		}
+		next := m.cfg.Sampler.Sample(name, rec.Dynamic, now)
+		if err := m.cfg.DB.UpdateDynamic(name, next); err == nil {
+			n++
+		}
+		return true
+	})
+	for _, name := range stale {
+		// Ignore the error: the machine may have been removed between
+		// the walk and this write, which is not a failure of the sweep.
+		_ = m.cfg.DB.SetState(name, registry.StateDown)
+	}
+	m.mu.Lock()
+	m.sweeps++
+	m.mu.Unlock()
+	return n
+}
+
+// Sweeps returns how many passes have completed.
+func (m *Monitor) Sweeps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweeps
+}
+
+// Start launches the periodic sweep goroutine. It is an error to start a
+// monitor twice without stopping it.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(m.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep goroutine and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

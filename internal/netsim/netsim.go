@@ -1,0 +1,142 @@
+// Package netsim provides the controlled-network substrate for the
+// experiments of Section 7. The paper ran its LAN experiments inside one
+// machine room and its WAN experiment between Purdue (USA) and UPC
+// (Spain); this package reproduces both configurations on one host by
+// wrapping net.Conn with configurable one-way latency and jitter.
+package netsim
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile describes link behaviour: a fixed one-way latency plus uniform
+// jitter in [0, Jitter).
+type Profile struct {
+	Latency time.Duration // one-way propagation delay
+	Jitter  time.Duration // additional uniform random delay
+	Seed    int64         // jitter stream seed (0 means 1)
+}
+
+// Local is a zero-delay profile (direct function calls / loopback).
+func Local() Profile { return Profile{} }
+
+// LAN models the paper's machine-room configuration: sub-millisecond
+// one-way latency.
+func LAN() Profile {
+	return Profile{Latency: 200 * time.Microsecond, Jitter: 50 * time.Microsecond, Seed: 1}
+}
+
+// WAN models the Purdue–UPC transatlantic link of Section 7:
+// tens-of-milliseconds one-way latency with moderate jitter.
+func WAN() Profile {
+	return Profile{Latency: 45 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 1}
+}
+
+// Zero reports whether the profile adds no delay.
+func (p Profile) Zero() bool { return p.Latency <= 0 && p.Jitter <= 0 }
+
+// Delayer produces per-message delays for one flow.
+type Delayer struct {
+	p   Profile
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewDelayer builds a delayer for a profile.
+func NewDelayer(p Profile) *Delayer {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Delayer{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next one-way delay.
+func (d *Delayer) Next() time.Duration {
+	delay := d.p.Latency
+	if d.p.Jitter > 0 {
+		d.mu.Lock()
+		delay += time.Duration(d.rng.Int63n(int64(d.p.Jitter)))
+		d.mu.Unlock()
+	}
+	return delay
+}
+
+// Sleep blocks for the next one-way delay.
+func (d *Delayer) Sleep() {
+	if delay := d.Next(); delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+// Conn wraps a net.Conn, delaying every Write by the profile's one-way
+// latency. In a closed-loop request/response exchange this yields one
+// round-trip time of delay per exchange, matching how the experiments
+// measure response time.
+type Conn struct {
+	net.Conn
+	d *Delayer
+}
+
+// WrapConn applies a profile to an existing connection. A zero profile
+// returns the connection unchanged.
+func WrapConn(c net.Conn, p Profile) net.Conn {
+	if p.Zero() {
+		return c
+	}
+	return &Conn{Conn: c, d: NewDelayer(p)}
+}
+
+// Write delays, then forwards to the wrapped connection.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.d.Sleep()
+	return c.Conn.Write(b)
+}
+
+// Dialer dials TCP connections and applies the profile to each.
+type Dialer struct {
+	Profile Profile
+	Timeout time.Duration // per-dial timeout (default 5s)
+}
+
+// Dial connects to addr and wraps the connection.
+func (d Dialer) Dial(addr string) (net.Conn, error) {
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, d.Profile), nil
+}
+
+// Listener wraps an accept loop so that server-side writes are delayed
+// symmetrically.
+type Listener struct {
+	net.Listener
+	Profile Profile
+}
+
+// Accept wraps each accepted connection with the profile.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.Profile), nil
+}
+
+// Listen opens a TCP listener on addr (use "127.0.0.1:0" for tests) whose
+// connections carry the profile.
+func Listen(addr string, p Profile) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{Listener: l, Profile: p}, nil
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestProfiles(t *testing.T) {
+	if !Local().Zero() {
+		t.Error("local profile should be zero")
+	}
+	if LAN().Zero() || WAN().Zero() {
+		t.Error("LAN/WAN profiles should add delay")
+	}
+	if WAN().Latency <= LAN().Latency {
+		t.Error("WAN must be slower than LAN")
+	}
+}
+
+func TestDelayerBounds(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, Jitter: time.Millisecond, Seed: 42}
+	d := NewDelayer(p)
+	for i := 0; i < 1000; i++ {
+		delay := d.Next()
+		if delay < p.Latency || delay >= p.Latency+p.Jitter {
+			t.Fatalf("delay %v out of [%v, %v)", delay, p.Latency, p.Latency+p.Jitter)
+		}
+	}
+}
+
+func TestDelayerNoJitter(t *testing.T) {
+	d := NewDelayer(Profile{Latency: 3 * time.Millisecond})
+	if got := d.Next(); got != 3*time.Millisecond {
+		t.Errorf("delay = %v", got)
+	}
+}
+
+func TestWrapConnZeroProfilePassesThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if got := WrapConn(a, Local()); got != a {
+		t.Error("zero profile should not wrap")
+	}
+	if got := WrapConn(a, LAN()); got == a {
+		t.Error("non-zero profile should wrap")
+	}
+}
+
+func TestLatencyObservableOverLoopback(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", Profile{Latency: 20 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := (Dialer{Profile: Profile{Latency: 20 * time.Millisecond, Seed: 1}}).Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One round trip: client write delayed 20ms, server echo delayed 20ms.
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 40*time.Millisecond {
+		t.Errorf("rtt = %v, want >= 40ms", rtt)
+	}
+	if rtt > 500*time.Millisecond {
+		t.Errorf("rtt = %v, absurdly slow", rtt)
+	}
+}
+
+func TestDialerErrors(t *testing.T) {
+	if _, err := (Dialer{Timeout: 50 * time.Millisecond}).Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}

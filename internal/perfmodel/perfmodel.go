@@ -1,0 +1,229 @@
+// Package perfmodel implements the performance-modeling service the
+// application management component consults before composing a query
+// (Section 3, Figure 2; references [14] and [18] of the paper): given a
+// tool and its qualified input parameters, it predicts the CPU time and
+// memory the run will need on a reference machine. Predictions calibrate
+// themselves from observed run times with a per-tool exponentially
+// weighted correction factor, standing in for the paper's learning-based
+// predictor.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Estimate is a predicted resource demand for one run.
+type Estimate struct {
+	CPUSeconds float64 // on the reference machine (see Section 5.1 footnote)
+	MemoryMB   float64
+}
+
+// Term is one multiplicative component of a tool model: the named
+// parameter raised to a power and scaled.
+type Term struct {
+	Param    string  // qualified parameter name, e.g. "carriers"
+	Exponent float64 // sensitivity of cost to this parameter
+}
+
+// Model predicts resource usage for one tool as
+//
+//	cpu = BaseCPU * prod_i (param_i ^ Exponent_i)
+//	mem = BaseMemory + MemoryPerUnit * prod_i (param_i ^ MemExponent_i)
+//
+// which captures the polynomial cost models used for the PUNCH
+// semiconductor-simulation tools (carriers, grid nodes, device size, ...).
+type Model struct {
+	Tool          string
+	BaseCPU       float64 // seconds for a unit-parameter run
+	CPUTerms      []Term
+	BaseMemory    float64 // MB
+	MemoryPerUnit float64
+	MemTerms      []Term
+}
+
+// Validate checks the model is usable.
+func (m *Model) Validate() error {
+	if m.Tool == "" {
+		return fmt.Errorf("perfmodel: model needs a tool name")
+	}
+	if m.BaseCPU <= 0 {
+		return fmt.Errorf("perfmodel: model %s: BaseCPU must be positive", m.Tool)
+	}
+	if m.BaseMemory < 0 || m.MemoryPerUnit < 0 {
+		return fmt.Errorf("perfmodel: model %s: memory coefficients must be non-negative", m.Tool)
+	}
+	return nil
+}
+
+// Service predicts and calibrates.
+type Service struct {
+	mu          sync.RWMutex
+	models      map[string]*Model
+	corrections map[string]float64 // tool -> multiplicative EWMA correction
+	alpha       float64            // EWMA smoothing factor
+	observed    map[string]int
+}
+
+// NewService returns a service with the given EWMA factor (0 < alpha <= 1;
+// 0 defaults to 0.2).
+func NewService(alpha float64) *Service {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &Service{
+		models:      make(map[string]*Model),
+		corrections: make(map[string]float64),
+		alpha:       alpha,
+		observed:    make(map[string]int),
+	}
+}
+
+// Register installs or replaces a tool model.
+func (s *Service) Register(m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cp := *m
+	cp.CPUTerms = append([]Term(nil), m.CPUTerms...)
+	cp.MemTerms = append([]Term(nil), m.MemTerms...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[m.Tool] = &cp
+	if _, ok := s.corrections[m.Tool]; !ok {
+		s.corrections[m.Tool] = 1
+	}
+	return nil
+}
+
+// Tools lists registered tool names, sorted.
+func (s *Service) Tools() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.models))
+	for t := range s.models {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predict estimates the resource usage of a run. Missing parameters count
+// as 1 (neutral); non-positive parameter values are rejected because the
+// power model is undefined for them.
+func (s *Service) Predict(tool string, params map[string]float64) (Estimate, error) {
+	s.mu.RLock()
+	m, ok := s.models[tool]
+	corr := s.corrections[tool]
+	s.mu.RUnlock()
+	if !ok {
+		return Estimate{}, fmt.Errorf("perfmodel: no model for tool %q", tool)
+	}
+	cpuProd, err := product(m.CPUTerms, params)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("perfmodel: tool %s: %w", tool, err)
+	}
+	memProd, err := product(m.MemTerms, params)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("perfmodel: tool %s: %w", tool, err)
+	}
+	return Estimate{
+		CPUSeconds: m.BaseCPU * cpuProd * corr,
+		MemoryMB:   m.BaseMemory + m.MemoryPerUnit*memProd,
+	}, nil
+}
+
+// Observe feeds an actual run time back into the calibration loop: the
+// tool's correction factor moves toward actual/predicted.
+func (s *Service) Observe(tool string, params map[string]float64, actualCPUSeconds float64) error {
+	if actualCPUSeconds <= 0 {
+		return fmt.Errorf("perfmodel: observed cpu time must be positive")
+	}
+	pred, err := s.Predict(tool, params)
+	if err != nil {
+		return err
+	}
+	if pred.CPUSeconds <= 0 {
+		return fmt.Errorf("perfmodel: prediction for %s is non-positive", tool)
+	}
+	ratio := actualCPUSeconds / pred.CPUSeconds
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corrections[tool] *= (1 - s.alpha) + s.alpha*ratio
+	s.observed[tool]++
+	return nil
+}
+
+// Correction returns the current calibration factor for a tool (1 when
+// uncalibrated) and how many observations trained it.
+func (s *Service) Correction(tool string) (float64, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.corrections[tool]
+	if !ok {
+		return 1, 0
+	}
+	return c, s.observed[tool]
+}
+
+func product(terms []Term, params map[string]float64) (float64, error) {
+	out := 1.0
+	for _, t := range terms {
+		v, ok := params[t.Param]
+		if !ok {
+			continue // neutral
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("parameter %s must be positive, got %v", t.Param, v)
+		}
+		out *= math.Pow(v, t.Exponent)
+	}
+	return out, nil
+}
+
+// PunchModels returns models for the engineering tools the paper's
+// examples name (T-Suprem4 process simulation, SPICE circuit simulation,
+// Monte Carlo and drift-diffusion carrier transport), with cost shapes
+// plausible for each.
+func PunchModels() []*Model {
+	return []*Model{
+		{
+			Tool: "tsuprem4", BaseCPU: 20,
+			CPUTerms:   []Term{{Param: "gridnodes", Exponent: 1.5}, {Param: "steps", Exponent: 1}},
+			BaseMemory: 32, MemoryPerUnit: 0.5,
+			MemTerms: []Term{{Param: "gridnodes", Exponent: 1}},
+		},
+		{
+			Tool: "spice", BaseCPU: 2,
+			CPUTerms:   []Term{{Param: "nodes", Exponent: 1.2}, {Param: "timepoints", Exponent: 1}},
+			BaseMemory: 16, MemoryPerUnit: 0.1,
+			MemTerms: []Term{{Param: "nodes", Exponent: 1}},
+		},
+		{
+			Tool: "montecarlo", BaseCPU: 300,
+			CPUTerms:   []Term{{Param: "carriers", Exponent: 1}, {Param: "devicesize", Exponent: 0.5}},
+			BaseMemory: 64, MemoryPerUnit: 2,
+			MemTerms: []Term{{Param: "carriers", Exponent: 0.5}},
+		},
+		{
+			Tool: "driftdiffusion", BaseCPU: 60,
+			CPUTerms:   []Term{{Param: "gridnodes", Exponent: 1.3}},
+			BaseMemory: 48, MemoryPerUnit: 1,
+			MemTerms: []Term{{Param: "gridnodes", Exponent: 1}},
+		},
+		{
+			Tool: "matlab", BaseCPU: 5,
+			CPUTerms:   []Term{{Param: "matrixdim", Exponent: 2}},
+			BaseMemory: 64, MemoryPerUnit: 0.008,
+			MemTerms: []Term{{Param: "matrixdim", Exponent: 2}},
+		},
+		{
+			Tool: "minimos", BaseCPU: 45,
+			CPUTerms:   []Term{{Param: "gridnodes", Exponent: 1.4}},
+			BaseMemory: 40, MemoryPerUnit: 0.8,
+			MemTerms: []Term{{Param: "gridnodes", Exponent: 1}},
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func service(t *testing.T) *Service {
+	t.Helper()
+	s := NewService(0.2)
+	for _, m := range PunchModels() {
+		if err := s.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []*Model{
+		{Tool: "", BaseCPU: 1},
+		{Tool: "x", BaseCPU: 0},
+		{Tool: "x", BaseCPU: 1, BaseMemory: -1},
+		{Tool: "x", BaseCPU: 1, MemoryPerUnit: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	good := &Model{Tool: "x", BaseCPU: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestPredictPowerLaw(t *testing.T) {
+	s := service(t)
+	small, err := s.Predict("tsuprem4", map[string]float64{"gridnodes": 100, "steps": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.Predict("tsuprem4", map[string]float64{"gridnodes": 400, "steps": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gridnodes exponent is 1.5: 4x nodes => 8x cpu.
+	ratio := big.CPUSeconds / small.CPUSeconds
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Errorf("cpu ratio = %v, want 8", ratio)
+	}
+	if big.MemoryMB <= small.MemoryMB {
+		t.Error("memory should grow with gridnodes")
+	}
+}
+
+func TestPredictMissingParamsAreNeutral(t *testing.T) {
+	s := service(t)
+	est, err := s.Predict("spice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CPUSeconds != 2 { // BaseCPU with all-neutral terms
+		t.Errorf("cpu = %v", est.CPUSeconds)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	s := service(t)
+	if _, err := s.Predict("nosuchtool", nil); err == nil {
+		t.Error("unknown tool should fail")
+	}
+	if _, err := s.Predict("spice", map[string]float64{"nodes": -5}); err == nil {
+		t.Error("negative parameter should fail")
+	}
+	if _, err := s.Predict("spice", map[string]float64{"nodes": 0}); err == nil {
+		t.Error("zero parameter should fail")
+	}
+}
+
+func TestObserveCalibrates(t *testing.T) {
+	s := service(t)
+	params := map[string]float64{"nodes": 100, "timepoints": 1000}
+	before, err := s.Predict("spice", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real runs consistently take twice the prediction.
+	for i := 0; i < 40; i++ {
+		pred, _ := s.Predict("spice", params)
+		if err := s.Observe("spice", params, pred.CPUSeconds*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := s.Predict("spice", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CPUSeconds < before.CPUSeconds*1.8 {
+		t.Errorf("calibration too weak: %v -> %v", before.CPUSeconds, after.CPUSeconds)
+	}
+	corr, n := s.Correction("spice")
+	if n != 40 || corr < 1.8 {
+		t.Errorf("correction = %v after %d observations", corr, n)
+	}
+	// Unknown tools report the neutral correction.
+	if c, n := s.Correction("ghost"); c != 1 || n != 0 {
+		t.Errorf("ghost correction = %v, %d", c, n)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	s := service(t)
+	if err := s.Observe("spice", nil, 0); err == nil {
+		t.Error("zero observation should fail")
+	}
+	if err := s.Observe("ghost", nil, 10); err == nil {
+		t.Error("unknown tool should fail")
+	}
+}
+
+func TestToolsSorted(t *testing.T) {
+	s := service(t)
+	tools := s.Tools()
+	if len(tools) != 6 {
+		t.Fatalf("tools = %v", tools)
+	}
+	for i := 1; i < len(tools); i++ {
+		if tools[i-1] >= tools[i] {
+			t.Errorf("not sorted: %v", tools)
+		}
+	}
+}
+
+func TestRegisterCopiesModel(t *testing.T) {
+	s := NewService(0)
+	m := &Model{Tool: "x", BaseCPU: 1, CPUTerms: []Term{{Param: "p", Exponent: 1}}}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	m.CPUTerms[0].Exponent = 99
+	est, err := s.Predict("x", map[string]float64{"p": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CPUSeconds != 2 {
+		t.Errorf("register aliased caller's terms: cpu = %v", est.CPUSeconds)
+	}
+}
+
+// Property: prediction is monotone in every positive parameter with a
+// positive exponent.
+func TestPredictMonotoneProperty(t *testing.T) {
+	s := service(t)
+	f := func(a, b uint16) bool {
+		x, y := float64(a%1000)+1, float64(b%1000)+1
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		el, err1 := s.Predict("driftdiffusion", map[string]float64{"gridnodes": lo})
+		eh, err2 := s.Predict("driftdiffusion", map[string]float64{"gridnodes": hi})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return eh.CPUSeconds >= el.CPUSeconds && eh.MemoryMB >= el.MemoryMB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package policy implements the usage-policy metaprograms of white-pages
+// field 19. The paper leaves this field "currently unimplemented, but it
+// is designed to point to a PUNCH metaprogram that would allow
+// administrators to specify complex usage policies (e.g., public users are
+// only allowed to access this machine if its load is below a specified
+// threshold)". This package provides that mechanism: a small rule language
+// evaluated at allocation time against the machine's state and the
+// requesting user.
+//
+// Grammar (one rule per line, first match wins, trailing default rule
+// recommended):
+//
+//	policy := { rule "\n" }
+//	rule   := ("allow" | "deny") [ "if" cond { "&&" cond } ]
+//	cond   := ident op literal
+//	op     := "==" | "!=" | ">=" | "<=" | ">" | "<"
+//
+// Identifiers resolve against the evaluation context: the requester's
+// "group", "login" and "tool", plus the machine's live attributes (load,
+// freememory, activejobs, ...). The example from the paper reads:
+//
+//	deny if group == public && load >= 0.5
+//	allow
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"actyp/internal/query"
+)
+
+// Effect is a rule's verdict.
+type Effect int
+
+// Rule effects.
+const (
+	Allow Effect = iota
+	Deny
+)
+
+func (e Effect) String() string {
+	if e == Deny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// cond is one comparison inside a rule.
+type cond struct {
+	ident string
+	c     query.Condition
+}
+
+// Rule is one line of a policy.
+type Rule struct {
+	Effect Effect
+	conds  []cond
+}
+
+// Policy is a compiled metaprogram.
+type Policy struct {
+	Ref   string // the field-19 pointer this policy was registered under
+	rules []Rule
+}
+
+// Compile parses a policy text. Empty input compiles to the empty policy,
+// which allows everything.
+func Compile(ref, text string) (*Policy, error) {
+	p := &Policy{Ref: ref}
+	for ln, rawLine := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := compileRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: line %d: %w", ref, ln+1, err)
+		}
+		p.rules = append(p.rules, rule)
+	}
+	return p, nil
+}
+
+func compileRule(line string) (Rule, error) {
+	fields := strings.Fields(line)
+	var r Rule
+	switch fields[0] {
+	case "allow":
+		r.Effect = Allow
+	case "deny":
+		r.Effect = Deny
+	default:
+		return r, fmt.Errorf("rule must start with allow or deny, got %q", fields[0])
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	if rest == "" {
+		return r, nil // unconditional rule
+	}
+	if !strings.HasPrefix(rest, "if ") {
+		return r, fmt.Errorf("expected 'if' after %s", r.Effect)
+	}
+	rest = strings.TrimSpace(rest[3:])
+	for _, clause := range strings.Split(rest, "&&") {
+		clause = strings.TrimSpace(clause)
+		c, err := compileCond(clause)
+		if err != nil {
+			return r, err
+		}
+		r.conds = append(r.conds, c)
+	}
+	return r, nil
+}
+
+func compileCond(clause string) (cond, error) {
+	for _, op := range []string{"==", "!=", ">=", "<=", ">", "<"} {
+		i := strings.Index(clause, op)
+		if i < 0 {
+			continue
+		}
+		ident := strings.TrimSpace(clause[:i])
+		operand := strings.TrimSpace(clause[i+len(op):])
+		if ident == "" || operand == "" {
+			return cond{}, fmt.Errorf("malformed condition %q", clause)
+		}
+		var qc query.Condition
+		var err error
+		switch op {
+		case "==":
+			qc = query.Eq(operand)
+		case "!=":
+			qc = query.Ne(operand)
+		default:
+			qc, err = query.ParseCondition(op + operand)
+			if err != nil {
+				return cond{}, err
+			}
+		}
+		return cond{ident: ident, c: qc}, nil
+	}
+	return cond{}, fmt.Errorf("condition %q has no comparison operator", clause)
+}
+
+// Context is the evaluation environment: requester facts plus live machine
+// attributes.
+type Context = query.AttrSet
+
+// Evaluate returns the verdict of the first matching rule; policies with
+// no matching rule (including the empty policy) allow.
+func (p *Policy) Evaluate(ctx Context) Effect {
+	for _, r := range p.rules {
+		if r.matches(ctx) {
+			return r.Effect
+		}
+	}
+	return Allow
+}
+
+func (r Rule) matches(ctx Context) bool {
+	for _, c := range r.conds {
+		attr, ok := ctx[c.ident]
+		if !ok {
+			return false // unknown identifier: the condition cannot hold
+		}
+		if !attr.Matches(c.c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of compiled rules.
+func (p *Policy) Len() int { return len(p.rules) }
+
+// Store resolves field-19 references to compiled policies, playing the
+// role of the metaprogram repository.
+type Store struct {
+	mu       sync.RWMutex
+	policies map[string]*Policy
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{policies: make(map[string]*Policy)}
+}
+
+// Register compiles and stores a policy under its reference.
+func (s *Store) Register(ref, text string) error {
+	if ref == "" {
+		return fmt.Errorf("policy: store needs a non-empty reference")
+	}
+	p, err := Compile(ref, text)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies[ref] = p
+	return nil
+}
+
+// Lookup returns the policy for a reference. Unknown references return
+// (nil, false); callers treat that as allow-all, preserving the behaviour
+// of the paper's unimplemented field.
+func (s *Store) Lookup(ref string) (*Policy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.policies[ref]
+	return p, ok
+}

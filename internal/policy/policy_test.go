@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"testing"
+
+	"actyp/internal/query"
+)
+
+func ctx(pairs map[string]string, nums map[string]float64) Context {
+	c := Context{}
+	for k, v := range pairs {
+		c[k] = query.StrAttr(v)
+	}
+	for k, v := range nums {
+		c[k] = query.NumAttr(v)
+	}
+	return c
+}
+
+func TestCompilePaperExample(t *testing.T) {
+	p, err := Compile("ref", `
+# public users only below the load threshold
+deny if group == public && load >= 0.5
+allow
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("rules = %d", p.Len())
+	}
+	// Public user on a loaded machine: denied.
+	if got := p.Evaluate(ctx(map[string]string{"group": "public"}, map[string]float64{"load": 1.2})); got != Deny {
+		t.Errorf("loaded public = %v", got)
+	}
+	// Public user on an idle machine: allowed.
+	if got := p.Evaluate(ctx(map[string]string{"group": "public"}, map[string]float64{"load": 0.1})); got != Allow {
+		t.Errorf("idle public = %v", got)
+	}
+	// Non-public user always allowed.
+	if got := p.Evaluate(ctx(map[string]string{"group": "ece"}, map[string]float64{"load": 3})); got != Allow {
+		t.Errorf("ece = %v", got)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	p, err := Compile("r", `
+allow if group == ece
+deny
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Evaluate(ctx(map[string]string{"group": "ece"}, nil)) != Allow {
+		t.Error("ece should match the allow rule first")
+	}
+	if p.Evaluate(ctx(map[string]string{"group": "cs"}, nil)) != Deny {
+		t.Error("cs should fall to the deny rule")
+	}
+}
+
+func TestEmptyPolicyAllows(t *testing.T) {
+	p, err := Compile("r", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Evaluate(Context{}) != Allow {
+		t.Error("empty policy must allow")
+	}
+	// No matching rule also allows.
+	p2, err := Compile("r", "deny if group == public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Evaluate(Context{}) != Allow {
+		t.Error("unmatched policy must allow")
+	}
+}
+
+func TestUnknownIdentifierNeverMatches(t *testing.T) {
+	p, err := Compile("r", "deny if ghost == 1\nallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Evaluate(Context{}) != Allow {
+		t.Error("condition on an unknown identifier must not match")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"permit if x == 1",  // unknown verb
+		"deny x == 1",       // missing if
+		"deny if",           // empty condition (parsed as cond-less "if")
+		"deny if x ~ 1",     // no operator
+		"deny if == 1",      // missing identifier
+		"deny if x >= fast", // non-numeric ordering operand
+	}
+	for _, text := range bad {
+		if _, err := Compile("r", text); err == nil {
+			t.Errorf("Compile(%q) should fail", text)
+		}
+	}
+}
+
+func TestNumericAndStringOperators(t *testing.T) {
+	p, err := Compile("r", `
+deny if activejobs > 3
+deny if machine != m0001
+allow
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Evaluate(ctx(map[string]string{"machine": "m0001"}, map[string]float64{"activejobs": 5})) != Deny {
+		t.Error("> should deny")
+	}
+	if p.Evaluate(ctx(map[string]string{"machine": "m0002"}, map[string]float64{"activejobs": 1})) != Deny {
+		t.Error("!= should deny")
+	}
+	if p.Evaluate(ctx(map[string]string{"machine": "m0001"}, map[string]float64{"activejobs": 1})) != Allow {
+		t.Error("matching machine under threshold should be allowed")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Error("effect strings wrong")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if err := s.Register("", "allow"); err == nil {
+		t.Error("empty ref should fail")
+	}
+	if err := s.Register("p1", "deny if group == public\nallow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("bad", "bogus"); err == nil {
+		t.Error("bad policy text should fail registration")
+	}
+	p, ok := s.Lookup("p1")
+	if !ok || p.Ref != "p1" {
+		t.Fatalf("lookup = %v, %v", p, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("unknown ref should miss")
+	}
+	// Re-registration replaces.
+	if err := s.Register("p1", "allow"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.Lookup("p1")
+	if p.Len() != 1 {
+		t.Errorf("replacement not applied: %d rules", p.Len())
+	}
+}
+
+func TestPolicyLineAndCommentHandling(t *testing.T) {
+	p, err := Compile("r", "\n  \n# only a comment\nallow\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("rules = %d", p.Len())
+	}
+}
+
+func TestConditionWhitespaceTolerance(t *testing.T) {
+	p, err := Compile("r", "deny if load>=0.5&&group==public\nallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Evaluate(ctx(map[string]string{"group": "public"}, map[string]float64{"load": 0.7})) != Deny {
+		t.Error("compact spelling should still deny")
+	}
+}

@@ -1,0 +1,145 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Lease expiry. The paper's desktop relinquishes resources by notifying
+// ActYP when a run completes; a desktop that crashes mid-run would strand
+// its machine forever. Pools therefore support an optional lease lifetime:
+// leases not renewed within TTL are reaped and their machines returned to
+// the pool. Long runs renew periodically (the execution unit's heartbeat).
+
+// SetLeaseTTL enables expiry for leases granted *after* the call. A
+// non-positive ttl disables expiry.
+func (p *Pool) SetLeaseTTL(ttl time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaseTTL = ttl
+}
+
+// Renew extends a live lease's lifetime by the pool's TTL from now.
+// Renewing an unknown (possibly already-reaped) lease is an error the
+// holder must treat as "your machine is gone".
+func (p *Pool) Renew(leaseID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", p.id, leaseID)
+	}
+	if p.leaseTTL > 0 {
+		e.expires = p.clock().Add(p.leaseTTL)
+	}
+	return nil
+}
+
+// Reap releases every lease whose lifetime has passed, returning the
+// reaped lease ids. Pools with expiry disabled never reap.
+func (p *Pool) Reap() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.leaseTTL <= 0 {
+		return nil
+	}
+	now := p.clock()
+	var reaped []string
+	for id, e := range p.leases {
+		if e.expires.IsZero() || e.expires.After(now) {
+			continue
+		}
+		delete(p.leases, id)
+		e.lease = ""
+		if e.cand.ActiveJobs > 0 {
+			e.cand.ActiveJobs--
+		}
+		e.cand.Load -= 1 / float64(maxInt(1, e.machine.Static.CPUs))
+		if e.cand.Load < 0 {
+			e.cand.Load = 0
+		}
+		reaped = append(reaped, id)
+	}
+	return reaped
+}
+
+// Reaper periodically reaps expired leases on a set of pools.
+type Reaper struct {
+	interval time.Duration
+	pools    func() []*Pool
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+
+	statMu sync.Mutex
+	reaped int
+}
+
+// NewReaper builds a reaper over a dynamic pool source (so pools created
+// after the reaper starts are covered). A non-positive interval defaults
+// to 30 seconds.
+func NewReaper(pools func() []*Pool, interval time.Duration) *Reaper {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Reaper{interval: interval, pools: pools}
+}
+
+// Sweep reaps once, synchronously, returning how many leases it freed.
+func (r *Reaper) Sweep() int {
+	n := 0
+	for _, p := range r.pools() {
+		n += len(p.Reap())
+	}
+	r.statMu.Lock()
+	r.reaped += n
+	r.statMu.Unlock()
+	return n
+}
+
+// Reaped returns the lifetime count of reaped leases.
+func (r *Reaper) Reaped() int {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.reaped
+}
+
+// Start launches the periodic sweep; double start is a no-op.
+func (r *Reaper) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	stop, done := r.stop, r.done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic sweep; double stop is a no-op.
+func (r *Reaper) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

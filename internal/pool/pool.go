@@ -1,0 +1,495 @@
+// Package pool implements ActYP resource pools (Section 5.2.3):
+// dynamically-created active objects that hold 1) machines aggregated
+// according to the criteria encoded in the pool's name and 2) scheduling
+// logic that orders those machines by a configurable objective. Pools
+// answer allocation queries with machine leases, support the splitting and
+// replication (instance-bias) mechanisms evaluated in Section 7, and mark
+// their machines "taken" in the white-pages database while they hold them.
+package pool
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"actyp/internal/policy"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+)
+
+// Lease is the answer a resource pool returns for a query: the machine's
+// coordinates plus a session-specific access key (Section 2: "it gets back
+// an IP address, a TCP port number, and a session-specific access key").
+type Lease struct {
+	ID           string    `json:"id"`           // unique lease handle
+	Machine      string    `json:"machine"`      // machine name
+	Addr         string    `json:"addr"`         // IP address
+	ExecUnitPort int       `json:"execUnitPort"` // TCP port of the execution unit
+	MountMgrPort int       `json:"mountMgrPort"` // TCP port of the PVFS mount manager
+	AccessKey    string    `json:"accessKey"`    // session-specific access key
+	Pool         string    `json:"pool"`         // granting pool instance
+	Granted      time.Time `json:"granted"`
+}
+
+// ErrExhausted is returned when every machine in the pool is busy or
+// filtered out for the requesting user.
+var ErrExhausted = fmt.Errorf("pool: no machine available")
+
+// Config describes a pool to create.
+type Config struct {
+	// Name is the signature/identifier pair that defines the aggregation
+	// criteria. Required.
+	Name query.PoolName
+	// Family is the query family the name was derived from (default
+	// "punch").
+	Family string
+	// Instance distinguishes replicas of the same pool name. Replica
+	// instance i of Replicas n prefers every n-th machine starting at i.
+	Instance int
+	// Replicas is the replication stride (default 1: unreplicated).
+	Replicas int
+	// DB is the white-pages database. Required.
+	DB *registry.DB
+	// Objective orders machines; default least-load.
+	Objective schedule.Objective
+	// MaxMachines caps how many machines the pool loads (0: unlimited).
+	MaxMachines int
+	// Members, when non-nil, bypasses the white-pages walk and loads
+	// exactly these machines (used by splitting and replication, where
+	// the member set is decided by the splitter, not by criteria).
+	Members []string
+	// Exclusive marks machines taken in the database (default for fresh
+	// pools). Replicas and split children of an already-taken member set
+	// run with Exclusive=false.
+	Exclusive bool
+	// Clock supplies time; defaults to time.Now.
+	Clock func() time.Time
+	// ScanCost, when positive, charges this much wall-clock time per
+	// cache entry scanned inside the allocation critical section. The
+	// controlled experiments use it to model the paper's 2001-era linear
+	// search, whose per-entry cost made single large pools a measurable
+	// bottleneck (Figure 6). Production configurations leave it zero.
+	ScanCost time.Duration
+	// Policies resolves the usage-policy references of white-pages field
+	// 19. Nil (or an unknown reference) means allow-all, preserving the
+	// paper's behaviour for its unimplemented field.
+	Policies *policy.Store
+	// LeaseTTL enables lease expiry: leases not renewed within this
+	// lifetime are reclaimed by Reap. Zero disables expiry.
+	LeaseTTL time.Duration
+}
+
+// entry is one machine in the pool's local cache.
+type entry struct {
+	machine *registry.Machine
+	cand    schedule.Candidate
+	lease   string    // active lease id, "" when free
+	expires time.Time // lease deadline; zero means no expiry
+}
+
+// Pool is a resource pool instance.
+type Pool struct {
+	name     query.PoolName
+	family   string
+	id       string // unique instance id, e.g. "arch,==/sun#2"
+	instance int
+	replicas int
+	obj      schedule.Objective
+	db       *registry.DB
+	excl     bool
+	clock    func() time.Time
+	scanCost time.Duration
+	policies *policy.Store
+
+	mu       sync.Mutex
+	cache    []*entry
+	leases   map[string]*entry
+	nextSeq  int
+	closed   bool
+	leaseTTL time.Duration
+	// scratch buffers reused across Allocate calls (guarded by mu) so a
+	// 3,200-entry scan does not allocate per query.
+	scratch    []schedule.Candidate
+	scratchPtr []*schedule.Candidate
+
+	statMu    sync.Mutex
+	allocs    int
+	misses    int
+	scanCount int64 // total entries scanned, for the linear-search benches
+}
+
+// New creates and initializes a pool object: it walks the white pages for
+// machines matching the criteria encoded in the pool name (or adopts the
+// explicit member list), loads them into its local cache, and — when
+// exclusive — marks them taken in the database.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Name.IsZero() {
+		return nil, fmt.Errorf("pool: config needs a name")
+	}
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("pool: config needs a database")
+	}
+	if cfg.Family == "" {
+		cfg.Family = "punch"
+	}
+	if cfg.Objective == nil {
+		cfg.Objective = schedule.LeastLoad{}
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	p := &Pool{
+		name:     cfg.Name,
+		family:   cfg.Family,
+		id:       fmt.Sprintf("%s#%d", cfg.Name.String(), cfg.Instance),
+		instance: cfg.Instance,
+		replicas: cfg.Replicas,
+		obj:      cfg.Objective,
+		db:       cfg.DB,
+		excl:     cfg.Exclusive,
+		clock:    cfg.Clock,
+		scanCost: cfg.ScanCost,
+		policies: cfg.Policies,
+		leaseTTL: cfg.LeaseTTL,
+		leases:   make(map[string]*entry),
+	}
+
+	var machines []*registry.Machine
+	if cfg.Members != nil {
+		for _, name := range cfg.Members {
+			m, err := cfg.DB.Get(name)
+			if err != nil {
+				return nil, fmt.Errorf("pool %s: member %s: %w", p.id, name, err)
+			}
+			machines = append(machines, m)
+			if cfg.MaxMachines > 0 && len(machines) >= cfg.MaxMachines {
+				break
+			}
+		}
+	} else {
+		crit, err := cfg.Name.Criteria(cfg.Family)
+		if err != nil {
+			return nil, fmt.Errorf("pool %s: bad name: %w", p.id, err)
+		}
+		if cfg.Exclusive {
+			machines = cfg.DB.Take(crit, p.id, cfg.MaxMachines)
+		} else {
+			machines = cfg.DB.Select(crit)
+			if cfg.MaxMachines > 0 && len(machines) > cfg.MaxMachines {
+				machines = machines[:cfg.MaxMachines]
+			}
+		}
+	}
+	if len(machines) == 0 {
+		if cfg.Exclusive {
+			cfg.DB.ReleaseAll(p.id)
+		}
+		return nil, fmt.Errorf("pool %s: no machines match the aggregation criteria", p.id)
+	}
+	for _, m := range machines {
+		p.cache = append(p.cache, &entry{machine: m, cand: candidateOf(m)})
+	}
+	return p, nil
+}
+
+func candidateOf(m *registry.Machine) schedule.Candidate {
+	return schedule.Candidate{
+		Name:       m.Static.Name,
+		Load:       m.Dynamic.Load,
+		FreeMemory: m.Dynamic.FreeMemory,
+		FreeSwap:   m.Dynamic.FreeSwap,
+		Speed:      m.Static.Speed,
+		CPUs:       m.Static.CPUs,
+		ActiveJobs: m.Dynamic.ActiveJobs,
+	}
+}
+
+// Name returns the pool's signature/identifier name.
+func (p *Pool) Name() query.PoolName { return p.name }
+
+// ID returns the unique instance id (name + instance number).
+func (p *Pool) ID() string { return p.id }
+
+// Instance returns the replica number.
+func (p *Pool) Instance() int { return p.instance }
+
+// Size returns the number of machines in the cache.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// Free returns how many machines are currently unleased.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.cache {
+		if e.lease == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns the machine names in cache order.
+func (p *Pool) Members() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.cache))
+	for i, e := range p.cache {
+		out[i] = e.machine.Static.Name
+	}
+	return out
+}
+
+// Allocate answers a basic query with a machine lease. It performs the
+// paper's linear search over the cache, honouring the scheduling objective,
+// the replication bias, machine usability, and the user- and tool-group
+// access policies carried in the query. It returns ErrExhausted when no
+// machine qualifies.
+func (p *Pool) Allocate(q *query.Query) (*Lease, error) {
+	userGroup := condStr(q, p.family, query.ClassUser, "accessgroup")
+	toolGroup := condStr(q, p.family, query.ClassAppl, "tool")
+	login := condStr(q, p.family, query.ClassUser, "login")
+	// Pool managers route queries to the pool whose name matches, so
+	// members normally satisfy the query by construction. A query whose
+	// name differs was mis-routed (or sent directly); re-verify its rsrc
+	// constraints per machine rather than handing out a wrong lease.
+	verifyRsrc := query.Name(q) != p.name
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pool %s: closed", p.id)
+	}
+
+	// One linear pass builds the candidate view; ineligible machines are
+	// folded into the Busy flag so selection stays a single linear scan.
+	// The scratch buffers live on the pool (mu held) to keep the hot
+	// path allocation-free.
+	if cap(p.scratch) < len(p.cache) {
+		p.scratch = make([]schedule.Candidate, len(p.cache))
+		p.scratchPtr = make([]*schedule.Candidate, len(p.cache))
+	}
+	cands := p.scratchPtr[:len(p.cache)]
+	for i, e := range p.cache {
+		c := &p.scratch[i]
+		*c = e.cand
+		m := e.machine
+		c.Busy = e.lease != "" ||
+			!m.Usable() || c.Load >= m.Static.MaxLoad ||
+			(userGroup != "" && !m.AllowsUserGroup(userGroup)) ||
+			(toolGroup != "" && !m.SupportsToolGroup(toolGroup)) ||
+			(verifyRsrc && !m.Attrs().MatchRsrc(q)) ||
+			p.deniedByPolicy(e, userGroup, toolGroup, login)
+		cands[i] = c
+	}
+	p.statMu.Lock()
+	p.scanCount += int64(len(cands))
+	p.statMu.Unlock()
+	if p.scanCost > 0 {
+		// Charge the modelled per-entry search cost inside the critical
+		// section: concurrent queries to the same pool instance serialize
+		// on its scan, which is the bottleneck Figures 6-8 measure.
+		time.Sleep(p.scanCost * time.Duration(len(cands)))
+	}
+
+	idx := schedule.SelectBiased(cands, p.obj, nil, p.instance, p.replicas)
+	if idx < 0 {
+		p.statMu.Lock()
+		p.misses++
+		p.statMu.Unlock()
+		return nil, ErrExhausted
+	}
+
+	e := p.cache[idx]
+	key, err := newAccessKey()
+	if err != nil {
+		return nil, fmt.Errorf("pool %s: %w", p.id, err)
+	}
+	p.nextSeq++
+	// The access-key prefix makes the lease id globally unique: pool
+	// instance ids are only unique within one directory, and two
+	// administrative domains can both run an "arch,==/sun#0" whose
+	// sequence numbers collide.
+	lease := &Lease{
+		ID:           fmt.Sprintf("%s:%d:%s", p.id, p.nextSeq, key[:8]),
+		Machine:      e.machine.Static.Name,
+		Addr:         e.machine.Access.Addr,
+		ExecUnitPort: e.machine.Access.ExecUnitPort,
+		MountMgrPort: e.machine.Access.MountMgrPort,
+		AccessKey:    key,
+		Pool:         p.id,
+		Granted:      p.clock(),
+	}
+	e.lease = lease.ID
+	if p.leaseTTL > 0 {
+		e.expires = lease.Granted.Add(p.leaseTTL)
+	} else {
+		e.expires = time.Time{}
+	}
+	// Account the placed job locally so subsequent scheduling decisions
+	// see the machine as more loaded even before the monitor reports it.
+	e.cand.ActiveJobs++
+	e.cand.Load += 1 / float64(maxInt(1, e.machine.Static.CPUs))
+	p.leases[lease.ID] = e
+
+	p.statMu.Lock()
+	p.allocs++
+	p.statMu.Unlock()
+	return lease, nil
+}
+
+// Release frees the machine held by a lease.
+func (p *Pool) Release(leaseID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", p.id, leaseID)
+	}
+	delete(p.leases, leaseID)
+	e.lease = ""
+	if e.cand.ActiveJobs > 0 {
+		e.cand.ActiveJobs--
+	}
+	e.cand.Load -= 1 / float64(maxInt(1, e.machine.Static.CPUs))
+	if e.cand.Load < 0 {
+		e.cand.Load = 0
+	}
+	return nil
+}
+
+// Refresh re-reads the dynamic fields of every cached machine from the
+// white pages. This is the scheduling process's periodic resorting input:
+// monitor updates land in the database and Refresh folds them into the
+// cache, preserving locally-accounted jobs.
+func (p *Pool) Refresh() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.cache {
+		m, err := p.db.Get(e.machine.Static.Name)
+		if err != nil {
+			continue // machine unregistered; keep last view
+		}
+		local := e.cand.ActiveJobs - m.Dynamic.ActiveJobs
+		if local < 0 {
+			local = 0
+		}
+		e.machine = m
+		e.cand = candidateOf(m)
+		e.cand.ActiveJobs += local
+		e.cand.Load += float64(local) / float64(maxInt(1, m.Static.CPUs))
+	}
+}
+
+// Split partitions the pool's members into k contiguous, nearly equal
+// member lists, for building split child pools (Figure 7). The pool itself
+// is not modified.
+func (p *Pool) Split(k int) ([][]string, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pool %s: split factor must be positive", p.id)
+	}
+	members := p.Members()
+	if k > len(members) {
+		return nil, fmt.Errorf("pool %s: cannot split %d machines into %d pools", p.id, len(members), k)
+	}
+	out := make([][]string, k)
+	base, rem := len(members)/k, len(members)%k
+	i := 0
+	for part := 0; part < k; part++ {
+		n := base
+		if part < rem {
+			n++
+		}
+		out[part] = append([]string(nil), members[i:i+n]...)
+		i += n
+	}
+	return out, nil
+}
+
+// Close releases the pool's claim on its machines in the white pages and
+// refuses further allocations. Outstanding leases remain valid records but
+// can no longer be released through the pool.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.excl {
+		p.db.ReleaseAll(p.id)
+	}
+}
+
+// Stats reports allocation counters: successful allocations, exhausted
+// misses, and the total number of cache entries scanned (the linear-search
+// cost driver of Figure 6).
+func (p *Pool) Stats() (allocs, misses int, scanned int64) {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return p.allocs, p.misses, p.scanCount
+}
+
+// deniedByPolicy evaluates the machine's field-19 usage-policy metaprogram
+// against the requester and the machine's live state. The caller holds
+// p.mu.
+func (p *Pool) deniedByPolicy(e *entry, group, tool, login string) bool {
+	ref := e.machine.Policy.UsagePolicy
+	if p.policies == nil || ref == "" {
+		return false
+	}
+	pol, ok := p.policies.Lookup(ref)
+	if !ok {
+		return false // unresolvable reference behaves like the paper's unimplemented field
+	}
+	ctx := policy.Context{
+		"load":       query.NumAttr(e.cand.Load),
+		"freememory": query.NumAttr(e.cand.FreeMemory),
+		"activejobs": query.NumAttr(float64(e.cand.ActiveJobs)),
+		"machine":    query.StrAttr(e.machine.Static.Name),
+	}
+	if group != "" {
+		ctx["group"] = query.StrAttr(group)
+	}
+	if tool != "" {
+		ctx["tool"] = query.StrAttr(tool)
+	}
+	if login != "" {
+		ctx["login"] = query.StrAttr(login)
+	}
+	return pol.Evaluate(ctx) == policy.Deny
+}
+
+func condStr(q *query.Query, family string, class query.Class, name string) string {
+	c, ok := q.Lookup(query.Key{Family: family, Class: class, Name: name})
+	if !ok || c.Op != query.OpEq {
+		return ""
+	}
+	return c.Str
+}
+
+func newAccessKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("access key: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

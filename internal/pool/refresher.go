@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"sync"
+	"time"
+)
+
+// Refresher is the pool's background scheduling process (Section 5.2.3:
+// "processes or threads that order the machines on the basis of specified
+// scheduling objectives"). It periodically folds the monitor's database
+// updates into the pool cache so the linear search sees fresh load data.
+type Refresher struct {
+	pool     *Pool
+	interval time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRefresher creates a refresher for the pool. A non-positive interval
+// defaults to one second.
+func NewRefresher(p *Pool, interval time.Duration) *Refresher {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Refresher{pool: p, interval: interval}
+}
+
+// Start launches the background process; starting twice is a no-op.
+func (r *Refresher) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	stop, done := r.stop, r.done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.pool.Refresh()
+			}
+		}
+	}()
+}
+
+// Stop halts the background process and waits for it to exit; stopping a
+// stopped refresher is a no-op.
+func (r *Refresher) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/policy"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+// TestScanCostCharged verifies the linear-search cost model: an
+// allocation against an n-machine pool takes at least n*ScanCost.
+func TestScanCostCharged(t *testing.T) {
+	db := fleetDB(t, 50)
+	p, err := New(Config{
+		Name: sunName(t), DB: db, Exclusive: true,
+		ScanCost: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	if _, err := p.Allocate(sunQuery(t)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("allocation took %v, want >= 5ms for 50 entries at 100us", elapsed)
+	}
+}
+
+// TestScanCostSerializesQueries pins the Figure 6 mechanism: two
+// concurrent allocations on one pool take at least twice the scan time
+// because the search runs inside the critical section.
+func TestScanCostSerializesQueries(t *testing.T) {
+	db := fleetDB(t, 50)
+	p, err := New(Config{
+		Name: sunName(t), DB: db, Exclusive: true,
+		ScanCost: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	q := sunQuery(t)
+	start := time.Now()
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := p.Allocate(q)
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("two concurrent allocations took %v, want >= 10ms (serialized scans)", elapsed)
+	}
+}
+
+// TestPolicyDeniedCountsAsMiss verifies that a pool whose only machines
+// are policy-denied reports exhaustion (and the miss counter moves).
+func TestPolicyDeniedCountsAsMiss(t *testing.T) {
+	db := registry.NewDB()
+	machines, err := registry.HomogeneousFleetSpec(1).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines[0].Policy.UsagePolicy = "deny-public"
+	if err := db.Add(machines[0]); err != nil {
+		t.Fatal(err)
+	}
+	store := policy.NewStore()
+	if err := store.Register("deny-public", "deny if group == public\nallow"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Name: sunName(t), DB: db, Exclusive: true, Policies: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pub := sunQuery(t).Set("punch.user.accessgroup", query.Eq("public"))
+	if _, err := p.Allocate(pub); err != ErrExhausted {
+		t.Errorf("policy-denied allocation = %v, want ErrExhausted", err)
+	}
+	_, misses, _ := p.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d", misses)
+	}
+	// A non-public user passes.
+	ece := sunQuery(t).Set("punch.user.accessgroup", query.Eq("ece"))
+	if _, err := p.Allocate(ece); err != nil {
+		t.Errorf("allowed group rejected: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package poolmgr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/policy"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+)
+
+// LocalFactory creates pool instances in-process ("if the resource pool
+// and the pool manager are on the same machine, the pool manager simply
+// forks a process that initializes itself", Section 5.2.3 — a goroutine-
+// backed object here). It tracks every pool it created so they can be shut
+// down together.
+type LocalFactory struct {
+	// DB is the white-pages database new pools initialize from. Required.
+	DB *registry.DB
+	// Family is the query family (default "punch").
+	Family string
+	// Objective names the scheduling objective for new pools (default
+	// least-load). Each pool gets a fresh instance.
+	Objective string
+	// MaxMachines caps pool sizes (0: unlimited).
+	MaxMachines int
+	// Exclusive controls whether created pools take machines (default
+	// true for instance 0; replicas share automatically).
+	NonExclusive bool
+	// ScanCost is forwarded to created pools; see pool.Config.ScanCost.
+	ScanCost time.Duration
+	// Policies is forwarded to created pools; see pool.Config.Policies.
+	Policies *policy.Store
+	// LeaseTTL is forwarded to created pools; see pool.Config.LeaseTTL.
+	LeaseTTL time.Duration
+
+	mu      sync.Mutex
+	created []*pool.Pool
+}
+
+// Create implements Factory.
+func (f *LocalFactory) Create(name query.PoolName, instance int) (directory.PoolRef, error) {
+	if f.DB == nil {
+		return directory.PoolRef{}, fmt.Errorf("poolmgr: local factory needs a database")
+	}
+	obj, err := schedule.ByName(f.Objective)
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	p, err := pool.New(pool.Config{
+		Name:        name,
+		Family:      f.Family,
+		Instance:    instance,
+		DB:          f.DB,
+		Objective:   obj,
+		MaxMachines: f.MaxMachines,
+		Exclusive:   !f.NonExclusive && instance == 0,
+		ScanCost:    f.ScanCost,
+		Policies:    f.Policies,
+		LeaseTTL:    f.LeaseTTL,
+	})
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	f.mu.Lock()
+	f.created = append(f.created, p)
+	f.mu.Unlock()
+	return directory.PoolRef{Name: name, Instance: p.ID(), Local: p}, nil
+}
+
+// Pools returns every pool this factory created.
+func (f *LocalFactory) Pools() []*pool.Pool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*pool.Pool, len(f.created))
+	copy(out, f.created)
+	return out
+}
+
+// CloseAll shuts down every created pool, releasing their machines.
+func (f *LocalFactory) CloseAll() {
+	for _, p := range f.Pools() {
+		p.Close()
+	}
+}

@@ -1,0 +1,270 @@
+// Package poolmgr implements ActYP pool managers (Section 5.2.2). A pool
+// manager maps each basic query to a pool name (signature + identifier),
+// selects a random instance of that pool through the local directory
+// service, creates pool instances on demand, and — when the requested
+// resources are not available locally — forwards the query to a peer pool
+// manager, carrying a visited list and a time-to-live counter with the
+// query exactly as IP datagrams carry a TTL.
+package poolmgr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"actyp/internal/directory"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+// DefaultTTL is the forwarding budget attached to queries that arrive
+// without one.
+const DefaultTTL = 4
+
+// ErrTTLExpired is returned when a query's time-to-live counter reaches
+// zero before any pool manager could satisfy it. Per the paper, "the
+// request is considered to have failed when the counter reaches zero."
+var ErrTTLExpired = errors.New("poolmgr: query TTL expired")
+
+// ErrUnresolvable is returned when the local manager cannot satisfy the
+// query and no un-visited peer remains to forward it to.
+var ErrUnresolvable = errors.New("poolmgr: no pool and no remaining peers")
+
+// Factory creates resource-pool instances on demand. The local factory
+// forks in-process pools; the networked mode substitutes one that spawns
+// pools through remote proxy servers.
+type Factory interface {
+	// Create builds and starts instance `instance` of the named pool and
+	// returns a directory reference to it.
+	Create(name query.PoolName, instance int) (directory.PoolRef, error)
+}
+
+// Config describes a pool manager.
+type Config struct {
+	// Name identifies this manager in visited lists. Required.
+	Name string
+	// Dir is the local directory service. Required.
+	Dir *directory.Service
+	// Factory creates pools on demand; nil managers never create pools
+	// and always delegate or fail.
+	Factory Factory
+	// Seed makes instance selection deterministic in tests; 0 uses a
+	// fixed default.
+	Seed int64
+	// TTL is attached to queries arriving without one (default
+	// DefaultTTL).
+	TTL int
+}
+
+// Manager is one pool-manager stage instance.
+type Manager struct {
+	name    string
+	dir     *directory.Service
+	factory Factory
+	ttl     int
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	createMu sync.Mutex // serializes pool creation per manager
+
+	statMu    sync.Mutex
+	resolved  int
+	created   int
+	forwarded int
+	failed    int
+}
+
+// New creates a pool manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("poolmgr: config needs a name")
+	}
+	if cfg.Dir == nil {
+		return nil, fmt.Errorf("poolmgr: config needs a directory service")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Manager{
+		name:    cfg.Name,
+		dir:     cfg.Dir,
+		factory: cfg.Factory,
+		ttl:     cfg.TTL,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Name implements directory.Forwarder.
+func (m *Manager) Name() string { return m.name }
+
+// Resolve maps the basic query to a pool name and allocates a machine,
+// creating the pool if necessary and delegating to peers when local
+// resolution fails. It is the entry point used by query managers.
+func (m *Manager) Resolve(q *query.Query) (*pool.Lease, error) {
+	return m.Forward(q, m.ttl, nil)
+}
+
+// Forward implements directory.Forwarder: it continues resolution of a
+// query that carries delegation state. The visited list prevents the query
+// from reaching any manager twice; the TTL bounds total hops.
+func (m *Manager) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	if ttl <= 0 {
+		m.countFail()
+		return nil, ErrTTLExpired
+	}
+	for _, v := range visited {
+		if v == m.name {
+			m.countFail()
+			return nil, fmt.Errorf("poolmgr %s: query already visited this manager", m.name)
+		}
+	}
+
+	name := query.Name(q)
+	if lease, err := m.resolveLocal(name, q); err == nil {
+		m.statMu.Lock()
+		m.resolved++
+		m.statMu.Unlock()
+		return lease, nil
+	}
+
+	// Local resolution failed: attach our name, decrement the TTL, and
+	// forward to an unvisited peer listed in the directory.
+	visited = append(append([]string(nil), visited...), m.name)
+	ttl--
+	for _, peer := range m.dir.Peers() {
+		if peer.Name() == m.name || contains(visited, peer.Name()) {
+			continue
+		}
+		m.statMu.Lock()
+		m.forwarded++
+		m.statMu.Unlock()
+		lease, err := peer.Forward(q, ttl, visited)
+		if err == nil {
+			return lease, nil
+		}
+		if errors.Is(err, ErrTTLExpired) {
+			m.countFail()
+			return nil, err
+		}
+		// Peer failed for another reason; it recorded itself in its own
+		// visited handling, but our copy must also skip it.
+		visited = append(visited, peer.Name())
+	}
+	m.countFail()
+	if ttl <= 0 {
+		return nil, ErrTTLExpired
+	}
+	return nil, ErrUnresolvable
+}
+
+// resolveLocal looks the pool up in the directory (creating it when
+// needed) and allocates from a randomly selected instance. If the selected
+// instance is exhausted it fails over to the remaining instances of the
+// same pool name before reporting failure.
+func (m *Manager) resolveLocal(name query.PoolName, q *query.Query) (*pool.Lease, error) {
+	refs := m.dir.Lookup(name)
+	if len(refs) == 0 {
+		created, err := m.create(name)
+		if err != nil {
+			return nil, err
+		}
+		refs = []directory.PoolRef{created}
+	}
+	// Start at a random instance, then walk the rest in order.
+	start := 0
+	if len(refs) > 1 {
+		m.rngMu.Lock()
+		start = m.rng.Intn(len(refs))
+		m.rngMu.Unlock()
+	}
+	var lastErr error
+	for i := 0; i < len(refs); i++ {
+		ref := refs[(start+i)%len(refs)]
+		if ref.Local == nil {
+			lastErr = fmt.Errorf("poolmgr %s: instance %s has no local handle", m.name, ref.Instance)
+			continue
+		}
+		lease, err := ref.Local.Allocate(q)
+		if err == nil {
+			return lease, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (m *Manager) pick(name query.PoolName) (directory.PoolRef, bool) {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.dir.Pick(name, m.rng)
+}
+
+// create builds instance 0 of a missing pool through the factory,
+// registering it in the directory. Concurrent creators race benignly: the
+// loser adopts the winner's registration.
+func (m *Manager) create(name query.PoolName) (directory.PoolRef, error) {
+	if m.factory == nil {
+		return directory.PoolRef{}, fmt.Errorf("poolmgr %s: no factory to create pool %s", m.name, name)
+	}
+	m.createMu.Lock()
+	defer m.createMu.Unlock()
+	// Another goroutine may have created the pool while we waited.
+	if ref, ok := m.pick(name); ok {
+		return ref, nil
+	}
+	ref, err := m.factory.Create(name, 0)
+	if err != nil {
+		return directory.PoolRef{}, fmt.Errorf("poolmgr %s: create %s: %w", m.name, name, err)
+	}
+	if err := m.dir.Register(ref); err != nil {
+		return directory.PoolRef{}, err
+	}
+	m.statMu.Lock()
+	m.created++
+	m.statMu.Unlock()
+	return ref, nil
+}
+
+// Release routes a lease release to the instance that granted it.
+func (m *Manager) Release(lease *pool.Lease) error {
+	if lease == nil {
+		return fmt.Errorf("poolmgr %s: nil lease", m.name)
+	}
+	ref, ok := m.dir.ByInstance(lease.Pool)
+	if !ok {
+		return fmt.Errorf("poolmgr %s: unknown pool instance %s", m.name, lease.Pool)
+	}
+	if ref.Local == nil {
+		return fmt.Errorf("poolmgr %s: instance %s has no local handle", m.name, lease.Pool)
+	}
+	return ref.Local.Release(lease.ID)
+}
+
+// Stats returns counters: locally resolved queries, pools created,
+// delegations attempted, and failures.
+func (m *Manager) Stats() (resolved, created, forwarded, failed int) {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	return m.resolved, m.created, m.forwarded, m.failed
+}
+
+func (m *Manager) countFail() {
+	m.statMu.Lock()
+	m.failed++
+	m.statMu.Unlock()
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+package poolmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+func fleetDB(t testing.TB, n int) *registry.DB {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(n).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func basicQuery(t testing.TB, text string) *query.Query {
+	t.Helper()
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func newManager(t testing.TB, name string, db *registry.DB) (*Manager, *directory.Service, *LocalFactory) {
+	t.Helper()
+	dir := directory.New()
+	f := &LocalFactory{DB: db}
+	m, err := New(Config{Name: name, Dir: dir, Factory: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dir, f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dir: directory.New()}); err == nil {
+		t.Error("missing name should fail")
+	}
+	if _, err := New(Config{Name: "pm"}); err == nil {
+		t.Error("missing directory should fail")
+	}
+	m, err := New(Config{Name: "pm", Dir: directory.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ttl != DefaultTTL {
+		t.Errorf("default ttl = %d", m.ttl)
+	}
+	if m.Name() != "pm" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestResolveCreatesPoolOnDemand(t *testing.T) {
+	db := fleetDB(t, 8)
+	m, dir, f := newManager(t, "pm", db)
+	defer f.CloseAll()
+
+	q := basicQuery(t, "punch.rsrc.arch = sun")
+	lease, err := m.Resolve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Machine == "" {
+		t.Error("empty lease")
+	}
+	// The pool is now registered; a second query reuses it.
+	if dir.Instances() != 1 {
+		t.Errorf("instances = %d", dir.Instances())
+	}
+	if _, err := m.Resolve(q); err != nil {
+		t.Fatal(err)
+	}
+	resolved, created, _, _ := m.Stats()
+	if resolved != 2 || created != 1 {
+		t.Errorf("stats: resolved=%d created=%d", resolved, created)
+	}
+
+	// Different criteria spawn a different pool.
+	if _, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = hp")); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Instances() != 2 {
+		t.Errorf("instances after second criteria = %d", dir.Instances())
+	}
+}
+
+func TestResolveRelease(t *testing.T) {
+	db := fleetDB(t, 4)
+	m, _, f := newManager(t, "pm", db)
+	defer f.CloseAll()
+
+	q := basicQuery(t, "punch.rsrc.arch = sun")
+	lease, err := m.Resolve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(lease); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(lease); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := m.Release(nil); err == nil {
+		t.Error("nil lease should fail")
+	}
+	if err := m.Release(&pool.Lease{ID: "x", Pool: "ghost"}); err == nil {
+		t.Error("unknown instance should fail")
+	}
+}
+
+func TestResolveWithoutFactoryFails(t *testing.T) {
+	m, err := New(Config{Name: "pm", Dir: directory.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err == nil {
+		t.Error("factory-less manager with no peers should fail")
+	}
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Errorf("err = %v, want ErrUnresolvable", err)
+	}
+}
+
+func TestForwardDelegatesToPeer(t *testing.T) {
+	// pm-a has no sun machines (hp-only fleet); pm-b has suns.
+	dbA := registry.NewDB()
+	hpOnly := registry.FleetSpec{N: 4, Archs: []string{"hp"}, Domains: []string{"upc"}, Seed: 1}
+	if err := hpOnly.Populate(dbA, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	dbB := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(4).Populate(dbB, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	dirA, dirB := directory.New(), directory.New()
+	fA, fB := &LocalFactory{DB: dbA}, &LocalFactory{DB: dbB}
+	defer fA.CloseAll()
+	defer fB.CloseAll()
+	a, err := New(Config{Name: "pm-a", Dir: dirA, Factory: fA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Name: "pm-b", Dir: dirB, Factory: fB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA.AddPeer(b)
+
+	lease, err := a.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err != nil {
+		t.Fatalf("delegation failed: %v", err)
+	}
+	if lease.Machine == "" {
+		t.Error("empty lease from peer")
+	}
+	_, _, forwarded, _ := a.Stats()
+	if forwarded != 1 {
+		t.Errorf("forwarded = %d", forwarded)
+	}
+	resolvedB, _, _, _ := b.Stats()
+	if resolvedB != 1 {
+		t.Errorf("peer resolved = %d", resolvedB)
+	}
+}
+
+func TestForwardTTLExpiry(t *testing.T) {
+	// A chain of managers with no machines anywhere: the query must die
+	// with ErrTTLExpired once its TTL is exhausted, not loop forever.
+	mkEmpty := func(name string, dir *directory.Service) *Manager {
+		m, err := New(Config{Name: name, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	dirs := []*directory.Service{directory.New(), directory.New(), directory.New()}
+	m0 := mkEmpty("pm-0", dirs[0])
+	m1 := mkEmpty("pm-1", dirs[1])
+	m2 := mkEmpty("pm-2", dirs[2])
+	dirs[0].AddPeer(m1)
+	dirs[1].AddPeer(m2)
+	dirs[2].AddPeer(m0) // cycle
+
+	_, err := m0.Forward(basicQuery(t, "punch.rsrc.arch = sun"), 2, nil)
+	if !errors.Is(err, ErrTTLExpired) {
+		t.Errorf("err = %v, want ErrTTLExpired", err)
+	}
+}
+
+func TestForwardVisitedListPreventsRevisit(t *testing.T) {
+	dir := directory.New()
+	m, err := New(Config{Name: "pm", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Forward(basicQuery(t, "punch.rsrc.arch = sun"), 5, []string{"pm"})
+	if err == nil {
+		t.Error("revisit should fail")
+	}
+}
+
+func TestForwardZeroTTLFailsImmediately(t *testing.T) {
+	db := fleetDB(t, 2)
+	m, _, f := newManager(t, "pm", db)
+	defer f.CloseAll()
+	_, err := m.Forward(basicQuery(t, "punch.rsrc.arch = sun"), 0, nil)
+	if !errors.Is(err, ErrTTLExpired) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestForwardCycleTerminates(t *testing.T) {
+	// Two empty managers pointing at each other with a generous TTL: the
+	// visited list must terminate the walk before the TTL does.
+	dirA, dirB := directory.New(), directory.New()
+	a, err := New(Config{Name: "pm-a", Dir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Name: "pm-b", Dir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA.AddPeer(b)
+	dirB.AddPeer(a)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("empty grid resolution should fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delegation cycle did not terminate")
+	}
+}
+
+func TestLocalFactory(t *testing.T) {
+	db := fleetDB(t, 8)
+	f := &LocalFactory{DB: db}
+	name := query.Name(basicQuery(t, "punch.rsrc.arch = sun"))
+	ref, err := f.Create(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Local == nil || ref.Name != name {
+		t.Errorf("ref = %+v", ref)
+	}
+	if len(f.Pools()) != 1 {
+		t.Errorf("pools = %d", len(f.Pools()))
+	}
+	// Instance 0 is exclusive: machines are taken.
+	p := f.Pools()[0]
+	if got := db.TakenBy(p.ID()); len(got) != p.Size() {
+		t.Errorf("taken = %d, size = %d", len(got), p.Size())
+	}
+	f.CloseAll()
+	if got := db.TakenBy(p.ID()); len(got) != 0 {
+		t.Errorf("CloseAll left %d taken", len(got))
+	}
+
+	// Bad objective and missing DB fail.
+	if _, err := (&LocalFactory{DB: db, Objective: "bogus"}).Create(name, 1); err == nil {
+		t.Error("bad objective should fail")
+	}
+	if _, err := (&LocalFactory{}).Create(name, 0); err == nil {
+		t.Error("missing db should fail")
+	}
+}
+
+func TestConcurrentResolveSinglePoolCreated(t *testing.T) {
+	db := fleetDB(t, 64)
+	m, dir, f := newManager(t, "pm", db)
+	defer f.CloseAll()
+	q := basicQuery(t, "punch.rsrc.arch = sun")
+
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := m.Resolve(q)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("resolve %d: %v", i, err)
+		}
+	}
+	if dir.Instances() != 1 {
+		t.Errorf("concurrent resolution created %d pools", dir.Instances())
+	}
+	_, created, _, _ := m.Stats()
+	if created != 1 {
+		t.Errorf("created = %d", created)
+	}
+}

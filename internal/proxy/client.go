@@ -1,0 +1,134 @@
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"actyp/internal/netsim"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/wire"
+)
+
+// Spawn asks the proxy server at addr to create a pool instance and
+// returns the new instance's id and allocation address.
+func Spawn(addr string, req wire.SpawnPoolRequest, profile netsim.Profile) (*wire.SpawnPoolReply, error) {
+	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	env, err := wire.NewEnvelope(wire.TypeSpawnPool, 1, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == wire.TypeError {
+		var e wire.ErrorReply
+		if err := reply.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("proxy: spawn: %s", e.Message)
+	}
+	var sp wire.SpawnPoolReply
+	if err := reply.Decode(&sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// RemotePool is the client stub for a pool served by a proxy. It satisfies
+// the directory service's Allocator contract, so remote pools register and
+// allocate exactly like local ones. It is safe for concurrent use: calls
+// serialize on the single connection, mirroring the single-threaded pool
+// objects of the paper.
+type RemotePool struct {
+	addr    string
+	profile netsim.Profile
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// NewRemotePool connects a stub to the pool endpoint at addr.
+func NewRemotePool(addr string, profile netsim.Profile) (*RemotePool, error) {
+	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial pool %s: %w", addr, err)
+	}
+	return &RemotePool{addr: addr, profile: profile, conn: conn}, nil
+}
+
+// Addr returns the pool endpoint address.
+func (r *RemotePool) Addr() string { return r.addr }
+
+// Close drops the connection.
+func (r *RemotePool) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn.Close()
+}
+
+// Allocate implements the Allocator contract over the wire: the basic
+// query travels in its textual form, which round-trips losslessly.
+func (r *RemotePool) Allocate(q *query.Query) (*pool.Lease, error) {
+	env, err := wire.NewEnvelope(typeAlloc, 0, allocRequest{Query: q.String()})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := r.roundTrip(env)
+	if err != nil {
+		return nil, err
+	}
+	var ar allocReply
+	if err := reply.Decode(&ar); err != nil {
+		return nil, err
+	}
+	if ar.Lease == nil {
+		return nil, fmt.Errorf("proxy: remote pool returned no lease")
+	}
+	return ar.Lease, nil
+}
+
+// Release implements the Allocator contract.
+func (r *RemotePool) Release(leaseID string) error {
+	env, err := wire.NewEnvelope(typeRelease, 0, releaseRequest{LeaseID: leaseID})
+	if err != nil {
+		return err
+	}
+	_, err = r.roundTrip(env)
+	return err
+}
+
+func (r *RemotePool) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	env.ID = r.nextID
+	if err := wire.WriteFrame(r.conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != env.ID {
+		return nil, fmt.Errorf("proxy: reply id %d for request %d", reply.ID, env.ID)
+	}
+	if reply.Type == wire.TypeError {
+		var e wire.ErrorReply
+		if err := reply.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("proxy: remote pool: %s", e.Message)
+	}
+	return reply, nil
+}

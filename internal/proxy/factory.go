@@ -1,0 +1,66 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+
+	"actyp/internal/directory"
+	"actyp/internal/netsim"
+	"actyp/internal/query"
+	"actyp/internal/wire"
+)
+
+// RemoteFactory creates resource pools through proxy servers on remote
+// machines, plugging into pool managers exactly like the local factory. It
+// round-robins spawn requests across the configured proxies.
+type RemoteFactory struct {
+	// Proxies are control addresses of running proxy servers. Required.
+	Proxies []string
+	// Profile is applied to spawn and allocation connections.
+	Profile netsim.Profile
+	// Objective names the scheduling objective for spawned pools.
+	Objective string
+
+	mu    sync.Mutex
+	next  int
+	stubs []*RemotePool
+}
+
+// Create implements the pool managers' Factory contract.
+func (f *RemoteFactory) Create(name query.PoolName, instance int) (directory.PoolRef, error) {
+	if len(f.Proxies) == 0 {
+		return directory.PoolRef{}, fmt.Errorf("proxy: remote factory has no proxies")
+	}
+	f.mu.Lock()
+	addr := f.Proxies[f.next%len(f.Proxies)]
+	f.next++
+	f.mu.Unlock()
+
+	sp, err := Spawn(addr, wire.SpawnPoolRequest{
+		Signature:  name.Signature,
+		Identifier: name.Identifier,
+		Instance:   instance,
+		Objective:  f.Objective,
+	}, f.Profile)
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	stub, err := NewRemotePool(sp.Addr, f.Profile)
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	f.mu.Lock()
+	f.stubs = append(f.stubs, stub)
+	f.mu.Unlock()
+	return directory.PoolRef{Name: name, Instance: sp.Instance, Addr: sp.Addr, Local: stub}, nil
+}
+
+// CloseAll drops every stub connection (the proxies own the pools).
+func (f *RemoteFactory) CloseAll() {
+	f.mu.Lock()
+	stubs := append([]*RemotePool(nil), f.stubs...)
+	f.mu.Unlock()
+	for _, s := range stubs {
+		_ = s.Close()
+	}
+}

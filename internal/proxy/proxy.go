@@ -1,0 +1,267 @@
+// Package proxy implements the remote-creation path for resource pools
+// (Section 5.2.3): "If the resource pool is on a different machine, the
+// pool manager starts it via a proxy server on the remote machine. (This
+// server is a part of the ActYP service, and is assumed to be kept alive
+// via a cron process.)" A proxy server listens on a machine, spawns pool
+// instances on request, and serves each pool's allocation traffic over the
+// wire protocol. RemotePool is the client-side stub that makes a spawned
+// pool usable wherever a local pool is (it implements the directory
+// service's Allocator contract).
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"actyp/internal/netsim"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+	"actyp/internal/wire"
+)
+
+// Wire message types private to the pool endpoints.
+const (
+	typeAlloc   = "pool-alloc"
+	typeRelease = "pool-release"
+)
+
+// allocRequest carries a basic query in its textual form.
+type allocRequest struct {
+	Query string `json:"query"`
+}
+
+type allocReply struct {
+	Lease *pool.Lease `json:"lease"`
+}
+
+type releaseRequest struct {
+	LeaseID string `json:"leaseId"`
+}
+
+// Server is one machine's proxy: it spawns pools and serves them.
+type Server struct {
+	db      *registry.DB
+	profile netsim.Profile
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	pools  map[string]*pool.Pool // instance id -> pool
+	lns    []net.Listener        // per-pool listeners
+	wg     sync.WaitGroup
+}
+
+// Start launches a proxy server for the machine hosting db.
+func Start(db *registry.DB, addr string, profile netsim.Profile) (*Server, error) {
+	if db == nil {
+		return nil, fmt.Errorf("proxy: server needs a database")
+	}
+	ln, err := netsim.Listen(addr, profile)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{db: db, profile: profile, ln: ln, pools: make(map[string]*pool.Pool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the proxy's control address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Pools returns the ids of pools this proxy spawned, for observability.
+func (s *Server) Pools() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.pools))
+	for id := range s.pools {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close shuts the proxy and every spawned pool down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := append([]net.Listener(nil), s.lns...)
+	pools := make([]*pool.Pool, 0, len(s.pools))
+	for _, p := range s.pools {
+		pools = append(pools, p)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, l := range lns {
+		_ = l.Close()
+	}
+	s.wg.Wait()
+	for _, p := range pools {
+		p.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handleControl(conn)
+	}
+}
+
+// handleControl processes spawn requests on the proxy's control port.
+func (s *Server) handleControl(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var reply *wire.Envelope
+		switch env.Type {
+		case wire.TypePing:
+			reply = &wire.Envelope{Type: wire.TypePing, ID: env.ID}
+		case wire.TypeSpawnPool:
+			var req wire.SpawnPoolRequest
+			if err := env.Decode(&req); err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			sp, err := s.spawn(req)
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			reply, err = wire.NewEnvelope(wire.TypeSpawnPool, env.ID, sp)
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+			}
+		default:
+			reply = errEnvelope(env.ID, fmt.Errorf("proxy: unknown message %q", env.Type))
+		}
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func errEnvelope(id uint64, err error) *wire.Envelope {
+	env, marshalErr := wire.NewEnvelope(wire.TypeError, id, wire.ErrorReply{Message: err.Error()})
+	if marshalErr != nil {
+		return &wire.Envelope{Type: wire.TypeError, ID: id}
+	}
+	return env
+}
+
+// spawn creates a pool and a dedicated listener serving its allocations.
+func (s *Server) spawn(req wire.SpawnPoolRequest) (*wire.SpawnPoolReply, error) {
+	obj, err := schedule.ByName(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	p, err := pool.New(pool.Config{
+		Name:      query.PoolName{Signature: req.Signature, Identifier: req.Identifier},
+		Instance:  req.Instance,
+		DB:        s.db,
+		Objective: obj,
+		Exclusive: req.Instance == 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := netsim.Listen("127.0.0.1:0", s.profile)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		p.Close()
+		return nil, fmt.Errorf("proxy: server closed")
+	}
+	s.pools[p.ID()] = p
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.servePool(ln, p)
+	return &wire.SpawnPoolReply{Instance: p.ID(), Addr: ln.Addr().String()}, nil
+}
+
+func (s *Server) servePool(ln net.Listener, p *pool.Pool) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handlePool(conn, p)
+	}
+}
+
+func (s *Server) handlePool(conn net.Conn, p *pool.Pool) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var reply *wire.Envelope
+		switch env.Type {
+		case typeAlloc:
+			var req allocRequest
+			if err := env.Decode(&req); err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			q, err := query.ParseBasic(req.Query)
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			lease, err := p.Allocate(q)
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			reply, err = wire.NewEnvelope(typeAlloc, env.ID, allocReply{Lease: lease})
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+			}
+		case typeRelease:
+			var req releaseRequest
+			if err := env.Decode(&req); err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			if err := p.Release(req.LeaseID); err != nil {
+				reply = errEnvelope(env.ID, err)
+				break
+			}
+			reply, err = wire.NewEnvelope(typeRelease, env.ID, struct{}{})
+			if err != nil {
+				reply = errEnvelope(env.ID, err)
+			}
+		default:
+			reply = errEnvelope(env.ID, fmt.Errorf("proxy: unknown pool message %q", env.Type))
+		}
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}

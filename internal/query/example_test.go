@@ -1,0 +1,66 @@
+package query_test
+
+import (
+	"fmt"
+
+	"actyp/internal/query"
+)
+
+// ExampleParse parses the paper's Section 5.1 sample query and shows the
+// pool name a pool manager derives from it.
+func ExampleParse() {
+	c, err := query.Parse(`
+punch.rsrc.arch = sun
+punch.rsrc.memory = >=10
+punch.rsrc.license = tsuprem4
+punch.rsrc.domain = purdue
+punch.appl.expectedcpuuse = 1000
+punch.user.login = kapadia
+punch.user.accessgroup = ece
+`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	q := c.Decompose()[0]
+	name := query.Name(q)
+	fmt.Println("signature: ", name.Signature)
+	fmt.Println("identifier:", name.Identifier)
+	// Output:
+	// signature:  arch:domain:license:memory,==:==:==:>=
+	// identifier: sun:purdue:tsuprem4:10
+}
+
+// ExampleComposite_Decompose shows how an or-clause fragments into basic
+// queries processed concurrently by the pipeline.
+func ExampleComposite_Decompose() {
+	c, err := query.Parse("punch.rsrc.arch = sun | hp\npunch.rsrc.memory = >=64")
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	for _, q := range c.Decompose() {
+		arch, _ := q.Get("punch.rsrc.arch")
+		fmt.Println("fragment for arch", arch.Str)
+	}
+	// Output:
+	// fragment for arch sun
+	// fragment for arch hp
+}
+
+// ExampleAttrSet_MatchRsrc shows machine-side matching against a query's
+// resource requirements.
+func ExampleAttrSet_MatchRsrc() {
+	machine := query.AttrSet{
+		"arch":   query.StrAttr("sun"),
+		"memory": query.NumAttr(512),
+		"cms":    query.ListAttr("sge", "pbs"),
+	}
+	q := query.New().
+		Set("punch.rsrc.arch", query.Eq("sun")).
+		Set("punch.rsrc.memory", query.Ge(256)).
+		Set("punch.rsrc.cms", query.Eq("pbs"))
+	fmt.Println(machine.MatchRsrc(q))
+	// Output:
+	// true
+}

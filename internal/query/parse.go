@@ -1,0 +1,151 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a query in its native textual form: one "key = value" line per
+// condition. Values may carry a leading comparison operator (>=, <=, >, <,
+// !=), a range (lo..hi), a comma-separated set, or one or more "|"-separated
+// alternatives, which make the query composite. Blank lines and lines
+// starting with '#' are ignored.
+//
+// Example:
+//
+//	punch.rsrc.arch = sun | hp
+//	punch.rsrc.memory = >=10
+//	punch.rsrc.license = tsuprem4
+//	punch.user.login = kapadia
+func Parse(text string) (*Composite, error) {
+	c := NewComposite()
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("query: line %d: missing '=': %q", ln+1, line)
+		}
+		// Guard against the value's own operator being taken as the
+		// separator: the separator is the first '=' not preceded by one of
+		// < > ! and not followed by '='.
+		keyPart := strings.TrimSpace(line[:eq])
+		valPart := strings.TrimSpace(line[eq+1:])
+		if strings.HasSuffix(keyPart, "<") || strings.HasSuffix(keyPart, ">") || strings.HasSuffix(keyPart, "!") {
+			return nil, fmt.Errorf("query: line %d: operator must appear in the value, after '=': %q", ln+1, line)
+		}
+		if strings.HasPrefix(valPart, "=") { // "==" spelled explicitly
+			valPart = strings.TrimSpace(valPart[1:])
+		}
+		key, err := ParseKey(keyPart)
+		if err != nil {
+			return nil, fmt.Errorf("query: line %d: %v", ln+1, err)
+		}
+		if valPart == "" {
+			return nil, fmt.Errorf("query: line %d: empty value for key %s", ln+1, key)
+		}
+		for _, alt := range strings.Split(valPart, "|") {
+			alt = strings.TrimSpace(alt)
+			if alt == "" {
+				return nil, fmt.Errorf("query: line %d: empty alternative for key %s", ln+1, key)
+			}
+			cond, err := ParseCondition(alt)
+			if err != nil {
+				return nil, fmt.Errorf("query: line %d: %v", ln+1, err)
+			}
+			c.Add(key.String(), cond)
+		}
+	}
+	return c, nil
+}
+
+// ParseBasic parses text that must not contain "or" clauses and returns the
+// resulting basic query.
+func ParseBasic(text string) (*Query, error) {
+	c, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if !c.IsBasic() {
+		return nil, fmt.Errorf("query: composite query where a basic query was required")
+	}
+	qs := c.Decompose()
+	return qs[0], nil
+}
+
+// ParseCondition parses a single condition value: an optional comparison
+// operator followed by an operand, a lo..hi range, a comma-separated set, or
+// the wildcard "*".
+func ParseCondition(s string) (Condition, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Condition{}, fmt.Errorf("query: empty condition")
+	}
+	if s == "*" {
+		return Any(), nil
+	}
+	// Explicit equality operator: "==value". A remaining leading '=' after
+	// stripping it is malformed rather than part of the operand, which
+	// keeps String -> Parse round trips idempotent.
+	if strings.HasPrefix(s, "==") {
+		s = strings.TrimSpace(s[2:])
+		if s == "" {
+			return Condition{}, fmt.Errorf("query: operator == needs an operand")
+		}
+	}
+	if strings.HasPrefix(s, "=") {
+		return Condition{}, fmt.Errorf("query: unexpected '=' in condition %q", s)
+	}
+	switch {
+	case strings.HasPrefix(s, ">="):
+		return numCond(OpGe, s[2:])
+	case strings.HasPrefix(s, "<="):
+		return numCond(OpLe, s[2:])
+	case strings.HasPrefix(s, "!="):
+		v := strings.TrimSpace(s[2:])
+		if v == "" {
+			return Condition{}, fmt.Errorf("query: operator != needs an operand")
+		}
+		return Ne(v), nil
+	case strings.HasPrefix(s, ">"):
+		return numCond(OpGt, s[1:])
+	case strings.HasPrefix(s, "<"):
+		return numCond(OpLt, s[1:])
+	}
+	if i := strings.Index(s, ".."); i >= 0 {
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(s[i+2:]), 64)
+		if err1 != nil || err2 != nil {
+			return Condition{}, fmt.Errorf("query: bad range %q", s)
+		}
+		if lo > hi {
+			return Condition{}, fmt.Errorf("query: range %q has lo > hi", s)
+		}
+		return Between(lo, hi), nil
+	}
+	if strings.Contains(s, ",") {
+		parts := strings.Split(s, ",")
+		set := make([]string, 0, len(parts))
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return Condition{}, fmt.Errorf("query: set %q has an empty member", s)
+			}
+			set = append(set, p)
+		}
+		return In(set...), nil
+	}
+	return Eq(s), nil
+}
+
+func numCond(op Op, operand string) (Condition, error) {
+	operand = strings.TrimSpace(operand)
+	f, err := strconv.ParseFloat(operand, 64)
+	if err != nil {
+		return Condition{}, fmt.Errorf("query: operator %s needs a numeric operand, got %q", op, operand)
+	}
+	return Condition{Op: op, Num: f, IsNum: true, Str: FormatNum(f)}, nil
+}

@@ -1,0 +1,154 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPunchSchemaAcceptsPaperQuery(t *testing.T) {
+	c, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PunchSchema().ValidateComposite(c); err != nil {
+		t.Errorf("paper query rejected: %v", err)
+	}
+}
+
+func TestSchemaDeclareErrors(t *testing.T) {
+	s := NewSchema("t")
+	if err := s.Declare(Field{Class: ClassRsrc, Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := s.Declare(Field{Class: "bogus", Name: "x"}); err == nil {
+		t.Error("bad class should fail")
+	}
+	if err := s.Declare(Field{Class: ClassRsrc, Name: "x", Kind: KindEnum}); err == nil {
+		t.Error("enum without values should fail")
+	}
+}
+
+func TestSchemaValidateUnknownKey(t *testing.T) {
+	q := New().Set("punch.rsrc.nosuchkey", Eq("x"))
+	err := PunchSchema().Validate(q)
+	if err == nil || !strings.Contains(err.Error(), "not declared") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSchemaValidateWrongFamily(t *testing.T) {
+	q := New().Set("condor.rsrc.arch", Eq("x"))
+	if err := PunchSchema().Validate(q); err == nil {
+		t.Error("wrong family should fail")
+	}
+}
+
+func TestSchemaKindChecks(t *testing.T) {
+	s := PunchSchema()
+	// Ordering operator on a string field fails.
+	q := New().Set("punch.rsrc.arch", Ge(10))
+	if err := s.Validate(q); err == nil {
+		t.Error(">= on string field should fail")
+	}
+	// Non-numeric operand on a numeric field fails.
+	q2 := New().Set("punch.rsrc.memory", Eq("lots"))
+	if err := s.Validate(q2); err == nil {
+		t.Error("string operand on numeric field should fail")
+	}
+	// Wildcards always pass.
+	q3 := New().Set("punch.rsrc.memory", Any())
+	if err := s.Validate(q3); err != nil {
+		t.Errorf("wildcard rejected: %v", err)
+	}
+	// Numeric field accepts range and numeric equality.
+	q4 := New().
+		Set("punch.rsrc.memory", Between(10, 20)).
+		Set("punch.rsrc.swap", EqNum(100))
+	if err := s.Validate(q4); err != nil {
+		t.Errorf("numeric forms rejected: %v", err)
+	}
+}
+
+func TestSchemaEnum(t *testing.T) {
+	s := NewSchema("t")
+	if err := s.Declare(Field{Class: ClassRsrc, Name: "tier", Kind: KindEnum, Values: []string{"gold", "silver"}}); err != nil {
+		t.Fatal(err)
+	}
+	ok := New().Set("t.rsrc.tier", Eq("gold"))
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("declared enum value rejected: %v", err)
+	}
+	bad := New().Set("t.rsrc.tier", Eq("bronze"))
+	if err := s.Validate(bad); err == nil {
+		t.Error("undeclared enum value should fail")
+	}
+	set := New().Set("t.rsrc.tier", In("gold", "bronze"))
+	if err := s.Validate(set); err == nil {
+		t.Error("set containing undeclared enum value should fail")
+	}
+}
+
+func TestSchemaNamesSorted(t *testing.T) {
+	names := PunchSchema().Names(ClassRsrc)
+	if len(names) == 0 {
+		t.Fatal("no rsrc names")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+	if got := PunchSchema().Names(ClassUser); len(got) != 3 {
+		t.Errorf("user names = %v", got)
+	}
+}
+
+func TestSchemaRegistry(t *testing.T) {
+	r := NewSchemaRegistry()
+	if _, ok := r.Family("punch"); !ok {
+		t.Fatal("punch family should be preloaded")
+	}
+	if fams := r.Families(); len(fams) != 1 || fams[0] != "punch" {
+		t.Errorf("families = %v", fams)
+	}
+
+	// Register a second family (the ClassAds reuse scenario from §5.1).
+	classads := NewSchema("classads")
+	if err := classads.Declare(Field{Class: ClassRsrc, Name: "opsys", Kind: KindString}); err != nil {
+		t.Fatal(err)
+	}
+	r.Register(classads)
+	if fams := r.Families(); len(fams) != 2 {
+		t.Errorf("families = %v", fams)
+	}
+	c, _ := Parse("classads.rsrc.opsys = LINUX")
+	if err := r.Validate(c); err != nil {
+		t.Errorf("classads query rejected: %v", err)
+	}
+
+	// Unknown family and mixed families fail.
+	c2, _ := Parse("nobody.rsrc.x = 1")
+	if err := r.Validate(c2); err == nil {
+		t.Error("unknown family should fail")
+	}
+	mixed := NewComposite().
+		Add("punch.rsrc.arch", Eq("sun")).
+		Add("classads.rsrc.opsys", Eq("LINUX"))
+	if err := r.Validate(mixed); err == nil {
+		t.Error("mixed families should fail")
+	}
+	if err := r.Validate(NewComposite()); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindString: "string", KindNumber: "number", KindList: "list", KindEnum: "enum"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

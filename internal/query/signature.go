@@ -1,0 +1,128 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PoolName is the two-part name a pool manager derives from a query
+// (Section 5.2.2). The signature captures which rsrc keys are constrained
+// and with which operators; the identifier captures the operand values.
+// For the paper's sample query the signature is
+// "arch:domain:license:memory,==:==:==:>=" and the identifier is
+// "sun:purdue:tsuprem4:10".
+type PoolName struct {
+	Signature  string `json:"signature"`
+	Identifier string `json:"identifier"`
+}
+
+// String joins signature and identifier with '/'.
+func (n PoolName) String() string { return n.Signature + "/" + n.Identifier }
+
+// IsZero reports whether the name is empty.
+func (n PoolName) IsZero() bool { return n.Signature == "" && n.Identifier == "" }
+
+// Name maps a basic query to its pool name. Only rsrc-class keys take part;
+// keys with the "don't care" wildcard are excluded, matching the paper's
+// default semantics (an unspecified key does not constrain the pool).
+// A query with no effective rsrc constraints maps to the catch-all name
+// "any,*" / "*".
+func Name(q *Query) PoolName {
+	keys := q.ClassKeys(ClassRsrc)
+	names := make([]string, 0, len(keys))
+	ops := make([]string, 0, len(keys))
+	vals := make([]string, 0, len(keys))
+	for _, k := range keys {
+		cond := q.Fields[k.String()]
+		if cond.Op == OpAny {
+			continue
+		}
+		names = append(names, k.Name)
+		ops = append(ops, cond.Op.String())
+		vals = append(vals, cond.Operand())
+	}
+	if len(names) == 0 {
+		return PoolName{Signature: "any,*", Identifier: "*"}
+	}
+	return PoolName{
+		Signature:  strings.Join(names, ":") + "," + strings.Join(ops, ":"),
+		Identifier: strings.Join(vals, ":"),
+	}
+}
+
+// ParsePoolName splits a "signature/identifier" string back into a PoolName.
+func ParsePoolName(s string) (PoolName, error) {
+	i := strings.LastIndex(s, "/")
+	if i < 0 {
+		return PoolName{}, fmt.Errorf("query: pool name %q missing '/'", s)
+	}
+	n := PoolName{Signature: s[:i], Identifier: s[i+1:]}
+	if n.Signature == "" || n.Identifier == "" {
+		return PoolName{}, fmt.Errorf("query: pool name %q has empty component", s)
+	}
+	return n, nil
+}
+
+// Criteria reconstructs the aggregation constraints encoded in a pool name:
+// the per-key conditions a machine must satisfy to belong to the pool.
+// It is the inverse of Name for the rsrc keys of the originating family.
+func (n PoolName) Criteria(family string) (*Query, error) {
+	if n.Signature == "any,*" {
+		return New(), nil
+	}
+	comma := strings.LastIndex(n.Signature, ",")
+	if comma < 0 {
+		return nil, fmt.Errorf("query: signature %q missing ',' separator", n.Signature)
+	}
+	names := strings.Split(n.Signature[:comma], ":")
+	ops := strings.Split(n.Signature[comma+1:], ":")
+	vals := strings.Split(n.Identifier, ":")
+	if len(names) != len(ops) || len(names) != len(vals) {
+		return nil, fmt.Errorf("query: pool name %q: %d keys, %d ops, %d values",
+			n.String(), len(names), len(ops), len(vals))
+	}
+	q := New()
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("query: signature %q has an empty key name", n.Signature)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("query: signature %q repeats key %q", n.Signature, name)
+		}
+		seen[name] = true
+		if i > 0 && names[i-1] > name {
+			return nil, fmt.Errorf("query: signature %q keys are not sorted", n.Signature)
+		}
+		op, err := ParseOp(ops[i])
+		if err != nil {
+			return nil, err
+		}
+		// Name never emits don't-care ops into signatures; a wildcard
+		// here marks a hand-built, malformed name.
+		if op == OpAny {
+			return nil, fmt.Errorf("query: signature %q contains a wildcard operator", n.Signature)
+		}
+		var cond Condition
+		switch op {
+		case OpEq:
+			cond = Eq(vals[i])
+		case OpNe:
+			cond = Ne(vals[i])
+		case OpIn:
+			cond = In(strings.Split(vals[i], ",")...)
+		case OpRange:
+			cond, err = ParseCondition(vals[i])
+			if err != nil {
+				return nil, err
+			}
+		default:
+			cond, err = ParseCondition(op.String() + vals[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		q.Set(Key{Family: family, Class: ClassRsrc, Name: name}.String(), cond)
+	}
+	return q, nil
+}

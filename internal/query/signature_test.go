@@ -1,0 +1,157 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Section 5.2.2 gives the exact signature and identifier for the sample
+// query of Section 5.1; this test pins both strings.
+func TestPaperSignature(t *testing.T) {
+	q, err := ParseBasic(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Name(q)
+	if n.Signature != "arch:domain:license:memory,==:==:==:>=" {
+		t.Errorf("signature = %q", n.Signature)
+	}
+	if n.Identifier != "sun:purdue:tsuprem4:10" {
+		t.Errorf("identifier = %q", n.Identifier)
+	}
+}
+
+func TestNameIgnoresApplUserAndWildcards(t *testing.T) {
+	q := New().
+		Set("punch.rsrc.arch", Eq("sun")).
+		Set("punch.rsrc.ostype", Any()).
+		Set("punch.appl.expectedcpuuse", EqNum(1000)).
+		Set("punch.user.login", Eq("kapadia"))
+	n := Name(q)
+	if n.Signature != "arch,==" || n.Identifier != "sun" {
+		t.Errorf("name = %+v", n)
+	}
+}
+
+func TestNameEmptyQuery(t *testing.T) {
+	n := Name(New())
+	if n.Signature != "any,*" || n.Identifier != "*" {
+		t.Errorf("catch-all name = %+v", n)
+	}
+	// All-wildcard queries also collapse to the catch-all pool.
+	q := New().Set("punch.rsrc.arch", Any())
+	if got := Name(q); got != n {
+		t.Errorf("wildcard-only name = %+v", got)
+	}
+}
+
+func TestPoolNameStringParse(t *testing.T) {
+	n := PoolName{Signature: "arch,==", Identifier: "sun"}
+	parsed, err := ParsePoolName(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != n {
+		t.Errorf("round trip = %+v", parsed)
+	}
+	for _, bad := range []string{"", "nosolidus", "/x", "x/"} {
+		if _, err := ParsePoolName(bad); err == nil {
+			t.Errorf("ParsePoolName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCriteriaInvertsName(t *testing.T) {
+	q, err := ParseBasic(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Name(q)
+	crit, err := n.Criteria("punch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The criteria must accept exactly the machines the query accepts.
+	yes := AttrSet{
+		"arch": StrAttr("sun"), "domain": StrAttr("purdue"),
+		"license": StrAttr("tsuprem4"), "memory": NumAttr(64),
+	}
+	no := yes.Clone()
+	no["memory"] = NumAttr(1)
+	if !yes.MatchRsrc(crit) {
+		t.Error("criteria rejected a conforming machine")
+	}
+	if no.MatchRsrc(crit) {
+		t.Error("criteria accepted a non-conforming machine")
+	}
+}
+
+func TestCriteriaCatchAll(t *testing.T) {
+	crit, err := PoolName{Signature: "any,*", Identifier: "*"}.Criteria("punch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit.Fields) != 0 {
+		t.Errorf("catch-all criteria = %+v", crit)
+	}
+	if !(AttrSet{}).MatchRsrc(crit) {
+		t.Error("catch-all should match anything")
+	}
+}
+
+func TestCriteriaMalformed(t *testing.T) {
+	bad := []PoolName{
+		{Signature: "archnocomma", Identifier: "sun"},
+		{Signature: "arch:mem,==", Identifier: "sun"},   // 2 keys, 1 op
+		{Signature: "arch,==:>=", Identifier: "sun"},    // 1 key, 2 ops
+		{Signature: "arch,==", Identifier: "sun:extra"}, // 1 key, 2 values
+		{Signature: "arch,~~", Identifier: "sun"},       // unknown op
+	}
+	for _, n := range bad {
+		if _, err := n.Criteria("punch"); err == nil {
+			t.Errorf("Criteria(%+v) should fail", n)
+		}
+	}
+}
+
+// Property: queries equal up to rsrc constraints map to the same pool name,
+// and the reconstructed criteria accept any machine the query accepts.
+func TestNameCriteriaConsistencyProperty(t *testing.T) {
+	archs := []string{"sun", "hp", "alpha"}
+	f := func(ai uint8, mem uint16) bool {
+		arch := archs[int(ai)%len(archs)]
+		m := float64(mem % 1024)
+		q := New().
+			Set("punch.rsrc.arch", Eq(arch)).
+			Set("punch.rsrc.memory", Ge(m)).
+			Set("punch.user.login", Eq("someone"))
+		crit, err := Name(q).Criteria("punch")
+		if err != nil {
+			return false
+		}
+		machine := AttrSet{"arch": StrAttr(arch), "memory": NumAttr(m + 1)}
+		return machine.MatchRsrc(q) && machine.MatchRsrc(crit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pool naming is stable — the same query always yields the same
+// name regardless of field insertion order.
+func TestNameOrderInvarianceProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := New().
+			Set("punch.rsrc.arch", Eq("sun")).
+			Set("punch.rsrc.domain", Eq("purdue")).
+			Set("punch.rsrc.memory", Ge(float64(seed)))
+		b := New().
+			Set("punch.rsrc.memory", Ge(float64(seed))).
+			Set("punch.rsrc.domain", Eq("purdue")).
+			Set("punch.rsrc.arch", Eq("sun"))
+		return Name(a) == Name(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

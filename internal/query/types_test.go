@@ -1,0 +1,296 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpEq: "==", OpNe: "!=", OpGe: ">=", OpLe: "<=",
+		OpGt: ">", OpLt: "<", OpRange: "..", OpIn: "in", OpAny: "*",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := Op(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op should mention its code, got %q", got)
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpEq, OpNe, OpGe, OpLe, OpGt, OpLt, OpRange, OpIn, OpAny} {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, err := ParseOp("~~"); err == nil {
+		t.Error("ParseOp(~~) should fail")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	k, err := ParseKey("punch.rsrc.arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Family != "punch" || k.Class != ClassRsrc || k.Name != "arch" {
+		t.Errorf("unexpected key %+v", k)
+	}
+	if k.String() != "punch.rsrc.arch" {
+		t.Errorf("String() = %q", k.String())
+	}
+	for _, bad := range []string{"", "punch", "punch.rsrc", "punch.rsrc.arch.x", "punch..arch", "punch.bogus.arch", ".rsrc.arch"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConditionConstructors(t *testing.T) {
+	if c := Eq("sun"); c.Op != OpEq || c.Str != "sun" || c.IsNum {
+		t.Errorf("Eq(sun) = %+v", c)
+	}
+	if c := Eq("10"); !c.IsNum || c.Num != 10 {
+		t.Errorf("Eq(10) should promote to numeric, got %+v", c)
+	}
+	if c := Ge(10); c.Op != OpGe || c.Num != 10 || !c.IsNum {
+		t.Errorf("Ge(10) = %+v", c)
+	}
+	if c := Between(1, 5); c.Op != OpRange || c.Lo != 1 || c.Hi != 5 {
+		t.Errorf("Between = %+v", c)
+	}
+	if c := In("a", "b"); c.Op != OpIn || len(c.Set) != 2 {
+		t.Errorf("In = %+v", c)
+	}
+	if c := Any(); c.Op != OpAny {
+		t.Errorf("Any = %+v", c)
+	}
+	if c := Ne("5"); c.Op != OpNe || !c.IsNum {
+		t.Errorf("Ne(5) = %+v", c)
+	}
+}
+
+func TestConditionOperandAndString(t *testing.T) {
+	cases := []struct {
+		c       Condition
+		operand string
+		str     string
+	}{
+		{Eq("sun"), "sun", "sun"},
+		{Ge(10), "10", ">=10"},
+		{Lt(2.5), "2.5", "<2.5"},
+		{Between(1, 3), "1..3", "1..3"},
+		{In("a", "b"), "a,b", "a,b"},
+		{Any(), "*", "*"},
+		{Ne("hp"), "hp", "!=hp"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Operand(); got != tc.operand {
+			t.Errorf("Operand(%+v) = %q, want %q", tc.c, got, tc.operand)
+		}
+		if got := tc.c.String(); got != tc.str {
+			t.Errorf("String(%+v) = %q, want %q", tc.c, got, tc.str)
+		}
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := FormatNum(10); got != "10" {
+		t.Errorf("FormatNum(10) = %q", got)
+	}
+	if got := FormatNum(2.5); got != "2.5" {
+		t.Errorf("FormatNum(2.5) = %q", got)
+	}
+	if got := FormatNum(-3); got != "-3" {
+		t.Errorf("FormatNum(-3) = %q", got)
+	}
+}
+
+func TestQuerySetGetLookup(t *testing.T) {
+	q := New()
+	q.Set("punch.rsrc.arch", Eq("sun")).Set("punch.appl.expectedcpuuse", EqNum(1000))
+	if c, ok := q.Get("punch.rsrc.arch"); !ok || c.Str != "sun" {
+		t.Errorf("Get arch = %+v, %v", c, ok)
+	}
+	// Missing rsrc key defaults to don't-care.
+	c, ok := q.Lookup(Key{"punch", ClassRsrc, "ostype"})
+	if !ok || c.Op != OpAny {
+		t.Errorf("missing rsrc key should be don't-care, got %+v, %v", c, ok)
+	}
+	// Missing appl/user keys default to undefined.
+	if _, ok := q.Lookup(Key{"punch", ClassAppl, "expectedmemuse"}); ok {
+		t.Error("missing appl key should be undefined")
+	}
+	if _, ok := q.Lookup(Key{"punch", ClassUser, "login"}); ok {
+		t.Error("missing user key should be undefined")
+	}
+	// Present key wins over the default.
+	if c, ok := q.Lookup(Key{"punch", ClassAppl, "expectedcpuuse"}); !ok || c.Num != 1000 {
+		t.Errorf("Lookup expectedcpuuse = %+v, %v", c, ok)
+	}
+}
+
+func TestQueryCloneIsDeep(t *testing.T) {
+	q := New().Set("punch.rsrc.cms", In("sge", "pbs"))
+	c := q.Clone()
+	c.Fields["punch.rsrc.cms"].Set[0] = "mutated"
+	if q.Fields["punch.rsrc.cms"].Set[0] != "sge" {
+		t.Error("Clone shares Set slice with original")
+	}
+	c.Set("punch.rsrc.arch", Eq("sun"))
+	if _, ok := q.Get("punch.rsrc.arch"); ok {
+		t.Error("Clone shares field map with original")
+	}
+}
+
+func TestQueryKeysSorted(t *testing.T) {
+	q := New().
+		Set("punch.user.login", Eq("kapadia")).
+		Set("punch.rsrc.arch", Eq("sun")).
+		Set("punch.rsrc.memory", Ge(10))
+	keys := q.Keys()
+	want := []string{"punch.rsrc.arch", "punch.rsrc.memory", "punch.user.login"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("Keys()[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestQueryClassKeys(t *testing.T) {
+	q := New().
+		Set("punch.rsrc.memory", Ge(10)).
+		Set("punch.rsrc.arch", Eq("sun")).
+		Set("punch.user.login", Eq("kapadia"))
+	rk := q.ClassKeys(ClassRsrc)
+	if len(rk) != 2 || rk[0].Name != "arch" || rk[1].Name != "memory" {
+		t.Errorf("ClassKeys(rsrc) = %+v", rk)
+	}
+	if uk := q.ClassKeys(ClassUser); len(uk) != 1 || uk[0].Name != "login" {
+		t.Errorf("ClassKeys(user) = %+v", uk)
+	}
+	if ak := q.ClassKeys(ClassAppl); len(ak) != 0 {
+		t.Errorf("ClassKeys(appl) = %+v", ak)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := New().Set("punch.rsrc.arch", Eq("sun")).Set("punch.rsrc.memory", Ge(10))
+	got := q.String()
+	want := "punch.rsrc.arch = sun\npunch.rsrc.memory = >=10"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestQueryFamily(t *testing.T) {
+	if f := New().Family(); f != "" {
+		t.Errorf("empty query family = %q", f)
+	}
+	q := New().Set("punch.rsrc.arch", Eq("sun"))
+	if f := q.Family(); f != "punch" {
+		t.Errorf("family = %q", f)
+	}
+}
+
+func TestCompositeDecomposeCartesian(t *testing.T) {
+	c := NewComposite().
+		Add("punch.rsrc.arch", Eq("sun")).
+		Add("punch.rsrc.arch", Eq("hp")).
+		Add("punch.rsrc.memory", Ge(10)).
+		Add("punch.rsrc.memory", Ge(20))
+	if c.IsBasic() {
+		t.Error("composite with alternatives reported as basic")
+	}
+	if got := c.Count(); got != 4 {
+		t.Errorf("Count() = %d, want 4", got)
+	}
+	qs := c.Decompose()
+	if len(qs) != 4 {
+		t.Fatalf("Decompose() produced %d queries, want 4", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		arch, _ := q.Get("punch.rsrc.arch")
+		mem, _ := q.Get("punch.rsrc.memory")
+		seen[arch.Str+"/"+mem.Operand()] = true
+	}
+	for _, want := range []string{"sun/10", "sun/20", "hp/10", "hp/20"} {
+		if !seen[want] {
+			t.Errorf("missing combination %s in %v", want, seen)
+		}
+	}
+}
+
+func TestCompositeBasicDecomposesToOne(t *testing.T) {
+	c := NewComposite().Add("punch.rsrc.arch", Eq("sun"))
+	if !c.IsBasic() {
+		t.Error("single-alternative composite should be basic")
+	}
+	qs := c.Decompose()
+	if len(qs) != 1 {
+		t.Fatalf("Decompose() = %d queries", len(qs))
+	}
+	if cond, ok := qs[0].Get("punch.rsrc.arch"); !ok || cond.Str != "sun" {
+		t.Errorf("decomposed query lost condition: %+v, %v", cond, ok)
+	}
+}
+
+func TestCompositeDecomposeDeterministic(t *testing.T) {
+	build := func() *Composite {
+		return NewComposite().
+			Add("punch.rsrc.arch", Eq("sun")).
+			Add("punch.rsrc.arch", Eq("hp")).
+			Add("punch.rsrc.domain", Eq("purdue"))
+	}
+	a := build().Decompose()
+	b := build().Decompose()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("order differs at %d: %q vs %q", i, a[i].String(), b[i].String())
+		}
+	}
+}
+
+// Property: decomposition always yields Count() basic queries, and each
+// carries exactly one alternative per key.
+func TestDecomposeCountProperty(t *testing.T) {
+	f := func(nArch, nMem uint8) bool {
+		a := int(nArch%4) + 1
+		m := int(nMem%4) + 1
+		c := NewComposite()
+		for i := 0; i < a; i++ {
+			c.Add("punch.rsrc.arch", Eq(FormatNum(float64(i))))
+		}
+		for i := 0; i < m; i++ {
+			c.Add("punch.rsrc.memory", Ge(float64(i)))
+		}
+		qs := c.Decompose()
+		if len(qs) != c.Count() || len(qs) != a*m {
+			return false
+		}
+		for _, q := range qs {
+			if len(q.Fields) != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

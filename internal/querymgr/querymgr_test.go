@@ -1,0 +1,325 @@
+package querymgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/pool"
+	"actyp/internal/poolmgr"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+// fakeRM is a scriptable pool manager.
+type fakeRM struct {
+	name string
+
+	mu       sync.Mutex
+	resolves int
+	releases []string
+	fail     bool
+	delay    time.Duration
+}
+
+func (f *fakeRM) Name() string { return f.name }
+
+func (f *fakeRM) Resolve(q *query.Query) (*pool.Lease, error) {
+	f.mu.Lock()
+	f.resolves++
+	n := f.resolves
+	fail, delay := f.fail, f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, pool.ErrExhausted
+	}
+	return &pool.Lease{ID: fmt.Sprintf("%s-%d", f.name, n), Machine: "m", Pool: f.name}, nil
+}
+
+func (f *fakeRM) Release(lease *pool.Lease) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.releases = append(f.releases, lease.ID)
+	return nil
+}
+
+func (f *fakeRM) released() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.releases)
+}
+
+func newQM(t *testing.T, mode QoS, rms ...ResourceManager) *Manager {
+	t.Helper()
+	m, err := New(Config{Name: "qm", Managers: rms, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Managers: []ResourceManager{&fakeRM{name: "a"}}}); err == nil {
+		t.Error("missing name should fail")
+	}
+	if _, err := New(Config{Name: "qm"}); err == nil {
+		t.Error("missing managers should fail")
+	}
+	m := newQM(t, WaitAll, &fakeRM{name: "a"})
+	if m.Name() != "qm" {
+		t.Errorf("name = %q", m.Name())
+	}
+	langs := m.Languages()
+	if len(langs) != 1 || langs[0] != "native" {
+		t.Errorf("languages = %v", langs)
+	}
+}
+
+func TestSubmitBasicQuery(t *testing.T) {
+	rm := &fakeRM{name: "pm"}
+	m := newQM(t, WaitAll, rm)
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil || resp.Fragments != 1 || resp.Succeeded != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	submitted, fragments, reassembled := m.Stats()
+	if submitted != 1 || fragments != 1 || reassembled != 1 {
+		t.Errorf("stats = %d/%d/%d", submitted, fragments, reassembled)
+	}
+}
+
+func TestSubmitValidatesSchema(t *testing.T) {
+	m := newQM(t, WaitAll, &fakeRM{name: "pm"})
+	if _, err := m.SubmitText("", "punch.rsrc.bogus = 1"); err == nil {
+		t.Error("undeclared key should fail validation")
+	}
+	if _, err := m.SubmitText("", "nofamily.rsrc.arch = sun"); err == nil {
+		t.Error("unknown family should fail validation")
+	}
+}
+
+func TestSubmitCompositeWaitAllReleasesSurplus(t *testing.T) {
+	rm := &fakeRM{name: "pm"}
+	m := newQM(t, WaitAll, rm)
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun | hp | alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fragments != 3 || resp.Succeeded != 3 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Lease == nil {
+		t.Fatal("no lease")
+	}
+	// Two of the three leases must have been released back.
+	if rm.released() != 2 {
+		t.Errorf("released %d leases, want 2", rm.released())
+	}
+}
+
+func TestSubmitCompositeFirstMatch(t *testing.T) {
+	fast := &fakeRM{name: "fast"}
+	slow := &fakeRM{name: "slow", delay: 50 * time.Millisecond}
+	sel := NewParamSelector("arch", map[string][]int{"sun": {1}, "hp": {0}}, nil, 1)
+	m, err := New(Config{Name: "qm", Managers: []ResourceManager{fast, slow}, Selector: sel, Mode: FirstMatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun | hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil {
+		t.Fatal("no lease")
+	}
+	if resp.Lease.Pool != "fast" {
+		t.Errorf("first-match winner = %s", resp.Lease.Pool)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Errorf("first-match waited %v for the slow fragment", elapsed)
+	}
+	// The slow fragment's lease is eventually released in the background.
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.released() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if slow.released() != 1 {
+		t.Errorf("straggler lease not released")
+	}
+}
+
+func TestSubmitNoMatch(t *testing.T) {
+	rm := &fakeRM{name: "pm", fail: true}
+	m := newQM(t, WaitAll, rm)
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun | hp")
+	if !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v", err)
+	}
+	if resp == nil || resp.Succeeded != 0 || resp.Fragments != 2 {
+		t.Errorf("resp = %+v", resp)
+	}
+
+	// FirstMatch mode also reports no-match after all fragments fail.
+	m2 := newQM(t, FirstMatch, rm)
+	if _, err := m2.SubmitText("", "punch.rsrc.arch = sun | hp"); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("first-match err = %v", err)
+	}
+}
+
+func TestSubmitTextUnknownLanguage(t *testing.T) {
+	m := newQM(t, WaitAll, &fakeRM{name: "pm"})
+	if _, err := m.SubmitText("klingon", "x"); err == nil {
+		t.Error("unknown language should fail")
+	}
+}
+
+func TestCustomTranslator(t *testing.T) {
+	rm := &fakeRM{name: "pm"}
+	tr := TranslatorFunc(func(text string) (*query.Composite, error) {
+		// A toy foreign language: "ARCH <value>".
+		c := query.NewComposite()
+		c.Add("punch.rsrc.arch", query.Eq(text[len("ARCH "):]))
+		return c, nil
+	})
+	m, err := New(Config{
+		Name:        "qm",
+		Managers:    []ResourceManager{rm},
+		Translators: map[string]Translator{"toy": tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.SubmitText("toy", "ARCH sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil {
+		t.Error("toy language query failed")
+	}
+	if got := len(m.Languages()); got != 2 {
+		t.Errorf("languages = %d", got)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	rm1 := &fakeRM{name: "a"}
+	rm2 := &fakeRM{name: "b"}
+	m := newQM(t, WaitAll, rm1, rm2)
+	if err := m.Release(&pool.Lease{ID: "x", Pool: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if rm1.released() != 1 {
+		t.Errorf("first manager should have released")
+	}
+}
+
+func TestEndToEndWithRealPoolManager(t *testing.T) {
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(16).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	dir := directory.New()
+	factory := &poolmgr.LocalFactory{DB: db}
+	defer factory.CloseAll()
+	pm, err := poolmgr.New(poolmgr.Config{Name: "pm", Dir: dir, Factory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := newQM(t, WaitAll, pm)
+
+	resp, err := qm.SubmitText("", "punch.rsrc.arch = sun | hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil || resp.Fragments != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// The composite created two pools (one per architecture).
+	if dir.Instances() != 2 {
+		t.Errorf("instances = %d", dir.Instances())
+	}
+	if err := qm.Release(resp.Lease); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	a, b, c := &fakeRM{name: "a"}, &fakeRM{name: "b"}, &fakeRM{name: "c"}
+	mgrs := []ResourceManager{a, b, c}
+	q := query.New().Set("punch.rsrc.arch", query.Eq("sun"))
+
+	t.Run("random covers all", func(t *testing.T) {
+		s := NewRandomSelector(3)
+		seen := map[string]bool{}
+		for i := 0; i < 100; i++ {
+			seen[s.Select(q, mgrs).Name()] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("random selector covered %d managers", len(seen))
+		}
+		if s.Select(q, nil) != nil {
+			t.Error("empty manager list should yield nil")
+		}
+	})
+
+	t.Run("round robin cycles", func(t *testing.T) {
+		s := &RoundRobinSelector{}
+		want := []string{"a", "b", "c", "a"}
+		for i, w := range want {
+			if got := s.Select(q, mgrs).Name(); got != w {
+				t.Errorf("pick %d = %s, want %s", i, got, w)
+			}
+		}
+		if s.Select(q, nil) != nil {
+			t.Error("empty manager list should yield nil")
+		}
+	})
+
+	t.Run("param routes by value", func(t *testing.T) {
+		s := NewParamSelector("arch", map[string][]int{"sun": {0}, "hp": {1, 2}}, nil, 1)
+		for i := 0; i < 10; i++ {
+			if got := s.Select(q, mgrs).Name(); got != "a" {
+				t.Fatalf("sun routed to %s", got)
+			}
+		}
+		hp := query.New().Set("punch.rsrc.arch", query.Eq("hp"))
+		for i := 0; i < 50; i++ {
+			got := s.Select(hp, mgrs).Name()
+			if got != "b" && got != "c" {
+				t.Fatalf("hp routed to %s", got)
+			}
+		}
+		// Unrouted value falls back to all managers.
+		alpha := query.New().Set("punch.rsrc.arch", query.Eq("alpha"))
+		seen := map[string]bool{}
+		for i := 0; i < 100; i++ {
+			seen[s.Select(alpha, mgrs).Name()] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("fallback covered %d managers", len(seen))
+		}
+		// Missing key also falls back.
+		empty := query.New()
+		if s.Select(empty, mgrs) == nil {
+			t.Error("missing key should still select")
+		}
+		// Out-of-range route index falls back rather than panicking.
+		s2 := NewParamSelector("arch", map[string][]int{"sun": {99}}, nil, 1)
+		if s2.Select(q, mgrs) == nil {
+			t.Error("bad route index should fall back")
+		}
+		if s.Select(q, nil) != nil {
+			t.Error("empty manager list should yield nil")
+		}
+	})
+}

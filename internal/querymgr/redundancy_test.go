@@ -1,0 +1,123 @@
+package querymgr
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRedundantForwardingUsesBestResponse(t *testing.T) {
+	slow := &fakeRM{name: "slow", delay: 30 * time.Millisecond}
+	fast := &fakeRM{name: "fast"}
+	m, err := New(Config{
+		Name:       "qm",
+		Managers:   []ResourceManager{slow, fast},
+		Mode:       FirstMatch,
+		Redundancy: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease.Pool != "fast" {
+		t.Errorf("redundant winner = %s", resp.Lease.Pool)
+	}
+	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
+		t.Errorf("redundant submit waited %v for the slow manager", elapsed)
+	}
+	// The slow manager's duplicate lease is released in the background.
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.released() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if slow.released() != 1 {
+		t.Error("duplicate lease never released")
+	}
+}
+
+func TestRedundantWaitAllReleasesDuplicates(t *testing.T) {
+	a, b := &fakeRM{name: "a"}, &fakeRM{name: "b"}
+	m, err := New(Config{
+		Name:       "qm",
+		Managers:   []ResourceManager{a, b},
+		Mode:       WaitAll,
+		Redundancy: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil {
+		t.Fatal("no lease")
+	}
+	if got := a.released() + b.released(); got != 1 {
+		t.Errorf("released %d duplicates, want exactly 1", got)
+	}
+}
+
+func TestRedundancySurvivesOneFailingManager(t *testing.T) {
+	bad := &fakeRM{name: "bad", fail: true}
+	good := &fakeRM{name: "good"}
+	m, err := New(Config{
+		Name:       "qm",
+		Managers:   []ResourceManager{bad, good},
+		Mode:       WaitAll,
+		Redundancy: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatalf("redundancy should mask the failing manager: %v", err)
+	}
+	if resp.Lease.Pool != "good" {
+		t.Errorf("winner = %s", resp.Lease.Pool)
+	}
+}
+
+func TestRedundancyClamps(t *testing.T) {
+	a := &fakeRM{name: "a"}
+	m, err := New(Config{Name: "qm", Managers: []ResourceManager{a}, Redundancy: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.redundancy != 1 {
+		t.Errorf("redundancy = %d, want clamp to 1", m.redundancy)
+	}
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun")
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("clamped submit failed: %v", err)
+	}
+	if a.released() != 0 {
+		t.Error("no duplicates should exist at redundancy 1")
+	}
+}
+
+func TestRedundantComposite(t *testing.T) {
+	a, b := &fakeRM{name: "a"}, &fakeRM{name: "b"}
+	m, err := New(Config{
+		Name: "qm", Managers: []ResourceManager{a, b},
+		Mode: WaitAll, Redundancy: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.SubmitText("", "punch.rsrc.arch = sun | hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fragments != 2 {
+		t.Errorf("fragments = %d", resp.Fragments)
+	}
+	// 2 fragments x 2 redundancy = 4 leases; exactly 3 released.
+	if got := a.released() + b.released(); got != 3 {
+		t.Errorf("released %d, want 3", got)
+	}
+}

@@ -1,0 +1,140 @@
+package querymgr
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+// countingRM grants leases it tracks, so reintegration invariants (no
+// leaks, no double releases) can be checked exactly. failEvery > 0 makes
+// every failEvery-th Resolve fail.
+type countingRM struct {
+	name      string
+	failEvery int
+
+	mu    sync.Mutex
+	seq   int
+	calls int
+	out   map[string]bool
+}
+
+func newCountingRM(name string, failEvery int) *countingRM {
+	return &countingRM{name: name, failEvery: failEvery, out: make(map[string]bool)}
+}
+
+func (c *countingRM) Name() string { return c.name }
+
+func (c *countingRM) Resolve(q *query.Query) (*pool.Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.failEvery > 0 && c.calls%c.failEvery == 0 {
+		return nil, pool.ErrExhausted
+	}
+	c.seq++
+	id := fmt.Sprintf("%s-%d", c.name, c.seq)
+	c.out[id] = true
+	return &pool.Lease{ID: id, Machine: "m", Pool: c.name}, nil
+}
+
+func (c *countingRM) Release(lease *pool.Lease) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.out[lease.ID] {
+		return fmt.Errorf("%s: double or foreign release of %s", c.name, lease.ID)
+	}
+	delete(c.out, lease.ID)
+	return nil
+}
+
+func (c *countingRM) outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.out)
+}
+
+// Property: whatever mix of fragment successes and failures, WaitAll
+// reintegration keeps exactly one lease (the response's) and releases all
+// others; after releasing the winner nothing is outstanding.
+func TestReintegrationConservationProperty(t *testing.T) {
+	f := func(seed int64, alts, failEvery uint8) bool {
+		nAlts := int(alts%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		rm := newCountingRM("rm", int(failEvery%4)) // 0: never fail
+		m, err := New(Config{Name: "qm", Managers: []ResourceManager{rm}, Mode: WaitAll})
+		if err != nil {
+			return false
+		}
+		c := query.NewComposite()
+		for i := 0; i < nAlts; i++ {
+			c.Add("punch.rsrc.arch", query.Eq(fmt.Sprintf("arch%d", i)))
+		}
+		// A little extra nondeterminism in scheduling.
+		if rng.Intn(2) == 0 {
+			c.Add("punch.rsrc.domain", query.Eq("purdue"))
+		}
+		resp, err := m.Submit(c)
+		if err != nil {
+			// Total failure: nothing may be outstanding.
+			return rm.outstanding() == 0
+		}
+		if resp.Lease == nil {
+			return false
+		}
+		// Exactly the winner is outstanding.
+		if rm.outstanding() != 1 {
+			return false
+		}
+		if err := m.Release(resp.Lease); err != nil {
+			return false
+		}
+		return rm.outstanding() == 0
+	}
+	// punch schema requires declared keys; arch values are free strings,
+	// so validation passes.
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the same holds under redundancy — duplicates are extra grants
+// that reintegration must also return.
+func TestRedundantReintegrationConservationProperty(t *testing.T) {
+	f := func(seed int64, alts uint8) bool {
+		nAlts := int(alts%3) + 1
+		a := newCountingRM("a", 0)
+		b := newCountingRM("b", 3)
+		m, err := New(Config{
+			Name: "qm", Managers: []ResourceManager{a, b},
+			Mode: WaitAll, Redundancy: 2,
+			Selector: NewRandomSelector(seed),
+		})
+		if err != nil {
+			return false
+		}
+		c := query.NewComposite()
+		for i := 0; i < nAlts; i++ {
+			c.Add("punch.rsrc.arch", query.Eq(fmt.Sprintf("arch%d", i)))
+		}
+		resp, err := m.Submit(c)
+		if err != nil {
+			return a.outstanding() == 0 && b.outstanding() == 0
+		}
+		if a.outstanding()+b.outstanding() != 1 {
+			return false
+		}
+		if err := m.Release(resp.Lease); err != nil {
+			return false
+		}
+		return a.outstanding() == 0 && b.outstanding() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

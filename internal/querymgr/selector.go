@@ -1,0 +1,119 @@
+package querymgr
+
+import (
+	"math/rand"
+	"sync"
+
+	"actyp/internal/query"
+)
+
+// Selector picks the pool manager that should handle a basic query.
+// Section 5.2.1: "Query managers select pool managers on the basis of the
+// values of one or more of the parameters specified within queries. It is
+// also possible to select pool managers in random or round-robin order."
+type Selector interface {
+	Select(q *query.Query, managers []ResourceManager) ResourceManager
+}
+
+// RandomSelector picks uniformly at random.
+type RandomSelector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandomSelector returns a random selector seeded deterministically.
+func NewRandomSelector(seed int64) *RandomSelector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &RandomSelector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Select implements Selector.
+func (s *RandomSelector) Select(q *query.Query, managers []ResourceManager) ResourceManager {
+	if len(managers) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return managers[s.rng.Intn(len(managers))]
+}
+
+// RoundRobinSelector cycles through the managers.
+type RoundRobinSelector struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Select implements Selector.
+func (s *RoundRobinSelector) Select(q *query.Query, managers []ResourceManager) ResourceManager {
+	if len(managers) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := managers[s.next%len(managers)]
+	s.next++
+	return m
+}
+
+// ParamSelector routes by the value of one rsrc parameter: the example of
+// Section 5.2.1 configures "one set of pool managers for sun machines and
+// a different set for hp machines", with random selection inside a set.
+type ParamSelector struct {
+	// Key is the rsrc parameter name to route on (for example "arch").
+	Key string
+	// Family scopes the key (default "punch").
+	Family string
+	// Routes maps parameter values to indices into the manager slice.
+	Routes map[string][]int
+	// Default holds the indices used when the value has no route or the
+	// key is absent; empty means "all managers".
+	Default []int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewParamSelector builds a parameter-based selector with a deterministic
+// random stream for intra-set selection.
+func NewParamSelector(key string, routes map[string][]int, def []int, seed int64) *ParamSelector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &ParamSelector{
+		Key:     key,
+		Family:  "punch",
+		Routes:  routes,
+		Default: def,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Select implements Selector.
+func (s *ParamSelector) Select(q *query.Query, managers []ResourceManager) ResourceManager {
+	if len(managers) == 0 {
+		return nil
+	}
+	family := s.Family
+	if family == "" {
+		family = "punch"
+	}
+	set := s.Default
+	cond, ok := q.Lookup(query.Key{Family: family, Class: query.ClassRsrc, Name: s.Key})
+	if ok && cond.Op == query.OpEq {
+		if routed, found := s.Routes[cond.Str]; found {
+			set = routed
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(set) == 0 {
+		return managers[s.rng.Intn(len(managers))]
+	}
+	idx := set[s.rng.Intn(len(set))]
+	if idx < 0 || idx >= len(managers) {
+		return managers[s.rng.Intn(len(managers))]
+	}
+	return managers[idx]
+}

@@ -1,0 +1,214 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"actyp/internal/query"
+)
+
+func testMachine(name string) *Machine {
+	return &Machine{
+		State: StateUp,
+		Dynamic: Dynamic{
+			Load: 0.2, ActiveJobs: 1, FreeMemory: 256, FreeSwap: 512,
+			LastUpdate: time.Unix(1000, 0), ServiceFlag: FlagExecUnit | FlagMountMgr,
+		},
+		Static: Static{Speed: 300, CPUs: 2, MaxLoad: 4, Name: name},
+		Access: Access{
+			ObjectRef: "/punch/machines/" + name + ".obj", SharedAccount: "nobody",
+			ExecUnitPort: 7000, MountMgrPort: 7001, Addr: "10.0.0.1",
+		},
+		Policy: Policy{
+			UserGroups: []string{"ece"}, ToolGroups: []string{"tsuprem4"},
+			ShadowPoolRef: "/punch/shadow/" + name,
+			Params: query.AttrSet{
+				"arch":   query.StrAttr("sun"),
+				"memory": query.NumAttr(256),
+				"domain": query.StrAttr("purdue"),
+			},
+		},
+	}
+}
+
+func TestStateStringParse(t *testing.T) {
+	for _, s := range []State{StateUp, StateDown, StateBlocked} {
+		got, err := ParseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, err %v", s, got, err)
+		}
+	}
+	if _, err := ParseState("sideways"); err == nil {
+		t.Error("unknown state should fail")
+	}
+	if got := State(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown state string = %q", got)
+	}
+}
+
+func TestMachineCloneIsDeep(t *testing.T) {
+	m := testMachine("a")
+	c := m.Clone()
+	c.Policy.UserGroups[0] = "mutated"
+	c.Policy.Params["arch"] = query.StrAttr("hp")
+	c.Static.Name = "b"
+	if m.Policy.UserGroups[0] != "ece" {
+		t.Error("Clone shares UserGroups")
+	}
+	if m.Policy.Params["arch"].Str != "sun" {
+		t.Error("Clone shares Params")
+	}
+	if m.Static.Name != "a" {
+		t.Error("Clone shares Static")
+	}
+}
+
+func TestMachineAttrs(t *testing.T) {
+	m := testMachine("a")
+	attrs := m.Attrs()
+	// Admin params present.
+	if attrs["arch"].Str != "sun" {
+		t.Errorf("arch = %+v", attrs["arch"])
+	}
+	// Built-ins derived from other fields.
+	if attrs["name"].Str != "a" {
+		t.Errorf("name = %+v", attrs["name"])
+	}
+	if attrs["speed"].Num != 300 || attrs["cpus"].Num != 2 {
+		t.Errorf("speed/cpus = %+v/%+v", attrs["speed"], attrs["cpus"])
+	}
+	if attrs["load"].Num != 0.2 || attrs["freememory"].Num != 256 {
+		t.Errorf("dynamic attrs wrong")
+	}
+	if len(attrs["usergroup"].List) != 1 || attrs["usergroup"].List[0] != "ece" {
+		t.Errorf("usergroup = %+v", attrs["usergroup"])
+	}
+	// Attrs must be a copy: mutating it must not touch the record.
+	attrs["arch"] = query.StrAttr("hp")
+	if m.Policy.Params["arch"].Str != "sun" {
+		t.Error("Attrs aliases Params")
+	}
+}
+
+func TestMachineUsable(t *testing.T) {
+	m := testMachine("a")
+	if !m.Usable() {
+		t.Error("fresh machine should be usable")
+	}
+	m.State = StateDown
+	if m.Usable() {
+		t.Error("down machine should not be usable")
+	}
+	m.State = StateUp
+	m.Dynamic.Load = m.Static.MaxLoad
+	if m.Usable() {
+		t.Error("machine at max load should not be usable")
+	}
+}
+
+func TestGroupChecks(t *testing.T) {
+	m := testMachine("a")
+	if !m.AllowsUserGroup("ece") || m.AllowsUserGroup("cs") {
+		t.Error("user group check wrong")
+	}
+	if !m.SupportsToolGroup("tsuprem4") || m.SupportsToolGroup("matlab") {
+		t.Error("tool group check wrong")
+	}
+	m.Policy.UserGroups = nil
+	m.Policy.ToolGroups = nil
+	if !m.AllowsUserGroup("anyone") || !m.SupportsToolGroup("anything") {
+		t.Error("empty lists should admit everyone")
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	good := testMachine("a")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	cases := []func(*Machine){
+		func(m *Machine) { m.Static.Name = "" },
+		func(m *Machine) { m.Static.CPUs = 0 },
+		func(m *Machine) { m.Static.Speed = 0 },
+		func(m *Machine) { m.Static.MaxLoad = 0 },
+		func(m *Machine) { m.Access.ExecUnitPort = -1 },
+		func(m *Machine) { m.Access.MountMgrPort = 70000 },
+	}
+	for i, mut := range cases {
+		m := testMachine("a")
+		mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestFleetSpecBuild(t *testing.T) {
+	now := time.Unix(5000, 0)
+	machines, err := DefaultFleetSpec(100).Build(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 100 {
+		t.Fatalf("built %d machines", len(machines))
+	}
+	archs := map[string]int{}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("generated machine invalid: %v", err)
+		}
+		archs[m.Policy.Params["arch"].Str]++
+		if !m.Usable() {
+			t.Fatalf("generated machine %s not usable", m.Static.Name)
+		}
+		if m.Dynamic.LastUpdate != now {
+			t.Fatalf("machine %s LastUpdate = %v", m.Static.Name, m.Dynamic.LastUpdate)
+		}
+	}
+	if len(archs) != 4 {
+		t.Errorf("expected 4 architectures, got %v", archs)
+	}
+	for a, n := range archs {
+		if n != 25 {
+			t.Errorf("arch %s count = %d, want 25", a, n)
+		}
+	}
+}
+
+func TestFleetSpecDeterministic(t *testing.T) {
+	a, err := DefaultFleetSpec(50).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultFleetSpec(50).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Static != b[i].Static {
+			t.Fatalf("machine %d differs across builds", i)
+		}
+	}
+}
+
+func TestFleetSpecErrors(t *testing.T) {
+	if _, err := (FleetSpec{N: 0, Archs: []string{"x"}, Domains: []string{"d"}}).Build(time.Time{}); err == nil {
+		t.Error("zero-size fleet should fail")
+	}
+	if _, err := (FleetSpec{N: 1}).Build(time.Time{}); err == nil {
+		t.Error("fleet without archs should fail")
+	}
+}
+
+func TestHomogeneousFleet(t *testing.T) {
+	machines, err := HomogeneousFleetSpec(10).Build(time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range machines {
+		if m.Policy.Params["arch"].Str != "sun" || m.Policy.Params["domain"].Str != "purdue" {
+			t.Fatalf("machine %s not homogeneous", m.Static.Name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package schedule implements the scheduling objectives and policies that
+// resource pools attach to their machine caches (Section 5.2.3): each pool
+// object has one or more scheduling processes that order machines by a
+// specified criterion (average load, available memory, ...) and answer
+// queries with the best instance. Following the paper, selection is a
+// linear search over the pool's cache.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Candidate is the scheduler's view of one machine in a pool cache.
+type Candidate struct {
+	Name       string  // machine name
+	Load       float64 // current load average
+	FreeMemory float64 // MB
+	FreeSwap   float64 // MB
+	Speed      float64 // effective speed
+	CPUs       int
+	ActiveJobs int
+	Busy       bool // locally allocated and not yet released
+}
+
+// Objective orders candidates; smaller is better.
+type Objective interface {
+	// Name identifies the objective in configuration and logs.
+	Name() string
+	// Less reports whether a should be preferred over b.
+	Less(a, b *Candidate) bool
+}
+
+// LeastLoad prefers the machine with the lowest load average, breaking
+// ties toward higher speed. This is PUNCH's default objective.
+type LeastLoad struct{}
+
+// Name implements Objective.
+func (LeastLoad) Name() string { return "least-load" }
+
+// Less implements Objective.
+func (LeastLoad) Less(a, b *Candidate) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Speed > b.Speed
+}
+
+// MostMemory prefers the machine with the most free memory.
+type MostMemory struct{}
+
+// Name implements Objective.
+func (MostMemory) Name() string { return "most-memory" }
+
+// Less implements Objective.
+func (MostMemory) Less(a, b *Candidate) bool {
+	if a.FreeMemory != b.FreeMemory {
+		return a.FreeMemory > b.FreeMemory
+	}
+	return a.Load < b.Load
+}
+
+// FastestCPU prefers raw speed, breaking ties toward lower load.
+type FastestCPU struct{}
+
+// Name implements Objective.
+func (FastestCPU) Name() string { return "fastest-cpu" }
+
+// Less implements Objective.
+func (FastestCPU) Less(a, b *Candidate) bool {
+	if a.Speed != b.Speed {
+		return a.Speed > b.Speed
+	}
+	return a.Load < b.Load
+}
+
+// FewestJobs prefers the machine running the fewest active jobs — a proxy
+// for fastest turnaround on very short jobs.
+type FewestJobs struct{}
+
+// Name implements Objective.
+func (FewestJobs) Name() string { return "fewest-jobs" }
+
+// Less implements Objective.
+func (FewestJobs) Less(a, b *Candidate) bool {
+	if a.ActiveJobs != b.ActiveJobs {
+		return a.ActiveJobs < b.ActiveJobs
+	}
+	return a.Load < b.Load
+}
+
+// NormalizedLoad prefers the lowest load per CPU, so big SMP machines
+// absorb proportionally more work.
+type NormalizedLoad struct{}
+
+// Name implements Objective.
+func (NormalizedLoad) Name() string { return "normalized-load" }
+
+// Less implements Objective.
+func (NormalizedLoad) Less(a, b *Candidate) bool {
+	an := a.Load / float64(max(1, a.CPUs))
+	bn := b.Load / float64(max(1, b.CPUs))
+	if an != bn {
+		return an < bn
+	}
+	return a.Speed > b.Speed
+}
+
+// RoundRobin cycles through candidates regardless of their state. It is
+// stateful and safe for concurrent use.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name implements Objective.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Less implements Objective; round-robin has no pairwise preference.
+func (r *RoundRobin) Less(a, b *Candidate) bool { return false }
+
+// Pick returns the next index in [0, n).
+func (r *RoundRobin) Pick(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.next % n
+	r.next++
+	return i
+}
+
+// Weighted combines objectives lexicographically: the first objective that
+// expresses a preference wins.
+type Weighted struct {
+	Objectives []Objective
+}
+
+// Name implements Objective.
+func (w Weighted) Name() string {
+	s := "weighted("
+	for i, o := range w.Objectives {
+		if i > 0 {
+			s += ","
+		}
+		s += o.Name()
+	}
+	return s + ")"
+}
+
+// Less implements Objective.
+func (w Weighted) Less(a, b *Candidate) bool {
+	for _, o := range w.Objectives {
+		if o.Less(a, b) {
+			return true
+		}
+		if o.Less(b, a) {
+			return false
+		}
+	}
+	return false
+}
+
+// ByName returns the objective registered under the given configuration
+// name. RoundRobin gets a fresh instance per call because it is stateful.
+func ByName(name string) (Objective, error) {
+	switch name {
+	case "least-load", "":
+		return LeastLoad{}, nil
+	case "most-memory":
+		return MostMemory{}, nil
+	case "fastest-cpu":
+		return FastestCPU{}, nil
+	case "fewest-jobs":
+		return FewestJobs{}, nil
+	case "normalized-load":
+		return NormalizedLoad{}, nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	}
+	return nil, fmt.Errorf("schedule: unknown objective %q", name)
+}
+
+// SelectLinear performs the paper's linear search: it scans every candidate
+// once and returns the index of the best non-busy one, or -1 if every
+// candidate is busy. filter, when non-nil, can veto candidates.
+func SelectLinear(cands []*Candidate, obj Objective, filter func(*Candidate) bool) int {
+	best := -1
+	for i, c := range cands {
+		if c.Busy {
+			continue
+		}
+		if filter != nil && !filter(c) {
+			continue
+		}
+		if best < 0 || obj.Less(c, cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SelectBiased is SelectLinear with the replication bias of Section 7:
+// instance `bias` of a pool replicated `stride` ways prefers every
+// stride-th machine starting at bias, falling back to the rest only when
+// its preferred subset is exhausted. This preserves scheduling integrity
+// across replicas that share one machine set.
+func SelectBiased(cands []*Candidate, obj Objective, filter func(*Candidate) bool, bias, stride int) int {
+	if stride <= 1 {
+		return SelectLinear(cands, obj, filter)
+	}
+	bestPref, bestOther := -1, -1
+	for i, c := range cands {
+		if c.Busy {
+			continue
+		}
+		if filter != nil && !filter(c) {
+			continue
+		}
+		if i%stride == bias%stride {
+			if bestPref < 0 || obj.Less(c, cands[bestPref]) {
+				bestPref = i
+			}
+		} else if bestOther < 0 || obj.Less(c, cands[bestOther]) {
+			bestOther = i
+		}
+	}
+	if bestPref >= 0 {
+		return bestPref
+	}
+	return bestOther
+}
+
+// Sort orders candidates in place by the objective (stable, best first).
+// Background scheduling processes use this to keep pool caches ordered.
+func Sort(cands []*Candidate, obj Objective) {
+	sort.SliceStable(cands, func(i, j int) bool { return obj.Less(cands[i], cands[j]) })
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cands() []*Candidate {
+	return []*Candidate{
+		{Name: "a", Load: 0.5, FreeMemory: 256, Speed: 300, CPUs: 1, ActiveJobs: 2},
+		{Name: "b", Load: 0.1, FreeMemory: 128, Speed: 200, CPUs: 2, ActiveJobs: 0},
+		{Name: "c", Load: 0.1, FreeMemory: 512, Speed: 400, CPUs: 4, ActiveJobs: 1},
+		{Name: "d", Load: 2.0, FreeMemory: 1024, Speed: 500, CPUs: 2, ActiveJobs: 5},
+	}
+}
+
+func TestObjectivePreferences(t *testing.T) {
+	cs := cands()
+	cases := []struct {
+		obj  Objective
+		want string // best candidate name via SelectLinear
+	}{
+		{LeastLoad{}, "c"},      // load tie 0.1 broken by speed 400 > 200
+		{MostMemory{}, "d"},     // 1024 MB
+		{FastestCPU{}, "d"},     // speed 500
+		{FewestJobs{}, "b"},     // 0 jobs
+		{NormalizedLoad{}, "c"}, // 0.1/4 is the lowest per-CPU load
+	}
+	for _, tc := range cases {
+		i := SelectLinear(cs, tc.obj, nil)
+		if i < 0 || cs[i].Name != tc.want {
+			t.Errorf("%s: best = %v, want %s", tc.obj.Name(), i, tc.want)
+		}
+	}
+}
+
+func TestSelectLinearSkipsBusyAndFiltered(t *testing.T) {
+	cs := cands()
+	cs[2].Busy = true // c is out
+	i := SelectLinear(cs, LeastLoad{}, nil)
+	if cs[i].Name != "b" {
+		t.Errorf("busy skip: got %s", cs[i].Name)
+	}
+	// Filter away b as well; the best remaining by load is a.
+	i = SelectLinear(cs, LeastLoad{}, func(c *Candidate) bool { return c.Name != "b" })
+	if cs[i].Name != "a" {
+		t.Errorf("filtered: got %s", cs[i].Name)
+	}
+	// Everything busy -> -1.
+	for _, c := range cs {
+		c.Busy = true
+	}
+	if i := SelectLinear(cs, LeastLoad{}, nil); i != -1 {
+		t.Errorf("all busy should return -1, got %d", i)
+	}
+	if i := SelectLinear(nil, LeastLoad{}, nil); i != -1 {
+		t.Errorf("empty slice should return -1, got %d", i)
+	}
+}
+
+func TestSelectBiasedPrefersOwnStripe(t *testing.T) {
+	// 8 identical machines; instance 1 of 4 replicas should pick index 1,
+	// then 5 once 1 is busy.
+	cs := make([]*Candidate, 8)
+	for i := range cs {
+		cs[i] = &Candidate{Name: string(rune('a' + i)), Load: 0.5}
+	}
+	i := SelectBiased(cs, LeastLoad{}, nil, 1, 4)
+	if i != 1 {
+		t.Errorf("first pick = %d, want 1", i)
+	}
+	cs[1].Busy = true
+	if i := SelectBiased(cs, LeastLoad{}, nil, 1, 4); i != 5 {
+		t.Errorf("second pick = %d, want 5", i)
+	}
+	// Exhaust the stripe; it must fall back to other machines.
+	cs[5].Busy = true
+	if i := SelectBiased(cs, LeastLoad{}, nil, 1, 4); i == -1 || i%4 == 1 {
+		t.Errorf("fallback pick = %d", i)
+	}
+	// stride<=1 degrades to plain linear selection.
+	if a, b := SelectBiased(cs, LeastLoad{}, nil, 0, 1), SelectLinear(cs, LeastLoad{}, nil); a != b {
+		t.Errorf("stride 1 mismatch: %d vs %d", a, b)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, rr.Pick(3))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("picks = %v", got)
+		}
+	}
+	if rr.Pick(0) != 0 {
+		t.Error("Pick(0) should return 0")
+	}
+	if rr.Less(nil, nil) {
+		t.Error("round-robin must not express pairwise preference")
+	}
+}
+
+func TestWeightedLexicographic(t *testing.T) {
+	w := Weighted{Objectives: []Objective{LeastLoad{}, MostMemory{}}}
+	a := &Candidate{Load: 0.1, FreeMemory: 10, Speed: 1}
+	b := &Candidate{Load: 0.1, FreeMemory: 90, Speed: 1}
+	// Equal on load and speed; memory decides.
+	if !w.Less(b, a) || w.Less(a, b) {
+		t.Error("weighted tie-break failed")
+	}
+	c := &Candidate{Load: 0.05, FreeMemory: 1, Speed: 1}
+	if !w.Less(c, b) {
+		t.Error("first objective must dominate")
+	}
+	if w.Name() != "weighted(least-load,most-memory)" {
+		t.Errorf("name = %q", w.Name())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"least-load", "most-memory", "fastest-cpu", "fewest-jobs", "normalized-load", "round-robin", ""} {
+		obj, err := ByName(name)
+		if err != nil || obj == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	// Stateful objectives must be fresh instances.
+	a, _ := ByName("round-robin")
+	b, _ := ByName("round-robin")
+	if a == b {
+		t.Error("round-robin instances must not be shared")
+	}
+}
+
+func TestSortStableBestFirst(t *testing.T) {
+	cs := cands()
+	Sort(cs, LeastLoad{})
+	for i := 1; i < len(cs); i++ {
+		if (LeastLoad{}).Less(cs[i], cs[i-1]) {
+			t.Errorf("not sorted at %d: %v", i, cs)
+		}
+	}
+	if cs[0].Name != "c" {
+		t.Errorf("best = %s", cs[0].Name)
+	}
+}
+
+// Property: SelectLinear always agrees with Sort — the selected candidate
+// is never strictly worse than any other free candidate.
+func TestSelectLinearIsOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		cs := make([]*Candidate, n)
+		for i := range cs {
+			cs[i] = &Candidate{
+				Name:  string(rune('a' + i)),
+				Load:  float64(rng.Intn(40)) / 10,
+				Speed: float64(100 + rng.Intn(400)),
+				Busy:  rng.Intn(4) == 0,
+			}
+		}
+		best := SelectLinear(cs, LeastLoad{}, nil)
+		if best == -1 {
+			for _, c := range cs {
+				if !c.Busy {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range cs {
+			if !c.Busy && (LeastLoad{}).Less(c, cs[best]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replication bias never starves a query — as long as one free
+// candidate exists, SelectBiased finds one, whatever the bias/stride.
+func TestSelectBiasedNeverStarvesProperty(t *testing.T) {
+	f := func(seed int64, bias, stride uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		cs := make([]*Candidate, n)
+		anyFree := false
+		for i := range cs {
+			cs[i] = &Candidate{Name: string(rune('a' + i)), Busy: rng.Intn(2) == 0}
+			if !cs[i].Busy {
+				anyFree = true
+			}
+		}
+		got := SelectBiased(cs, LeastLoad{}, nil, int(bias), int(stride))
+		if anyFree {
+			return got >= 0 && !cs[got].Busy
+		}
+		return got == -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

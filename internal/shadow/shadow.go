@@ -1,0 +1,171 @@
+// Package shadow implements PUNCH shadow-account pools: per-machine sets of
+// logical user accounts that are not tied to any individual user. ActYP
+// allocates a shadow account uid on the selected compute server for each
+// run and relinquishes it when the run completes (Section 2; the shadow
+// account pool pointer is field 18 of the white-pages record).
+package shadow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Account is one shadow account on one machine.
+type Account struct {
+	Machine string // machine name
+	User    string // account name, e.g. shadow03
+	UID     int    // numeric uid
+}
+
+// Pool manages the shadow accounts of a single machine.
+type Pool struct {
+	machine string
+
+	mu    sync.Mutex
+	free  []Account          // LIFO free list
+	inUse map[string]Account // user -> account
+}
+
+// NewPool creates a pool of n shadow accounts named shadow00..shadowNN with
+// uids starting at baseUID.
+func NewPool(machine string, n, baseUID int) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shadow: pool for %s needs at least one account", machine)
+	}
+	if baseUID <= 0 {
+		return nil, fmt.Errorf("shadow: pool for %s needs a positive base uid", machine)
+	}
+	p := &Pool{machine: machine, inUse: make(map[string]Account)}
+	for i := n - 1; i >= 0; i-- { // reversed so shadow00 pops first
+		p.free = append(p.free, Account{
+			Machine: machine,
+			User:    fmt.Sprintf("shadow%02d", i),
+			UID:     baseUID + i,
+		})
+	}
+	return p, nil
+}
+
+// Machine returns the machine this pool belongs to.
+func (p *Pool) Machine() string { return p.machine }
+
+// Allocate leases a shadow account. It fails when the pool is exhausted.
+func (p *Pool) Allocate() (Account, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return Account{}, fmt.Errorf("shadow: pool for %s exhausted (%d in use)", p.machine, len(p.inUse))
+	}
+	a := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse[a.User] = a
+	return a, nil
+}
+
+// Release returns an account to the pool. Releasing an account that is not
+// leased is an error (it indicates a double release or a forged lease).
+func (p *Pool) Release(user string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.inUse[user]
+	if !ok {
+		return fmt.Errorf("shadow: account %s on %s is not allocated", user, p.machine)
+	}
+	delete(p.inUse, user)
+	p.free = append(p.free, a)
+	return nil
+}
+
+// Free returns how many accounts are available.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// InUse returns the leased account names, sorted.
+func (p *Pool) InUse() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.inUse))
+	for u := range p.inUse {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Manager is the secondary database referenced by field 18: it holds the
+// shadow account pool of every machine in the grid.
+type Manager struct {
+	mu    sync.RWMutex
+	pools map[string]*Pool
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{pools: make(map[string]*Pool)}
+}
+
+// AddMachine creates a pool of n accounts for the machine. Adding a machine
+// twice fails.
+func (m *Manager) AddMachine(machine string, n, baseUID int) error {
+	p, err := NewPool(machine, n, baseUID)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pools[machine]; ok {
+		return fmt.Errorf("shadow: machine %s already has a pool", machine)
+	}
+	m.pools[machine] = p
+	return nil
+}
+
+// Allocate leases a shadow account on the machine.
+func (m *Manager) Allocate(machine string) (Account, error) {
+	m.mu.RLock()
+	p, ok := m.pools[machine]
+	m.mu.RUnlock()
+	if !ok {
+		return Account{}, fmt.Errorf("shadow: machine %s has no shadow pool", machine)
+	}
+	return p.Allocate()
+}
+
+// Release returns a leased account.
+func (m *Manager) Release(machine, user string) error {
+	m.mu.RLock()
+	p, ok := m.pools[machine]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("shadow: machine %s has no shadow pool", machine)
+	}
+	return p.Release(user)
+}
+
+// Free reports the available accounts on a machine, or 0 for unknown
+// machines.
+func (m *Manager) Free(machine string) int {
+	m.mu.RLock()
+	p, ok := m.pools[machine]
+	m.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return p.Free()
+}
+
+// Machines lists machines with pools, sorted.
+func (m *Manager) Machines() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.pools))
+	for name := range m.pools {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package shadow
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool("m", 0, 1000); err == nil {
+		t.Error("zero accounts should fail")
+	}
+	if _, err := NewPool("m", 4, 0); err == nil {
+		t.Error("zero base uid should fail")
+	}
+	p, err := NewPool("m", 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine() != "m" || p.Free() != 4 {
+		t.Errorf("pool = %s, free %d", p.Machine(), p.Free())
+	}
+}
+
+func TestAllocateReleaseCycle(t *testing.T) {
+	p, err := NewPool("m", 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.User != "shadow00" || a.UID != 1000 || a.Machine != "m" {
+		t.Errorf("first account = %+v", a)
+	}
+	b, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.User != "shadow01" || b.UID != 1001 {
+		t.Errorf("second account = %+v", b)
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Error("exhausted pool should fail")
+	}
+	if got := p.InUse(); len(got) != 2 || got[0] != "shadow00" {
+		t.Errorf("InUse = %v", got)
+	}
+	if err := p.Release(a.User); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(a.User); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := p.Release("nosuch"); err == nil {
+		t.Error("releasing unknown account should fail")
+	}
+	if p.Free() != 1 {
+		t.Errorf("free = %d", p.Free())
+	}
+	// Released accounts can be re-leased.
+	c, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.User != "shadow00" {
+		t.Errorf("re-lease = %+v", c)
+	}
+}
+
+func TestManager(t *testing.T) {
+	m := NewManager()
+	if err := m.AddMachine("a", 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddMachine("a", 2, 1000); err == nil {
+		t.Error("duplicate machine should fail")
+	}
+	if err := m.AddMachine("b", 1, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Machines(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Machines = %v", got)
+	}
+	acct, err := m.Allocate("a")
+	if err != nil || acct.Machine != "a" {
+		t.Fatalf("Allocate: %+v, %v", acct, err)
+	}
+	if m.Free("a") != 1 || m.Free("b") != 1 || m.Free("ghost") != 0 {
+		t.Errorf("free counts wrong: a=%d b=%d", m.Free("a"), m.Free("b"))
+	}
+	if _, err := m.Allocate("ghost"); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := m.Release("ghost", "x"); err == nil {
+		t.Error("release on unknown machine should fail")
+	}
+	if err := m.Release("a", acct.User); err != nil {
+		t.Fatal(err)
+	}
+	if m.Free("a") != 2 {
+		t.Errorf("free after release = %d", m.Free("a"))
+	}
+}
+
+func TestConcurrentAllocateUniqueUIDs(t *testing.T) {
+	p, err := NewPool("m", 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				a, err := p.Allocate()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[a.UID] {
+					t.Errorf("uid %d leased twice", a.UID)
+				}
+				seen[a.UID] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 64 {
+		t.Errorf("leased %d accounts, want 64", len(seen))
+	}
+}
+
+// Property: after any interleaving of k allocations and releasing all of
+// them, the pool is back to full capacity.
+func TestAllocateReleaseRestoresCapacityProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k%16) + 1
+		p, err := NewPool("m", n, 1000)
+		if err != nil {
+			return false
+		}
+		var leased []Account
+		for i := 0; i < n; i++ {
+			a, err := p.Allocate()
+			if err != nil {
+				return false
+			}
+			leased = append(leased, a)
+		}
+		for _, a := range leased {
+			if err := p.Release(a.User); err != nil {
+				return false
+			}
+		}
+		return p.Free() == n && len(p.InUse()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

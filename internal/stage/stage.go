@@ -1,0 +1,282 @@
+// Package stage distributes the pool-manager stage of the pipeline across
+// machines: a Server exposes one poolmgr.Manager over the wire protocol,
+// and the Remote stub satisfies both the query managers' ResourceManager
+// contract and the directory service's Forwarder contract. Query managers
+// can therefore route fragments to pool managers in other processes, and
+// pool managers can delegate queries to remote peers with the visited list
+// and TTL travelling inside the wire message — the fully distributed
+// deployment Section 6 describes ("All stages in the resource management
+// pipeline can be independently distributed and replicated across
+// machines. Queries propagate from one stage to the next via TCP or
+// UDP.").
+package stage
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"actyp/internal/netsim"
+	"actyp/internal/pool"
+	"actyp/internal/poolmgr"
+	"actyp/internal/query"
+	"actyp/internal/wire"
+)
+
+// Message types private to the pool-manager stage endpoints.
+const (
+	typeResolve = "pm-resolve"
+	typeRelease = "pm-release"
+	typeName    = "pm-name"
+)
+
+type resolveRequest struct {
+	Query   string   `json:"query"` // basic query, textual form
+	TTL     int      `json:"ttl"`
+	Visited []string `json:"visited,omitempty"`
+}
+
+type resolveReply struct {
+	Lease *pool.Lease `json:"lease"`
+}
+
+type releaseRequest struct {
+	Lease pool.Lease `json:"lease"`
+}
+
+type nameReply struct {
+	Name string `json:"name"`
+}
+
+// Server exposes a pool manager over TCP.
+type Server struct {
+	pm *poolmgr.Manager
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a stage server for pm on addr with the given network
+// profile.
+func Serve(pm *poolmgr.Manager, addr string, profile netsim.Profile) (*Server, error) {
+	if pm == nil {
+		return nil, fmt.Errorf("stage: server needs a pool manager")
+	}
+	ln, err := netsim.Listen(addr, profile)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pm: pm, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply := s.dispatch(env)
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
+	fail := func(err error) *wire.Envelope {
+		e, marshalErr := wire.NewEnvelope(wire.TypeError, env.ID, wire.ErrorReply{Message: err.Error()})
+		if marshalErr != nil {
+			return &wire.Envelope{Type: wire.TypeError, ID: env.ID}
+		}
+		return e
+	}
+	switch env.Type {
+	case wire.TypePing:
+		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
+	case typeName:
+		reply, err := wire.NewEnvelope(typeName, env.ID, nameReply{Name: s.pm.Name()})
+		if err != nil {
+			return fail(err)
+		}
+		return reply
+	case typeResolve:
+		var req resolveRequest
+		if err := env.Decode(&req); err != nil {
+			return fail(err)
+		}
+		q, err := query.ParseBasic(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		lease, err := s.pm.Forward(q, req.TTL, req.Visited)
+		if err != nil {
+			return fail(err)
+		}
+		reply, err := wire.NewEnvelope(typeResolve, env.ID, resolveReply{Lease: lease})
+		if err != nil {
+			return fail(err)
+		}
+		return reply
+	case typeRelease:
+		var req releaseRequest
+		if err := env.Decode(&req); err != nil {
+			return fail(err)
+		}
+		if err := s.pm.Release(&req.Lease); err != nil {
+			return fail(err)
+		}
+		reply, err := wire.NewEnvelope(typeRelease, env.ID, struct{}{})
+		if err != nil {
+			return fail(err)
+		}
+		return reply
+	default:
+		return fail(fmt.Errorf("stage: unknown message %q", env.Type))
+	}
+}
+
+// Remote is the client stub for a remote pool manager. It satisfies
+// querymgr.ResourceManager (Name/Resolve/Release) and directory.Forwarder
+// (Name/Forward), so it slots into both stages' wiring. Calls serialize on
+// one connection.
+type Remote struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+	name   string
+	ttl    int
+}
+
+// DialRemote connects a stub and fetches the remote manager's name. ttl is
+// attached to Resolve calls (<=0 uses poolmgr.DefaultTTL).
+func DialRemote(addr string, profile netsim.Profile, ttl int) (*Remote, error) {
+	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("stage: dial %s: %w", addr, err)
+	}
+	if ttl <= 0 {
+		ttl = poolmgr.DefaultTTL
+	}
+	r := &Remote{addr: addr, conn: conn, ttl: ttl}
+	reply, err := r.roundTrip(&wire.Envelope{Type: typeName})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	var nr nameReply
+	if err := reply.Decode(&nr); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	r.name = nr.Name
+	return r, nil
+}
+
+// Name implements ResourceManager and Forwarder.
+func (r *Remote) Name() string { return r.name }
+
+// Close drops the connection.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+// Resolve implements querymgr.ResourceManager.
+func (r *Remote) Resolve(q *query.Query) (*pool.Lease, error) {
+	return r.Forward(q, r.ttl, nil)
+}
+
+// Forward implements directory.Forwarder: the TTL and visited list travel
+// in the wire message.
+func (r *Remote) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	env, err := wire.NewEnvelope(typeResolve, 0, resolveRequest{
+		Query: q.String(), TTL: ttl, Visited: visited,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := r.roundTrip(env)
+	if err != nil {
+		return nil, err
+	}
+	var rr resolveReply
+	if err := reply.Decode(&rr); err != nil {
+		return nil, err
+	}
+	if rr.Lease == nil {
+		return nil, fmt.Errorf("stage: remote %s returned no lease", r.name)
+	}
+	return rr.Lease, nil
+}
+
+// Release implements querymgr.ResourceManager.
+func (r *Remote) Release(lease *pool.Lease) error {
+	if lease == nil {
+		return fmt.Errorf("stage: nil lease")
+	}
+	env, err := wire.NewEnvelope(typeRelease, 0, releaseRequest{Lease: *lease})
+	if err != nil {
+		return err
+	}
+	_, err = r.roundTrip(env)
+	return err
+}
+
+func (r *Remote) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	env.ID = r.nextID
+	if err := wire.WriteFrame(r.conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != env.ID {
+		return nil, fmt.Errorf("stage: reply id %d for request %d", reply.ID, env.ID)
+	}
+	if reply.Type == wire.TypeError {
+		var e wire.ErrorReply
+		if err := reply.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stage: %s: %s", r.name, e.Message)
+	}
+	return reply, nil
+}

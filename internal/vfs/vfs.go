@@ -1,0 +1,151 @@
+// Package vfs simulates the PUNCH Virtual File System mount manager
+// (Section 2, reference [7]): before a run, the application and data disks
+// are mounted onto the selected machine; after the run they are unmounted.
+// Each machine runs a mount manager reachable at the port stored in field
+// 15 of its white-pages record. This simulation preserves the lifecycle and
+// failure modes (double mount, unmount of a foreign mount) without real NFS
+// traffic.
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Volume identifies a remote disk to mount: the storage server exporting it
+// and the exported path.
+type Volume struct {
+	Server string // storage service provider, e.g. "warehouse.example.net"
+	Export string // exported path, e.g. "/apps/tsuprem4"
+}
+
+// String renders server:/export.
+func (v Volume) String() string { return v.Server + ":" + v.Export }
+
+// Mount is an active mount of a volume on a machine.
+type Mount struct {
+	ID      string    // unique handle returned to the desktop
+	Machine string    // machine the volume is mounted on
+	Volume  Volume    // what is mounted
+	Path    string    // mount point on the machine
+	Session string    // owning session (access-key scoped)
+	Created time.Time // when the mount was established
+}
+
+// Manager is the grid-wide view of mount managers: one logical service that
+// routes mount and unmount requests to per-machine state.
+type Manager struct {
+	mu     sync.Mutex
+	nextID int
+	mounts map[string]*Mount            // id -> mount
+	byMach map[string]map[string]string // machine -> volume string -> mount id
+	now    func() time.Time
+}
+
+// NewManager returns an empty mount manager.
+func NewManager() *Manager {
+	return &Manager{
+		mounts: make(map[string]*Mount),
+		byMach: make(map[string]map[string]string),
+		now:    time.Now,
+	}
+}
+
+// SetClock injects a time source for tests.
+func (m *Manager) SetClock(now func() time.Time) { m.now = now }
+
+// MountVolume mounts a volume on a machine for a session. Mounting the same
+// volume twice on one machine fails, mirroring a real mount manager.
+func (m *Manager) MountVolume(machine string, v Volume, session string) (*Mount, error) {
+	if machine == "" || v.Server == "" || v.Export == "" {
+		return nil, fmt.Errorf("vfs: mount needs machine, server and export")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	volKey := v.String()
+	if m.byMach[machine] == nil {
+		m.byMach[machine] = make(map[string]string)
+	}
+	if id, ok := m.byMach[machine][volKey]; ok {
+		return nil, fmt.Errorf("vfs: %s already mounted on %s as %s", volKey, machine, id)
+	}
+	m.nextID++
+	mt := &Mount{
+		ID:      fmt.Sprintf("mnt-%06d", m.nextID),
+		Machine: machine,
+		Volume:  v,
+		Path:    fmt.Sprintf("/punch/mnt/%06d", m.nextID),
+		Session: session,
+		Created: m.now(),
+	}
+	m.mounts[mt.ID] = mt
+	m.byMach[machine][volKey] = mt.ID
+	return cloneMount(mt), nil
+}
+
+// Unmount removes a mount by id. The session must match the mounting
+// session, preventing one user from unmounting another's disks.
+func (m *Manager) Unmount(id, session string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt, ok := m.mounts[id]
+	if !ok {
+		return fmt.Errorf("vfs: mount %s does not exist", id)
+	}
+	if mt.Session != session {
+		return fmt.Errorf("vfs: mount %s belongs to session %s", id, mt.Session)
+	}
+	delete(m.mounts, id)
+	delete(m.byMach[mt.Machine], mt.Volume.String())
+	return nil
+}
+
+// UnmountSession removes every mount belonging to a session, returning how
+// many were removed. The desktop calls this when a run completes.
+func (m *Manager) UnmountSession(session string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, mt := range m.mounts {
+		if mt.Session == session {
+			delete(m.mounts, id)
+			delete(m.byMach[mt.Machine], mt.Volume.String())
+			n++
+		}
+	}
+	return n
+}
+
+// MountsOn returns the active mounts on a machine, sorted by id.
+func (m *Manager) MountsOn(machine string) []*Mount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Mount
+	for _, id := range sortedValues(m.byMach[machine]) {
+		out = append(out, cloneMount(m.mounts[id]))
+	}
+	return out
+}
+
+// Active returns the total number of active mounts.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.mounts)
+}
+
+func cloneMount(mt *Mount) *Mount {
+	c := *mt
+	return &c
+}
+
+func sortedValues(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

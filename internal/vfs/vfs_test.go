@@ -1,0 +1,123 @@
+package vfs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMountUnmountCycle(t *testing.T) {
+	m := NewManager()
+	m.SetClock(func() time.Time { return time.Unix(42, 0) })
+	vol := Volume{Server: "warehouse", Export: "/apps/tsuprem4"}
+
+	mt, err := m.MountVolume("m0001", vol, "sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Machine != "m0001" || mt.Volume != vol || mt.Session != "sess-1" {
+		t.Errorf("mount = %+v", mt)
+	}
+	if !mt.Created.Equal(time.Unix(42, 0)) {
+		t.Errorf("created = %v", mt.Created)
+	}
+	if mt.Path == "" || mt.ID == "" {
+		t.Error("mount needs a path and an id")
+	}
+	if m.Active() != 1 {
+		t.Errorf("active = %d", m.Active())
+	}
+
+	// Double mount of the same volume on the same machine fails.
+	if _, err := m.MountVolume("m0001", vol, "sess-2"); err == nil {
+		t.Error("double mount should fail")
+	}
+	// Same volume on another machine is fine.
+	if _, err := m.MountVolume("m0002", vol, "sess-1"); err != nil {
+		t.Errorf("mount on second machine: %v", err)
+	}
+
+	if err := m.Unmount(mt.ID, "wrong-session"); err == nil {
+		t.Error("foreign session unmount should fail")
+	}
+	if err := m.Unmount(mt.ID, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmount(mt.ID, "sess-1"); err == nil {
+		t.Error("double unmount should fail")
+	}
+	// The volume can be mounted again after unmount.
+	if _, err := m.MountVolume("m0001", vol, "sess-3"); err != nil {
+		t.Errorf("remount: %v", err)
+	}
+}
+
+func TestMountValidation(t *testing.T) {
+	m := NewManager()
+	bad := []struct {
+		machine string
+		v       Volume
+	}{
+		{"", Volume{Server: "s", Export: "/e"}},
+		{"m", Volume{Server: "", Export: "/e"}},
+		{"m", Volume{Server: "s", Export: ""}},
+	}
+	for _, tc := range bad {
+		if _, err := m.MountVolume(tc.machine, tc.v, "s"); err == nil {
+			t.Errorf("MountVolume(%q, %+v) should fail", tc.machine, tc.v)
+		}
+	}
+}
+
+func TestUnmountSession(t *testing.T) {
+	m := NewManager()
+	app := Volume{Server: "w", Export: "/apps/spice"}
+	data := Volume{Server: "w", Export: "/home/kapadia"}
+	if _, err := m.MountVolume("m1", app, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MountVolume("m1", data, "sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MountVolume("m1", Volume{Server: "w", Export: "/other"}, "sess-2"); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.UnmountSession("sess-1"); n != 2 {
+		t.Errorf("unmounted %d, want 2", n)
+	}
+	if m.Active() != 1 {
+		t.Errorf("active = %d, want 1", m.Active())
+	}
+	if n := m.UnmountSession("sess-1"); n != 0 {
+		t.Errorf("second pass unmounted %d", n)
+	}
+}
+
+func TestMountsOn(t *testing.T) {
+	m := NewManager()
+	if got := m.MountsOn("nowhere"); len(got) != 0 {
+		t.Errorf("MountsOn empty machine = %v", got)
+	}
+	if _, err := m.MountVolume("m1", Volume{Server: "w", Export: "/a"}, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MountVolume("m1", Volume{Server: "w", Export: "/b"}, "s"); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MountsOn("m1")
+	if len(got) != 2 {
+		t.Fatalf("MountsOn = %d entries", len(got))
+	}
+	// Returned records are copies.
+	got[0].Session = "mutated"
+	again := m.MountsOn("m1")
+	if again[0].Session == "mutated" {
+		t.Error("MountsOn aliases internal state")
+	}
+}
+
+func TestVolumeString(t *testing.T) {
+	v := Volume{Server: "warehouse", Export: "/apps/x"}
+	if v.String() != "warehouse:/apps/x" {
+		t.Errorf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,158 @@
+// Package wire defines the message protocol the pipeline stages use when
+// they are distributed across machines ("queries propagate from one stage
+// to the next via TCP or UDP", Section 6). Frames are 4-byte big-endian
+// length-prefixed JSON envelopes; each envelope carries a message type, a
+// correlation id, and a typed payload.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"actyp/internal/pool"
+	"actyp/internal/shadow"
+)
+
+// MaxFrame bounds a frame's payload size; anything larger is rejected as
+// corrupt or hostile.
+const MaxFrame = 1 << 20
+
+// Message types.
+const (
+	TypeQuery     = "query"      // QueryRequest -> QueryReply
+	TypeRelease   = "release"    // ReleaseRequest -> ReleaseReply
+	TypeRenew     = "renew"      // RenewRequest -> RenewReply (lease heartbeat)
+	TypePing      = "ping"       // empty -> empty (liveness)
+	TypeSpawnPool = "spawn-pool" // SpawnPoolRequest -> SpawnPoolReply (proxy server)
+	TypeError     = "error"      // ErrorReply (any request can fail)
+)
+
+// Envelope is the frame body.
+type Envelope struct {
+	Type    string          `json:"type"`
+	ID      uint64          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// QueryRequest submits a (possibly composite) query in a named language.
+type QueryRequest struct {
+	Lang string `json:"lang,omitempty"` // "" means native
+	Text string `json:"text"`
+	// TTL and Visited carry the delegation state when a pool manager
+	// forwards a basic query to a remote peer.
+	TTL     int      `json:"ttl,omitempty"`
+	Visited []string `json:"visited,omitempty"`
+}
+
+// QueryReply returns the reintegrated result.
+type QueryReply struct {
+	Lease     *pool.Lease     `json:"lease,omitempty"`
+	Shadow    *shadow.Account `json:"shadow,omitempty"`
+	Fragments int             `json:"fragments"`
+	Succeeded int             `json:"succeeded"`
+	ElapsedNS int64           `json:"elapsedNs"`
+}
+
+// ReleaseRequest returns a lease.
+type ReleaseRequest struct {
+	Lease  pool.Lease      `json:"lease"`
+	Shadow *shadow.Account `json:"shadow,omitempty"`
+}
+
+// ReleaseReply acknowledges a release.
+type ReleaseReply struct{}
+
+// RenewRequest extends a lease's lifetime (clients of TTL-enabled
+// services heartbeat long runs with it).
+type RenewRequest struct {
+	Lease pool.Lease `json:"lease"`
+}
+
+// RenewReply acknowledges a renewal.
+type RenewReply struct{}
+
+// SpawnPoolRequest asks a proxy server to start a pool instance on its
+// machine.
+type SpawnPoolRequest struct {
+	Signature  string `json:"signature"`
+	Identifier string `json:"identifier"`
+	Instance   int    `json:"instance"`
+	Objective  string `json:"objective,omitempty"`
+}
+
+// SpawnPoolReply reports where the new pool listens.
+type SpawnPoolReply struct {
+	Instance string `json:"instance"` // unique instance id
+	Addr     string `json:"addr"`     // host:port of the pool endpoint
+}
+
+// ErrorReply carries a failure back to the requester.
+type ErrorReply struct {
+	Message string `json:"message"`
+}
+
+// WriteFrame marshals the envelope and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals the envelope.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF signals a clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("wire: envelope without type")
+	}
+	return &env, nil
+}
+
+// NewEnvelope marshals a payload into a typed envelope.
+func NewEnvelope(typ string, id uint64, payload any) (*Envelope, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal %s payload: %w", typ, err)
+	}
+	return &Envelope{Type: typ, ID: id, Payload: raw}, nil
+}
+
+// Decode unmarshals the envelope payload into out.
+func (e *Envelope) Decode(out any) error {
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("wire: %s envelope has no payload", e.Type)
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", e.Type, err)
+	}
+	return nil
+}

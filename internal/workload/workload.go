@@ -1,0 +1,226 @@
+// Package workload generates the synthetic job populations used throughout
+// the evaluation. Figure 9 of the paper characterizes 236,222 production
+// PUNCH runs: an overwhelming majority of jobs take a few seconds of CPU
+// time (the densest bucket holds 19,756 runs), with a heavy tail
+// stretching past 10^6 seconds. The production trace is not available, so
+// this package fits a lognormal-body / Pareto-tail mixture to that
+// description; the histogram bench regenerates the figure's shape from it.
+// The package also provides the bursty arrival pattern of academic
+// workloads ("students working on assignments will all use certain
+// applications over and over within a relatively short period of time",
+// Section 6).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// PaperRunCount is the number of runs Figure 9 characterizes.
+const PaperRunCount = 236222
+
+// CPUTimeModel is the fitted mixture behind Figure 9.
+type CPUTimeModel struct {
+	rng *rand.Rand
+
+	// Mixture weights (must sum to 1): interactive seconds-scale jobs,
+	// medium minutes-scale jobs, and the heavy tail.
+	WInteractive float64
+	WMedium      float64
+	WTail        float64
+
+	// Interactive body: lognormal(MuI, SigmaI) seconds.
+	MuI, SigmaI float64
+	// Medium body: lognormal(MuM, SigmaM) seconds.
+	MuM, SigmaM float64
+	// Tail: Pareto with scale Xm seconds and shape Alpha, capped at Cap.
+	Xm, Alpha, Cap float64
+}
+
+// NewCPUTimeModel returns the Figure 9 fit with a deterministic stream.
+func NewCPUTimeModel(seed int64) *CPUTimeModel {
+	if seed == 0 {
+		seed = 1
+	}
+	return &CPUTimeModel{
+		rng:          rand.New(rand.NewSource(seed)),
+		WInteractive: 0.72,
+		WMedium:      0.23,
+		WTail:        0.05,
+		MuI:          math.Log(4), SigmaI: 1.0,
+		MuM: math.Log(120), SigmaM: 1.3,
+		Xm: 1000, Alpha: 1.05, Cap: 2e6,
+	}
+}
+
+// Sample draws one CPU time in seconds.
+func (m *CPUTimeModel) Sample() float64 {
+	u := m.rng.Float64()
+	switch {
+	case u < m.WInteractive:
+		return math.Exp(m.MuI + m.SigmaI*m.rng.NormFloat64())
+	case u < m.WInteractive+m.WMedium:
+		return math.Exp(m.MuM + m.SigmaM*m.rng.NormFloat64())
+	default:
+		// Inverse-CDF Pareto draw, capped.
+		v := m.rng.Float64()
+		if v == 0 {
+			v = 1e-12
+		}
+		x := m.Xm / math.Pow(v, 1/m.Alpha)
+		if x > m.Cap {
+			x = m.Cap
+		}
+		return x
+	}
+}
+
+// SampleN draws n CPU times.
+func (m *CPUTimeModel) SampleN(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Sample()
+	}
+	return out
+}
+
+// Job is one synthetic run request.
+type Job struct {
+	ID         int
+	Tool       string
+	CPUSeconds float64
+	Submit     time.Duration // offset from workload start
+	User       string
+	Group      string
+}
+
+// BurstSpec describes a class-assignment burst: Students users submitting
+// Runs jobs each for one Tool, with exponential think time of mean Think
+// between a student's consecutive runs.
+type BurstSpec struct {
+	Tool     string
+	Students int
+	Runs     int
+	Think    time.Duration
+	Group    string
+	Start    time.Duration // burst start offset
+}
+
+// Generator builds job streams.
+type Generator struct {
+	rng   *rand.Rand
+	model *CPUTimeModel
+	tools []string
+	next  int
+}
+
+// NewGenerator returns a generator with deterministic streams. tools is
+// the population jobs draw from for non-burst traffic.
+func NewGenerator(seed int64, tools []string) (*Generator, error) {
+	if len(tools) == 0 {
+		return nil, fmt.Errorf("workload: generator needs at least one tool")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		model: NewCPUTimeModel(seed + 1),
+		tools: append([]string(nil), tools...),
+	}, nil
+}
+
+// Background produces n jobs with Poisson arrivals of the given mean
+// inter-arrival time, tools drawn uniformly.
+func (g *Generator) Background(n int, meanGap time.Duration) []Job {
+	jobs := make([]Job, 0, n)
+	var at time.Duration
+	for i := 0; i < n; i++ {
+		at += time.Duration(g.rng.ExpFloat64() * float64(meanGap))
+		g.next++
+		jobs = append(jobs, Job{
+			ID:         g.next,
+			Tool:       g.tools[g.rng.Intn(len(g.tools))],
+			CPUSeconds: g.model.Sample(),
+			Submit:     at,
+			User:       fmt.Sprintf("user%03d", g.rng.Intn(200)),
+			Group:      "public",
+		})
+	}
+	return jobs
+}
+
+// Burst produces the spec's class-assignment traffic: all students run the
+// same tool, so all their queries aggregate into the same resource pool —
+// the temporal locality ActYP exploits (Section 6).
+func (g *Generator) Burst(spec BurstSpec) []Job {
+	var jobs []Job
+	for s := 0; s < spec.Students; s++ {
+		at := spec.Start
+		for r := 0; r < spec.Runs; r++ {
+			at += time.Duration(g.rng.ExpFloat64() * float64(spec.Think))
+			g.next++
+			jobs = append(jobs, Job{
+				ID:         g.next,
+				Tool:       spec.Tool,
+				CPUSeconds: math.Exp(math.Log(5) + 0.8*g.rng.NormFloat64()), // short homework runs
+				Submit:     at,
+				User:       fmt.Sprintf("student%03d", s),
+				Group:      spec.Group,
+			})
+		}
+	}
+	sortJobs(jobs)
+	return jobs
+}
+
+// Merge combines job streams into one submit-ordered stream.
+func Merge(streams ...[]Job) []Job {
+	var out []Job
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sortJobs(out)
+	return out
+}
+
+func sortJobs(jobs []Job) {
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit })
+}
+
+// Stats summarizes a sample of CPU times.
+type Stats struct {
+	N            int
+	Mean, Median float64
+	P99          float64
+	Max          float64
+	ShortFrac    float64 // fraction under 10 seconds
+}
+
+// Summarize computes sample statistics.
+func Summarize(samples []float64) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	var sum float64
+	short := 0
+	for _, v := range cp {
+		sum += v
+		if v < 10 {
+			short++
+		}
+	}
+	return Stats{
+		N:         len(cp),
+		Mean:      sum / float64(len(cp)),
+		Median:    cp[len(cp)/2],
+		P99:       cp[int(float64(len(cp))*0.99)],
+		Max:       cp[len(cp)-1],
+		ShortFrac: float64(short) / float64(len(cp)),
+	}
+}

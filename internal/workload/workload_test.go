@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUTimeModelShape(t *testing.T) {
+	m := NewCPUTimeModel(7)
+	samples := m.SampleN(50000)
+	stats := Summarize(samples)
+	if stats.N != 50000 {
+		t.Fatalf("n = %d", stats.N)
+	}
+	// The Figure 9 shape: most runs are a few seconds...
+	if stats.ShortFrac < 0.5 {
+		t.Errorf("short fraction = %v, want a majority under 10s", stats.ShortFrac)
+	}
+	if stats.Median > 60 {
+		t.Errorf("median = %v, want seconds-scale", stats.Median)
+	}
+	// ...with a heavy tail extending past 10^5 seconds (the paper reports
+	// observations beyond 10^6; at 50k samples 10^5 is a safe floor).
+	if stats.Max < 1e5 {
+		t.Errorf("max = %v, tail too short", stats.Max)
+	}
+	if stats.Max > 2e6 {
+		t.Errorf("max = %v, cap violated", stats.Max)
+	}
+	// Mean far above median marks the skew.
+	if stats.Mean < 5*stats.Median {
+		t.Errorf("mean %v / median %v: distribution not skewed enough", stats.Mean, stats.Median)
+	}
+}
+
+func TestCPUTimeModelDeterministic(t *testing.T) {
+	a := NewCPUTimeModel(3).SampleN(100)
+	b := NewCPUTimeModel(3).SampleN(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := NewCPUTimeModel(4).SampleN(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1, nil); err == nil {
+		t.Error("empty tool list should fail")
+	}
+	g, err := NewGenerator(0, []string{"spice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil {
+		t.Fatal("nil generator")
+	}
+}
+
+func TestBackgroundJobs(t *testing.T) {
+	g, err := NewGenerator(5, []string{"spice", "matlab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Background(100, time.Second)
+	if len(jobs) != 100 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	var prev time.Duration
+	tools := map[string]int{}
+	ids := map[int]bool{}
+	for _, j := range jobs {
+		if j.Submit < prev {
+			t.Fatal("arrivals not ordered")
+		}
+		prev = j.Submit
+		tools[j.Tool]++
+		if ids[j.ID] {
+			t.Fatalf("duplicate job id %d", j.ID)
+		}
+		ids[j.ID] = true
+		if j.CPUSeconds <= 0 {
+			t.Fatal("non-positive cpu time")
+		}
+	}
+	if len(tools) != 2 {
+		t.Errorf("tools used = %v", tools)
+	}
+}
+
+func TestBurstLocality(t *testing.T) {
+	g, err := NewGenerator(5, []string{"spice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Burst(BurstSpec{
+		Tool: "tsuprem4", Students: 30, Runs: 4,
+		Think: time.Minute, Group: "ece", Start: time.Hour,
+	})
+	if len(jobs) != 120 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Tool != "tsuprem4" || j.Group != "ece" {
+			t.Fatalf("job %d = %+v", i, j)
+		}
+		if j.Submit < time.Hour {
+			t.Fatalf("job %d before burst start", i)
+		}
+		if i > 0 && jobs[i-1].Submit > j.Submit {
+			t.Fatal("burst not submit-ordered")
+		}
+		// Homework runs are short.
+		if j.CPUSeconds > 3600 {
+			t.Errorf("homework run of %v seconds", j.CPUSeconds)
+		}
+	}
+}
+
+func TestMergeOrdersStreams(t *testing.T) {
+	g, err := NewGenerator(9, []string{"spice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := g.Background(50, time.Second)
+	burst := g.Burst(BurstSpec{Tool: "matlab", Students: 5, Runs: 2, Think: time.Second})
+	merged := Merge(bg, burst)
+	if len(merged) != 60 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Submit > merged[i].Submit {
+			t.Fatal("merge not ordered")
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPaperScaleSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sampling in short mode")
+	}
+	m := NewCPUTimeModel(1)
+	samples := m.SampleN(PaperRunCount)
+	if len(samples) != 236222 {
+		t.Fatalf("n = %d", len(samples))
+	}
+	stats := Summarize(samples)
+	if stats.Max < 5e5 {
+		t.Errorf("paper-scale max = %v, want tail past 5e5", stats.Max)
+	}
+}
