@@ -8,6 +8,7 @@ import (
 
 	"actyp/internal/baseline"
 	"actyp/internal/core"
+	"actyp/internal/experiments"
 	"actyp/internal/netsim"
 	"actyp/internal/pool"
 	"actyp/internal/query"
@@ -374,6 +375,187 @@ func BenchmarkAblationStaticPools(b *testing.B) {
 			requestRelease(b, svc, "punch.rsrc.arch = sun")
 		}
 	})
+}
+
+// Registry scale benchmarks: the white-pages hot path (Select and the
+// Section 5.2.3 Take protocol) at 1k/10k/100k machines, serial and
+// parallel, on both storage engines. The locked backend is the paper-era
+// reference; the sharded backend must beat it by widening margins as the
+// fleet grows (ROADMAP: "fast as the hardware allows").
+
+var registryBenchSizes = []int{1000, 10000, 100000}
+
+const registryBenchStripes = 64
+
+// registryBenchFleet builds a heterogeneous fleet on the requested backend
+// and stripes the "pool" parameter the way Figures 4/5 do, so striped
+// queries have 1/64 selectivity while broad ones (arch = sun) have 1/4.
+func registryBenchFleet(b *testing.B, kind string, n int) *registry.DB {
+	b.Helper()
+	backend, err := registry.OpenBackend(kind, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := registry.NewDBWith(backend)
+	if err := registry.DefaultFleetSpec(n).Populate(db, time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	if err := experiments.StripePoolParam(db, registryBenchStripes); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func registryBenchQuery(b *testing.B, text string) *query.Query {
+	b.Helper()
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// registryStripeQueries pre-parses one query per stripe so the timed loops
+// measure the engine, not the parser.
+func registryStripeQueries(b *testing.B) []*query.Query {
+	b.Helper()
+	qs := make([]*query.Query, registryBenchStripes)
+	for k := range qs {
+		qs[k] = registryBenchQuery(b, fmt.Sprintf("punch.rsrc.pool = %d", k))
+	}
+	return qs
+}
+
+func BenchmarkRegistrySelect(b *testing.B) {
+	for _, kind := range []string{registry.BackendLocked, registry.BackendSharded} {
+		for _, n := range registryBenchSizes {
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/striped/serial", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				qs := registryStripeQueries(b)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := db.Select(qs[i%registryBenchStripes]); len(got) == 0 {
+						b.Fatal("empty selection")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/striped/parallel", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				qs := registryStripeQueries(b)
+				var next uint64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						k := atomic.AddUint64(&next, 1) % registryBenchStripes
+						if got := db.Select(qs[k]); len(got) == 0 {
+							b.Fatal("empty selection")
+						}
+					}
+				})
+			})
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/broad/serial", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				q := registryBenchQuery(b, "punch.rsrc.arch = sun")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := db.Select(q); len(got) == 0 {
+						b.Fatal("empty selection")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRegistryTake(b *testing.B) {
+	q := "punch.rsrc.arch = sun\npunch.rsrc.domain = purdue"
+	for _, kind := range []string{registry.BackendLocked, registry.BackendSharded} {
+		for _, n := range registryBenchSizes {
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/serial", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				query := registryBenchQuery(b, q)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got := db.Take(query, "bench-pool", 8)
+					if len(got) == 0 {
+						b.Fatal("took nothing")
+					}
+					names := make([]string, len(got))
+					for j, m := range got {
+						names[j] = m.Static.Name
+					}
+					if rel := db.Release("bench-pool", names...); rel != len(names) {
+						b.Fatalf("released %d of %d", rel, len(names))
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/parallel", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				query := registryBenchQuery(b, q)
+				var instances uint64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					inst := fmt.Sprintf("bench-pool-%d", atomic.AddUint64(&instances, 1))
+					for pb.Next() {
+						// With enough goroutines every matching machine can
+						// momentarily be held at once; an empty take is legal.
+						got := db.Take(query, inst, 8)
+						if len(got) == 0 {
+							continue
+						}
+						names := make([]string, len(got))
+						for j, m := range got {
+							names[j] = m.Static.Name
+						}
+						if rel := db.Release(inst, names...); rel != len(names) {
+							b.Fatalf("released %d of %d", rel, len(names))
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkRegistrySelectTake is the acceptance benchmark of the sharded
+// rebuild: the mixed pool-manager hot path (discover candidates with a
+// striped Select, then claim a bounded batch with Take and hand it back)
+// under parallel load.
+func BenchmarkRegistrySelectTake(b *testing.B) {
+	for _, kind := range []string{registry.BackendLocked, registry.BackendSharded} {
+		for _, n := range registryBenchSizes {
+			b.Run(fmt.Sprintf("backend=%s/machines=%d/parallel", kind, n), func(b *testing.B) {
+				db := registryBenchFleet(b, kind, n)
+				qs := registryStripeQueries(b)
+				var next uint64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					id := atomic.AddUint64(&next, 1)
+					inst := fmt.Sprintf("bench-pool-%d", id)
+					for pb.Next() {
+						k := atomic.AddUint64(&next, 1) % registryBenchStripes
+						q := qs[k]
+						if got := db.Select(q); len(got) == 0 {
+							b.Fatal("empty selection")
+						}
+						// Under contention another instance may momentarily
+						// hold a whole stripe, so an empty take is legal.
+						got := db.Take(q, inst, 8)
+						if len(got) == 0 {
+							continue
+						}
+						names := make([]string, len(got))
+						for j, m := range got {
+							names[j] = m.Static.Name
+						}
+						if rel := db.Release(inst, names...); rel != len(names) {
+							b.Fatalf("released %d of %d", rel, len(names))
+						}
+					}
+				})
+			})
+		}
+	}
 }
 
 // Microbenchmarks for the hot paths of the pipeline itself.

@@ -26,9 +26,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
+	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	flag.Parse()
+
+	if err := experiments.UseRegistry(*regBackend, *regShards); err != nil {
+		log.Fatalf("actyp-bench: %v", err)
+	}
 
 	run := func(name string, fn func(bool) error) {
 		if *fig != "all" && *fig != name {
@@ -48,6 +54,24 @@ func main() {
 	run("8", fig8)
 	run("9", fig9)
 	run("ablations", ablations)
+	run("registry", figRegistry)
+}
+
+// figRegistry sweeps the white-pages hot path (striped Select plus the
+// Section 5.2.3 Take protocol) across fleet sizes, comparing the locked
+// reference engine against the sharded, index-accelerated one.
+func figRegistry(quick bool) error {
+	cfg := experiments.DefaultRegistryScale()
+	if quick {
+		cfg.Sizes = []int{1000, 10000}
+		cfg.OpsPerClient = 10
+	}
+	series, err := experiments.RegistryScale(cfg)
+	if err != nil {
+		return err
+	}
+	return metrics.Table(os.Stdout, "Registry: Select+Take response time vs fleet size, per backend",
+		"machines", "mean op (s)", series)
 }
 
 func fig4(quick bool) error {

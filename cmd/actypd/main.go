@@ -42,18 +42,26 @@ func main() {
 		warm       = flag.Int("warm", 0, "pre-stripe machines across N pools and pre-create them")
 		firstMatch = flag.Bool("first-match", false, "return the first composite fragment instead of reintegrating all")
 		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim leases not renewed within this lifetime (0 disables)")
+		regBackend = flag.String("registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
+		regShards  = flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL); err != nil {
+	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards); err != nil {
 		log.Fatalf("actypd: %v", err)
 	}
 }
 
 func run(addr string, machines int, dbPath, profileName string, scanCost time.Duration,
-	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration) error {
+	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration,
+	regBackend string, regShards int) error {
 
-	db := registry.NewDB()
+	backend, err := registry.OpenBackend(regBackend, regShards)
+	if err != nil {
+		return err
+	}
+	db := registry.NewDBWith(backend)
+	log.Printf("actypd: white pages on the %s backend", regBackend)
 	if dbPath != "" {
 		f, err := os.Open(dbPath)
 		if err != nil {

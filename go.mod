@@ -1,0 +1,3 @@
+module actyp
+
+go 1.24

@@ -23,7 +23,10 @@ func AblationFirstMatch(machines, clients, perClient int, scanCost time.Duration
 		label string
 		mode  querymgr.QoS
 	}{{"wait-all", querymgr.WaitAll}, {"first-match", querymgr.FirstMatch}} {
-		db := registry.NewDB()
+		db, err := newDB()
+		if err != nil {
+			return out, err
+		}
 		if err := registry.DefaultFleetSpec(machines).Populate(db, time.Now()); err != nil {
 			return out, err
 		}
@@ -52,10 +55,18 @@ func AblationFirstMatch(machines, clients, perClient int, scanCost time.Duration
 
 // AblationStaticPools compares dynamic first-touch pool creation against
 // statically pre-created pools: the first query to a cold criteria pays
-// the aggregation walk, which static pre-aggregation hides.
+// the aggregation walk, which static pre-aggregation hides. The walk it
+// ablates is the paper's linear one, so this driver pins the white pages
+// to the locked reference engine — on the sharded, index-accelerated
+// engine the aggregation is no longer linear and the effect (by design)
+// all but disappears.
 func AblationStaticPools(machines, pools int, scanCost time.Duration) ([]metrics.Series, error) {
 	measure := func(warm bool) (first, rest time.Duration, err error) {
-		svc, err := newService(machines, scanCost, 1)
+		db := registry.NewDBWith(registry.NewLocked())
+		if err := registry.HomogeneousFleetSpec(machines).Populate(db, time.Now()); err != nil {
+			return 0, 0, err
+		}
+		svc, err := core.New(core.Options{DB: db, ScanCost: scanCost, Seed: 1})
 		if err != nil {
 			return 0, 0, err
 		}

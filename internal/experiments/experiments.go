@@ -32,9 +32,13 @@ const (
 	DefaultScanCost = 2 * time.Microsecond
 )
 
-// newService builds a service over a fresh homogeneous fleet.
+// newService builds a service over a fresh homogeneous fleet, on the
+// registry backend selected via UseRegistry.
 func newService(machines int, scanCost time.Duration, seed int64) (*core.Service, error) {
-	db := registry.NewDB()
+	db, err := newDB()
+	if err != nil {
+		return nil, err
+	}
 	if err := registry.HomogeneousFleetSpec(machines).Populate(db, time.Now()); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"actyp/internal/registry"
+)
+
+// TestRegistryScaleShape runs the backend sweep at reduced scale and
+// asserts the result the tentpole exists for: the sharded engine is faster
+// than the locked oracle at every measured fleet size.
+func TestRegistryScaleShape(t *testing.T) {
+	cfg := RegistryScaleConfig{
+		Sizes:        []int{400, 1600},
+		Backends:     []string{registry.BackendLocked, registry.BackendSharded},
+		Clients:      4,
+		OpsPerClient: 8,
+		TakeLimit:    4,
+		Stripes:      16,
+	}
+	series, err := RegistryScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	locked, sharded := series[0], series[1]
+	if locked.Label != registry.BackendLocked || sharded.Label != registry.BackendSharded {
+		t.Fatalf("labels = %q, %q", locked.Label, sharded.Label)
+	}
+	for i, p := range locked.Points {
+		if i >= len(sharded.Points) {
+			t.Fatalf("sharded series short: %v vs %v", locked.Points, sharded.Points)
+		}
+		if sp := sharded.Points[i]; sp.Y >= p.Y {
+			t.Errorf("at %v machines sharded (%.6fs) not faster than locked (%.6fs)", p.X, sp.Y, p.Y)
+		}
+	}
+}
+
+func TestUseRegistryRejectsUnknown(t *testing.T) {
+	if err := UseRegistry("no-such-engine", 0); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// Empty kind keeps the default and must succeed.
+	if err := UseRegistry("", 0); err != nil {
+		t.Fatal(err)
+	}
+}

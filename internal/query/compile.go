@@ -1,0 +1,41 @@
+package query
+
+// RsrcCond is one compiled resource constraint: the bare attribute name
+// (the last component of the dotted key) and its condition.
+type RsrcCond struct {
+	Name string
+	Cond Condition
+}
+
+// CompileRsrc extracts the rsrc-class conditions of q once, so that hot
+// paths can match many machines without re-parsing and re-sorting the
+// query's keys per record. Wildcard ("don't care") conditions are dropped,
+// and keys that fail to parse are skipped, mirroring MatchRsrc exactly:
+// for every attribute set s, s.MatchConds(CompileRsrc(q)) == s.MatchRsrc(q).
+func CompileRsrc(q *Query) []RsrcCond {
+	keys := q.ClassKeys(ClassRsrc)
+	out := make([]RsrcCond, 0, len(keys))
+	for _, k := range keys {
+		cond := q.Fields[k.String()]
+		if cond.Op == OpAny {
+			continue
+		}
+		out = append(out, RsrcCond{Name: k.Name, Cond: cond})
+	}
+	return out
+}
+
+// MatchConds reports whether the attribute set satisfies every compiled
+// condition. A condition whose attribute is absent from the set fails.
+func (s AttrSet) MatchConds(conds []RsrcCond) bool {
+	for _, rc := range conds {
+		attr, ok := s[rc.Name]
+		if !ok {
+			return false
+		}
+		if !attr.Matches(rc.Cond) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randCond draws a random condition over a small value universe so that
+// matches are reasonably likely.
+func randCond(rng *rand.Rand) Condition {
+	vals := []string{"sun", "hp", "alpha", "x86", "5", "7.5"}
+	switch rng.Intn(8) {
+	case 0:
+		return Eq(vals[rng.Intn(len(vals))])
+	case 1:
+		return Ne(vals[rng.Intn(len(vals))])
+	case 2:
+		return Ge(float64(rng.Intn(10)))
+	case 3:
+		return Lt(float64(rng.Intn(10)))
+	case 4:
+		return Between(float64(rng.Intn(5)), float64(5+rng.Intn(5)))
+	case 5:
+		return In(vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))])
+	case 6:
+		return Any()
+	default:
+		return EqNum(float64(rng.Intn(10)))
+	}
+}
+
+func randAttrSet(rng *rand.Rand) AttrSet {
+	names := []string{"arch", "speed", "domain", "cms", "load"}
+	s := make(AttrSet)
+	for _, n := range names {
+		if rng.Intn(3) == 0 {
+			continue // leave some attributes absent
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s[n] = StrAttr([]string{"sun", "hp", "5", "7.5", ""}[rng.Intn(5)])
+		case 1:
+			s[n] = NumAttr(float64(rng.Intn(10)))
+		default:
+			s[n] = ListAttr("sun", "x86")
+		}
+	}
+	return s
+}
+
+// TestCompileRsrcEquivalence checks the contract documented on CompileRsrc:
+// the compiled form matches exactly the same attribute sets as MatchRsrc.
+func TestCompileRsrcEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	names := []string{"arch", "speed", "domain", "cms", "load", "missing"}
+	for trial := 0; trial < 2000; trial++ {
+		q := New()
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			q.Set("punch.rsrc."+names[rng.Intn(len(names))], randCond(rng))
+		}
+		// Non-rsrc and malformed keys must be ignored by both paths.
+		if rng.Intn(2) == 0 {
+			q.Set("punch.appl.expectedcpuuse", EqNum(100))
+			q.Set("notakey", Eq("x"))
+		}
+		conds := CompileRsrc(q)
+		for i := 0; i < 5; i++ {
+			s := randAttrSet(rng)
+			if got, want := s.MatchConds(conds), s.MatchRsrc(q); got != want {
+				t.Fatalf("trial %d: MatchConds=%v MatchRsrc=%v\nquery:\n%s\nattrs: %v",
+					trial, got, want, q, s)
+			}
+		}
+	}
+}
+
+func TestCompileRsrcDropsWildcards(t *testing.T) {
+	q := New().
+		Set("punch.rsrc.arch", Eq("sun")).
+		Set("punch.rsrc.domain", Any()).
+		Set("punch.user.login", Eq("kapadia"))
+	conds := CompileRsrc(q)
+	if len(conds) != 1 || conds[0].Name != "arch" {
+		t.Fatalf("CompileRsrc = %+v, want just the arch condition", conds)
+	}
+}

@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"actyp/internal/query"
+)
+
+// Backend is the storage engine behind a DB. Two implementations exist:
+//
+//   - Locked: the original single-RWMutex map, kept as the reference
+//     oracle for differential tests and comparison benchmarks.
+//   - Sharded: hash-sharded with per-shard locks, per-shard free lists,
+//     and inverted indexes over discrete admin parameters — the default.
+//
+// All implementations share the semantics the pipeline depends on:
+// name-sorted deterministic ordering of Walk/Select/Take/Names/TakenBy,
+// copy-out isolation (callers never alias stored records), and the atomic
+// mark-taken protocol of Section 5.2.3 (no machine is ever handed to two
+// pool instances at once).
+type Backend interface {
+	// Add inserts a machine record. It fails if the record is invalid or
+	// a machine with the same name already exists.
+	Add(m *Machine) error
+	// Remove deletes a machine record by name.
+	Remove(name string) error
+	// Get returns a copy of the record for name.
+	Get(name string) (*Machine, error)
+	// Len returns the number of registered machines.
+	Len() int
+	// Names returns all machine names, sorted.
+	Names() []string
+	// SetState updates field 1 for a machine.
+	SetState(name string, s State) error
+	// UpdateDynamic overwrites the monitor-maintained fields 2–7 as a unit.
+	UpdateDynamic(name string, d Dynamic) error
+	// SetParam sets one administrator-defined parameter (field 20).
+	SetParam(name, key string, attr query.Attr) error
+	// Walk calls fn for every machine in name order, stopping early if fn
+	// returns false. The callback receives a copy.
+	Walk(fn func(*Machine) bool)
+	// Select returns copies of the machines whose attributes satisfy the
+	// rsrc constraints of the query, regardless of taken state, in name
+	// order.
+	Select(q *query.Query) []*Machine
+	// Take atomically selects up to limit machines that satisfy the
+	// query, are not already taken, and marks them taken by the named
+	// pool instance. A limit of zero or less means "no limit".
+	Take(q *query.Query, poolInstance string, limit int) []*Machine
+	// Release clears the taken mark on the named machines, but only if
+	// they are held by the given pool instance.
+	Release(poolInstance string, names ...string) int
+	// ReleaseAll clears every taken mark held by the pool instance.
+	ReleaseAll(poolInstance string) int
+	// TakenBy returns the names of machines currently held by the pool
+	// instance, sorted.
+	TakenBy(poolInstance string) []string
+	// Save writes the database as JSON to w.
+	Save(w io.Writer) error
+	// Load replaces the database contents with the JSON snapshot read
+	// from r.
+	Load(r io.Reader) error
+}
+
+// Backend kind names accepted by OpenBackend and the daemons' flags.
+const (
+	BackendLocked  = "locked"
+	BackendSharded = "sharded"
+)
+
+// OpenBackend constructs a backend by kind name. An empty kind selects the
+// default (sharded). For the sharded backend, shards <= 0 picks a
+// GOMAXPROCS-scaled shard count; the locked backend ignores shards.
+func OpenBackend(kind string, shards int) (Backend, error) {
+	switch kind {
+	case BackendLocked:
+		return NewLocked(), nil
+	case BackendSharded, "":
+		return NewSharded(shards), nil
+	}
+	return nil, fmt.Errorf("registry: unknown backend %q (want %q or %q)", kind, BackendLocked, BackendSharded)
+}
+
+// snapshot is the on-disk shape of the database, shared by every backend so
+// snapshots written by one can be loaded by another.
+type snapshot struct {
+	Machines []*Machine `json:"machines"`
+}
+
+// decodeSnapshot reads and fully validates a snapshot, returning the
+// records keyed by name. Every backend's Load decodes through it, so the
+// engines can never drift in which snapshots they accept, and a bad
+// snapshot is rejected before any store is touched.
+func decodeSnapshot(r io.Reader) (map[string]*Machine, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("registry: load: %w", err)
+	}
+	fresh := make(map[string]*Machine, len(snap.Machines))
+	for _, m := range snap.Machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := fresh[m.Static.Name]; dup {
+			return nil, fmt.Errorf("registry: load: duplicate machine %q", m.Static.Name)
+		}
+		fresh[m.Static.Name] = m
+	}
+	return fresh, nil
+}

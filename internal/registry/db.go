@@ -1,283 +1,26 @@
 package registry
 
-import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-
-	"actyp/internal/query"
-)
-
-// DB is the white-pages database: a concurrency-safe map from machine name
-// to record. The paper's PUNCH deployment uses a custom database with the
-// same operations: per-field update, walk with predicate, and the
-// mark-taken protocol pool objects use while loading their caches.
+// DB is the white-pages database handed around the pipeline: a
+// concurrency-safe store of one record per machine carrying the twenty
+// fields of Figure 3, with per-field update, walk with predicate, and the
+// mark-taken protocol pool objects use while loading their caches. The
+// actual storage engine is a pluggable Backend; every engine preserves the
+// same observable semantics, so the choice only affects performance.
 type DB struct {
-	mu       sync.RWMutex
-	machines map[string]*Machine
+	Backend
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty database on the default engine: the sharded,
+// index-accelerated backend with a GOMAXPROCS-scaled shard count.
 func NewDB() *DB {
-	return &DB{machines: make(map[string]*Machine)}
+	return &DB{Backend: NewSharded(0)}
 }
 
-// Add inserts a machine record. It fails if the record is invalid or a
-// machine with the same name already exists.
-func (db *DB) Add(m *Machine) error {
-	if err := m.Validate(); err != nil {
-		return err
+// NewDBWith returns a database on an explicit backend, typically built by
+// OpenBackend from a daemon flag. A nil backend falls back to the default.
+func NewDBWith(b Backend) *DB {
+	if b == nil {
+		return NewDB()
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	name := m.Static.Name
-	if _, ok := db.machines[name]; ok {
-		return fmt.Errorf("registry: machine %q already registered", name)
-	}
-	db.machines[name] = m.Clone()
-	return nil
-}
-
-// Remove deletes a machine record by name.
-func (db *DB) Remove(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.machines[name]; !ok {
-		return fmt.Errorf("registry: machine %q not registered", name)
-	}
-	delete(db.machines, name)
-	return nil
-}
-
-// Get returns a copy of the record for name.
-func (db *DB) Get(name string) (*Machine, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m, ok := db.machines[name]
-	if !ok {
-		return nil, fmt.Errorf("registry: machine %q not registered", name)
-	}
-	return m.Clone(), nil
-}
-
-// Len returns the number of registered machines.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.machines)
-}
-
-// Names returns all machine names, sorted.
-func (db *DB) Names() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.machines))
-	for n := range db.machines {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// SetState updates field 1 for a machine.
-func (db *DB) SetState(name string, s State) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	m, ok := db.machines[name]
-	if !ok {
-		return fmt.Errorf("registry: machine %q not registered", name)
-	}
-	m.State = s
-	return nil
-}
-
-// UpdateDynamic overwrites the monitor-maintained fields 2–7 as a unit.
-// This is the entry point the resource monitoring service uses.
-func (db *DB) UpdateDynamic(name string, d Dynamic) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	m, ok := db.machines[name]
-	if !ok {
-		return fmt.Errorf("registry: machine %q not registered", name)
-	}
-	m.Dynamic = d
-	return nil
-}
-
-// SetParam sets one administrator-defined parameter (field 20).
-func (db *DB) SetParam(name, key string, attr query.Attr) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	m, ok := db.machines[name]
-	if !ok {
-		return fmt.Errorf("registry: machine %q not registered", name)
-	}
-	if m.Policy.Params == nil {
-		m.Policy.Params = make(query.AttrSet)
-	}
-	m.Policy.Params[key] = attr
-	return nil
-}
-
-// Walk calls fn for every machine in name order, stopping early if fn
-// returns false. The callback receives a copy; mutations do not write back.
-func (db *DB) Walk(fn func(*Machine) bool) {
-	db.mu.RLock()
-	names := make([]string, 0, len(db.machines))
-	for n := range db.machines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	clones := make([]*Machine, 0, len(names))
-	for _, n := range names {
-		clones = append(clones, db.machines[n].Clone())
-	}
-	db.mu.RUnlock()
-	for _, m := range clones {
-		if !fn(m) {
-			return
-		}
-	}
-}
-
-// Select returns copies of the machines whose attributes satisfy the rsrc
-// constraints of the query, regardless of taken state.
-func (db *DB) Select(q *query.Query) []*Machine {
-	var out []*Machine
-	db.Walk(func(m *Machine) bool {
-		if m.Attrs().MatchRsrc(q) {
-			out = append(out, m)
-		}
-		return true
-	})
-	return out
-}
-
-// Take implements the pool-initialization protocol of Section 5.2.3: it
-// atomically selects up to limit machines that satisfy the query, are not
-// already taken, and marks them taken by the named pool instance. A limit
-// of zero or less means "no limit". It returns copies of the taken records.
-func (db *DB) Take(q *query.Query, poolInstance string, limit int) []*Machine {
-	if poolInstance == "" {
-		return nil
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	names := make([]string, 0, len(db.machines))
-	for n := range db.machines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var out []*Machine
-	for _, n := range names {
-		if limit > 0 && len(out) >= limit {
-			break
-		}
-		m := db.machines[n]
-		if m.TakenBy != "" {
-			continue
-		}
-		if !m.Attrs().MatchRsrc(q) {
-			continue
-		}
-		m.TakenBy = poolInstance
-		out = append(out, m.Clone())
-	}
-	return out
-}
-
-// Release clears the taken mark on the named machines, but only if they are
-// held by the given pool instance. It returns how many it released.
-func (db *DB) Release(poolInstance string, names ...string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := 0
-	for _, name := range names {
-		m, ok := db.machines[name]
-		if !ok {
-			continue
-		}
-		if m.TakenBy == poolInstance {
-			m.TakenBy = ""
-			n++
-		}
-	}
-	return n
-}
-
-// ReleaseAll clears every taken mark held by the pool instance, returning
-// the count. Pool objects call this when they shut down.
-func (db *DB) ReleaseAll(poolInstance string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := 0
-	for _, m := range db.machines {
-		if m.TakenBy == poolInstance {
-			m.TakenBy = ""
-			n++
-		}
-	}
-	return n
-}
-
-// TakenBy returns the names of machines currently held by the pool
-// instance, sorted.
-func (db *DB) TakenBy(poolInstance string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []string
-	for n, m := range db.machines {
-		if m.TakenBy == poolInstance {
-			out = append(out, n)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// snapshot is the on-disk shape of the database.
-type snapshot struct {
-	Machines []*Machine `json:"machines"`
-}
-
-// Save writes the database as JSON to w.
-func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	snap := snapshot{Machines: make([]*Machine, 0, len(db.machines))}
-	names := make([]string, 0, len(db.machines))
-	for n := range db.machines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		snap.Machines = append(snap.Machines, db.machines[n].Clone())
-	}
-	db.mu.RUnlock()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
-}
-
-// Load replaces the database contents with the JSON snapshot read from r.
-func (db *DB) Load(r io.Reader) error {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("registry: load: %w", err)
-	}
-	fresh := make(map[string]*Machine, len(snap.Machines))
-	for _, m := range snap.Machines {
-		if err := m.Validate(); err != nil {
-			return err
-		}
-		if _, dup := fresh[m.Static.Name]; dup {
-			return fmt.Errorf("registry: load: duplicate machine %q", m.Static.Name)
-		}
-		fresh[m.Static.Name] = m
-	}
-	db.mu.Lock()
-	db.machines = fresh
-	db.mu.Unlock()
-	return nil
+	return &DB{Backend: b}
 }

@@ -1,0 +1,183 @@
+package registry
+
+import (
+	"sort"
+
+	"actyp/internal/query"
+)
+
+// The inverted index maps (attribute name, term) -> sorted list of machine
+// names. Terms are derived so the index is a *no-false-negative
+// pre-filter*: for any equality or membership condition on an indexed
+// attribute, every machine that could match appears in the posting lists
+// of the condition's terms. Candidates are always re-verified with the
+// full matcher, so over-approximation is safe; missing a matching machine
+// is not.
+//
+// A value is indexed under its canonical string form, each list member,
+// and (for numbers) the canonical numeric rendering. String and numeric
+// terms carry distinct prefixes so "5" the string and 5 the number do not
+// collide by accident; they are looked up together when a condition allows
+// both interpretations, mirroring Attr.Matches.
+//
+// Posting lists are kept sorted so Take can visit candidates in name order
+// and stop as soon as it has its limit — the same reason the free list is
+// sorted.
+
+// DefaultIndexedAttrs lists the discrete, admin-maintained parameters the
+// sharded backend indexes by default: the attributes queries constrain by
+// equality or membership most often (the fleet generator and the paper's
+// example queries use arch/OS/domain/owner; StripePools stripes on pool;
+// cms and license are the membership-style lists).
+var DefaultIndexedAttrs = []string{
+	"arch", "ostype", "osversion", "domain", "owner", "cms", "license", "pool",
+}
+
+const (
+	strTermPrefix = "s\x00"
+	numTermPrefix = "n\x00"
+)
+
+// indexTerms returns the terms an attribute value is indexed under.
+func indexTerms(a query.Attr) []string {
+	terms := make([]string, 0, 2+len(a.List))
+	terms = append(terms, strTermPrefix+a.Str)
+	for _, m := range a.List {
+		if m != a.Str {
+			terms = append(terms, strTermPrefix+m)
+		}
+	}
+	if a.IsNum {
+		terms = append(terms, numTermPrefix+query.FormatNum(a.Num))
+	}
+	return terms
+}
+
+// condTerms returns the terms whose posting lists jointly cover every
+// attribute value satisfying the condition, or ok=false when the condition
+// cannot be served by the index (ordering, range and negation conditions).
+func condTerms(c query.Condition) ([]string, bool) {
+	switch c.Op {
+	case query.OpEq:
+		terms := []string{strTermPrefix + c.Str}
+		if c.IsNum {
+			terms = append(terms, numTermPrefix+query.FormatNum(c.Num))
+		}
+		return terms, true
+	case query.OpIn:
+		terms := make([]string, 0, len(c.Set))
+		for _, w := range c.Set {
+			terms = append(terms, strTermPrefix+w)
+		}
+		return terms, true
+	}
+	return nil, false
+}
+
+// insertSorted adds name to a sorted, duplicate-free list.
+func insertSorted(names []string, name string) []string {
+	i := sort.SearchStrings(names, name)
+	if i < len(names) && names[i] == name {
+		return names
+	}
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = name
+	return names
+}
+
+// removeSorted deletes name from a sorted list if present.
+func removeSorted(names []string, name string) []string {
+	i := sort.SearchStrings(names, name)
+	if i >= len(names) || names[i] != name {
+		return names
+	}
+	return append(names[:i], names[i+1:]...)
+}
+
+// containsSorted reports membership in a sorted list.
+func containsSorted(names []string, name string) bool {
+	i := sort.SearchStrings(names, name)
+	return i < len(names) && names[i] == name
+}
+
+// forEachMerged visits the union of the sorted lists in ascending order,
+// skipping duplicates, until visit returns false.
+func forEachMerged(lists [][]string, visit func(name string) bool) {
+	if len(lists) == 1 {
+		for _, name := range lists[0] {
+			if !visit(name) {
+				return
+			}
+		}
+		return
+	}
+	idx := make([]int, len(lists))
+	for {
+		best, found := "", false
+		for li, l := range lists {
+			if idx[li] < len(l) && (!found || l[idx[li]] < best) {
+				best, found = l[idx[li]], true
+			}
+		}
+		if !found {
+			return
+		}
+		for li, l := range lists {
+			if idx[li] < len(l) && l[idx[li]] == best {
+				idx[li]++
+			}
+		}
+		if !visit(best) {
+			return
+		}
+	}
+}
+
+// attrIndex is one shard's inverted index: attribute name -> term ->
+// sorted machine names.
+type attrIndex map[string]map[string][]string
+
+func (ix attrIndex) add(attr string, v query.Attr, name string) {
+	byTerm := ix[attr]
+	if byTerm == nil {
+		byTerm = make(map[string][]string)
+		ix[attr] = byTerm
+	}
+	for _, t := range indexTerms(v) {
+		byTerm[t] = insertSorted(byTerm[t], name)
+	}
+}
+
+func (ix attrIndex) remove(attr string, v query.Attr, name string) {
+	byTerm := ix[attr]
+	if byTerm == nil {
+		return
+	}
+	for _, t := range indexTerms(v) {
+		if rest := removeSorted(byTerm[t], name); len(rest) == 0 {
+			delete(byTerm, t)
+		} else {
+			byTerm[t] = rest
+		}
+	}
+	if len(byTerm) == 0 {
+		delete(ix, attr)
+	}
+}
+
+// postings returns the posting lists for the given terms of one attribute.
+// Absent terms contribute nothing; the result may be empty.
+func (ix attrIndex) postings(attr string, terms []string) [][]string {
+	byTerm := ix[attr]
+	if byTerm == nil {
+		return nil
+	}
+	out := make([][]string, 0, len(terms))
+	for _, t := range terms {
+		if l := byTerm[t]; len(l) > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -117,6 +117,36 @@ func (m *Machine) Clone() *Machine {
 	return &c
 }
 
+// builtinAttrs is the single schema of the attributes derived from record
+// fields rather than admin parameters. Attrs, the per-record matcher
+// (attrNamed) and the sharded backend's index guard all read this table,
+// so a new derived attribute added here is consistently exposed by every
+// backend and never shadowed by a stale index. An extractor returning
+// ok=false (the empty usergroup/toolgroup lists) lets a same-named admin
+// parameter show through instead.
+var builtinAttrs = map[string]func(*Machine) (query.Attr, bool){
+	"name":       func(m *Machine) (query.Attr, bool) { return query.StrAttr(m.Static.Name), true },
+	"speed":      func(m *Machine) (query.Attr, bool) { return query.NumAttr(m.Static.Speed), true },
+	"cpus":       func(m *Machine) (query.Attr, bool) { return query.NumAttr(float64(m.Static.CPUs)), true },
+	"maxload":    func(m *Machine) (query.Attr, bool) { return query.NumAttr(m.Static.MaxLoad), true },
+	"load":       func(m *Machine) (query.Attr, bool) { return query.NumAttr(m.Dynamic.Load), true },
+	"activejobs": func(m *Machine) (query.Attr, bool) { return query.NumAttr(float64(m.Dynamic.ActiveJobs)), true },
+	"freememory": func(m *Machine) (query.Attr, bool) { return query.NumAttr(m.Dynamic.FreeMemory), true },
+	"freeswap":   func(m *Machine) (query.Attr, bool) { return query.NumAttr(m.Dynamic.FreeSwap), true },
+	"usergroup": func(m *Machine) (query.Attr, bool) {
+		if len(m.Policy.UserGroups) == 0 {
+			return query.Attr{}, false
+		}
+		return query.ListAttr(m.Policy.UserGroups...), true
+	},
+	"toolgroup": func(m *Machine) (query.Attr, bool) {
+		if len(m.Policy.ToolGroups) == 0 {
+			return query.Attr{}, false
+		}
+		return query.ListAttr(m.Policy.ToolGroups...), true
+	},
+}
+
 // Attrs flattens the record into the attribute set seen by query matching:
 // the admin-defined parameters of field 20 plus the built-in attributes
 // derived from the other fields (name, speed, cpus, load, memory, swap,
@@ -126,21 +156,40 @@ func (m *Machine) Attrs() query.AttrSet {
 	if out == nil {
 		out = make(query.AttrSet)
 	}
-	out["name"] = query.StrAttr(m.Static.Name)
-	out["speed"] = query.NumAttr(m.Static.Speed)
-	out["cpus"] = query.NumAttr(float64(m.Static.CPUs))
-	out["maxload"] = query.NumAttr(m.Static.MaxLoad)
-	out["load"] = query.NumAttr(m.Dynamic.Load)
-	out["activejobs"] = query.NumAttr(float64(m.Dynamic.ActiveJobs))
-	out["freememory"] = query.NumAttr(m.Dynamic.FreeMemory)
-	out["freeswap"] = query.NumAttr(m.Dynamic.FreeSwap)
-	if len(m.Policy.UserGroups) > 0 {
-		out["usergroup"] = query.ListAttr(m.Policy.UserGroups...)
-	}
-	if len(m.Policy.ToolGroups) > 0 {
-		out["toolgroup"] = query.ListAttr(m.Policy.ToolGroups...)
+	for name, extract := range builtinAttrs {
+		if attr, ok := extract(m); ok {
+			out[name] = attr
+		}
 	}
 	return out
+}
+
+// attrNamed returns the single attribute Attrs would expose under name,
+// without materializing (and deep-copying) the whole set. Built-in
+// attributes shadow same-named admin parameters, exactly as in Attrs.
+func (m *Machine) attrNamed(name string) (query.Attr, bool) {
+	if extract, ok := builtinAttrs[name]; ok {
+		if attr, ok := extract(m); ok {
+			return attr, true
+		}
+	}
+	attr, ok := m.Policy.Params[name]
+	return attr, ok
+}
+
+// matchConds is the per-record hot path of Select and Take: equivalent to
+// m.Attrs().MatchConds(conds) but without building the attribute set.
+func (m *Machine) matchConds(conds []query.RsrcCond) bool {
+	for _, rc := range conds {
+		attr, ok := m.attrNamed(rc.Name)
+		if !ok {
+			return false
+		}
+		if !attr.Matches(rc.Cond) {
+			return false
+		}
+	}
+	return true
 }
 
 // Usable reports whether the machine can be handed out at all: it must be

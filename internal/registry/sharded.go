@@ -1,0 +1,589 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"actyp/internal/query"
+)
+
+// Sharded is the scalable white-pages engine: machine records are hash-
+// partitioned across N shards, each with its own RWMutex, so updates and
+// queries on different machines do not serialize on one lock. Each shard
+// additionally keeps
+//
+//   - a free list (the names whose TakenBy is empty), so Take never scans
+//     machines that are already held by a pool instance, and
+//   - an inverted index over discrete admin parameters (arch, OS, domain,
+//     ... — see DefaultIndexedAttrs), so Select and Take visit only the
+//     posting list of the most selective indexed condition instead of the
+//     whole shard.
+//
+// Observable semantics match Locked exactly: results are name-sorted,
+// callers only ever see copies, and the mark-taken protocol of Section
+// 5.2.3 is atomic per machine. Walk, Save, Names and Len assemble their
+// snapshots shard by shard, so under concurrent writes they see a possibly
+// interleaved (but per-machine consistent) view, where Locked sees a
+// single frozen instant; serial callers cannot tell the difference.
+type Sharded struct {
+	shards  []*shard
+	indexed map[string]bool
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	machines map[string]*Machine
+	free     []string // sorted names with TakenBy == ""
+	idx      attrIndex
+}
+
+// NewSharded returns an empty sharded backend with the default indexed
+// attributes. shards <= 0 selects a GOMAXPROCS-scaled count; positive
+// values are honored, rounded up to a power of two (capped at 8192).
+func NewSharded(shards int) *Sharded {
+	return NewShardedIndexed(shards, DefaultIndexedAttrs)
+}
+
+// NewShardedIndexed returns an empty sharded backend indexing the given
+// admin parameters. Built-in attribute names (the builtinAttrs table) are
+// silently dropped from the set: they are derived from record fields, not
+// parameters, so indexing them would produce wrong (partial) answers.
+func NewShardedIndexed(shards int, attrs []string) *Sharded {
+	if shards <= 0 {
+		// Auto: enough shards that concurrent pipeline stages rarely
+		// collide, without thousands of locks on huge hosts.
+		shards = 4 * runtime.GOMAXPROCS(0)
+		if shards < 8 {
+			shards = 8
+		}
+		if shards > 512 {
+			shards = 512
+		}
+	}
+	// Explicit counts are honored (a 1-shard store is a legitimate sweep
+	// point) up to a sanity cap, then rounded up to a power of two.
+	if shards > 8192 {
+		shards = 8192
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Sharded{
+		shards:  make([]*shard, n),
+		indexed: make(map[string]bool, len(attrs)),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	for _, a := range attrs {
+		if _, builtin := builtinAttrs[a]; !builtin {
+			s.indexed[a] = true
+		}
+	}
+	return s
+}
+
+func newShard() *shard {
+	return &shard{
+		machines: make(map[string]*Machine),
+		idx:      make(attrIndex),
+	}
+}
+
+// ShardCount reports the number of shards (observability and tests).
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// shardFor hashes a machine name to its shard (FNV-1a).
+func (s *Sharded) shardFor(name string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return s.shards[h&uint32(len(s.shards)-1)]
+}
+
+// Add inserts a machine record. It fails if the record is invalid or a
+// machine with the same name already exists.
+func (s *Sharded) Add(m *Machine) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	name := m.Static.Name
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.machines[name]; ok {
+		return fmt.Errorf("registry: machine %q already registered", name)
+	}
+	sh.insert(s.indexed, m.Clone())
+	return nil
+}
+
+// insert wires a record into the shard's map, free list and index. The
+// caller holds the shard lock and guarantees the name is unused.
+func (sh *shard) insert(indexed map[string]bool, m *Machine) {
+	name := m.Static.Name
+	sh.machines[name] = m
+	if m.TakenBy == "" {
+		sh.free = insertSorted(sh.free, name)
+	}
+	for k, v := range m.Policy.Params {
+		if indexed[k] {
+			sh.idx.add(k, v, name)
+		}
+	}
+}
+
+// Remove deletes a machine record by name.
+func (s *Sharded) Remove(name string) error {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.machines[name]
+	if !ok {
+		return fmt.Errorf("registry: machine %q not registered", name)
+	}
+	delete(sh.machines, name)
+	sh.free = removeSorted(sh.free, name)
+	for k, v := range m.Policy.Params {
+		if s.indexed[k] {
+			sh.idx.remove(k, v, name)
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the record for name.
+func (s *Sharded) Get(name string) (*Machine, error) {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m, ok := sh.machines[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: machine %q not registered", name)
+	}
+	return m.Clone(), nil
+}
+
+// Len returns the number of registered machines.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.machines)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Names returns all machine names, sorted.
+func (s *Sharded) Names() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for n := range sh.machines {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetState updates field 1 for a machine.
+func (s *Sharded) SetState(name string, st State) error {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.machines[name]
+	if !ok {
+		return fmt.Errorf("registry: machine %q not registered", name)
+	}
+	m.State = st
+	return nil
+}
+
+// UpdateDynamic overwrites the monitor-maintained fields 2–7 as a unit.
+// Dynamic fields are never indexed, so no index maintenance happens on
+// this (very hot) monitor path.
+func (s *Sharded) UpdateDynamic(name string, d Dynamic) error {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.machines[name]
+	if !ok {
+		return fmt.Errorf("registry: machine %q not registered", name)
+	}
+	m.Dynamic = d
+	return nil
+}
+
+// SetParam sets one administrator-defined parameter (field 20), keeping
+// the inverted index in step when the key is indexed.
+func (s *Sharded) SetParam(name, key string, attr query.Attr) error {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.machines[name]
+	if !ok {
+		return fmt.Errorf("registry: machine %q not registered", name)
+	}
+	if m.Policy.Params == nil {
+		m.Policy.Params = make(query.AttrSet)
+	}
+	if s.indexed[key] {
+		if old, had := m.Policy.Params[key]; had {
+			sh.idx.remove(key, old, name)
+		}
+		sh.idx.add(key, attr, name)
+	}
+	m.Policy.Params[key] = attr
+	return nil
+}
+
+// Walk calls fn for every machine in name order, stopping early if fn
+// returns false. The callback receives a copy; mutations do not write back.
+func (s *Sharded) Walk(fn func(*Machine) bool) {
+	var clones []*Machine
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, m := range sh.machines {
+			clones = append(clones, m.Clone())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(clones, func(i, j int) bool { return clones[i].Static.Name < clones[j].Static.Name })
+	for _, m := range clones {
+		if !fn(m) {
+			return
+		}
+	}
+}
+
+// plan compiles a query once per operation: the full condition list for
+// verification plus the subset the inverted index can serve.
+type plan struct {
+	conds     []query.RsrcCond
+	indexable []idxCond
+}
+
+type idxCond struct {
+	name  string
+	terms []string
+}
+
+func (s *Sharded) compile(q *query.Query) plan {
+	conds := query.CompileRsrc(q)
+	p := plan{conds: conds}
+	for _, rc := range conds {
+		if !s.indexed[rc.Name] {
+			continue
+		}
+		if terms, ok := condTerms(rc.Cond); ok {
+			p.indexable = append(p.indexable, idxCond{name: rc.Name, terms: terms})
+		}
+	}
+	return p
+}
+
+// scan calls visit for every machine in the shard that can match the
+// plan's indexable conditions — the merged posting lists of the most
+// selective indexed condition when the index applies, the whole shard (or
+// just the free list, with freeOnly) otherwise. Candidates arrive in
+// ascending name order except on the unordered full-shard path, and visit
+// may return false to stop early (Take stops at its limit). Full condition
+// verification is left to visit. The caller holds the shard lock.
+func (sh *shard) scan(p plan, freeOnly bool, visit func(m *Machine) bool) {
+	best, useIndex := sh.bestPostings(p)
+	if !useIndex {
+		if freeOnly {
+			for _, name := range sh.free {
+				if !visit(sh.machines[name]) {
+					return
+				}
+			}
+			return
+		}
+		for _, m := range sh.machines {
+			if !visit(m) {
+				return
+			}
+		}
+		return
+	}
+	forEachMerged(best, func(name string) bool {
+		if freeOnly && !containsSorted(sh.free, name) {
+			return true
+		}
+		return visit(sh.machines[name])
+	})
+}
+
+// bestPostings picks the most selective indexable condition's posting
+// lists for this shard. ok=false means no condition is indexable and the
+// shard must be scanned.
+func (sh *shard) bestPostings(p plan) ([][]string, bool) {
+	if len(p.indexable) == 0 {
+		return nil, false
+	}
+	var best [][]string
+	bestSize := -1
+	for _, ic := range p.indexable {
+		posts := sh.idx.postings(ic.name, ic.terms)
+		size := 0
+		for _, l := range posts {
+			size += len(l)
+		}
+		if bestSize < 0 || size < bestSize {
+			best, bestSize = posts, size
+			if bestSize == 0 {
+				break
+			}
+		}
+	}
+	return best, true
+}
+
+// Select returns copies of the machines whose attributes satisfy the rsrc
+// constraints of the query, regardless of taken state, in name order.
+func (s *Sharded) Select(q *query.Query) []*Machine {
+	p := s.compile(q)
+	var out []*Machine
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		sh.scan(p, false, func(m *Machine) bool {
+			if m.matchConds(p.conds) {
+				out = append(out, m.Clone())
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Static.Name < out[j].Static.Name })
+	return out
+}
+
+// Take implements the pool-initialization protocol of Section 5.2.3 in two
+// phases: gather free matching candidates shard by shard under read locks,
+// then claim them in global name order under per-shard write locks,
+// re-verifying each candidate at claim time so a machine taken, released
+// or reconfigured in between is never handed out stale. Serially this
+// yields exactly the Locked result; concurrently, per-machine atomicity
+// still guarantees a machine is only ever held by one pool instance.
+func (s *Sharded) Take(q *query.Query, poolInstance string, limit int) []*Machine {
+	if poolInstance == "" {
+		return nil
+	}
+	p := s.compile(q)
+	var cands []string
+	for _, sh := range s.shards {
+		// The globally-first limit names are necessarily among the first
+		// limit of each shard, and scan yields free candidates in name
+		// order (the free list and posting lists are sorted), so with a
+		// positive limit each shard stops after its first limit matches —
+		// Take never materializes the full match set.
+		var local []string
+		sh.mu.RLock()
+		sh.scan(p, true, func(m *Machine) bool {
+			if m.matchConds(p.conds) {
+				local = append(local, m.Static.Name)
+			}
+			return limit <= 0 || len(local) < limit
+		})
+		sh.mu.RUnlock()
+		cands = append(cands, local...)
+	}
+	sort.Strings(cands)
+	var out []*Machine
+	for _, name := range cands {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		sh := s.shardFor(name)
+		sh.mu.Lock()
+		if m, ok := sh.machines[name]; ok && m.TakenBy == "" && m.matchConds(p.conds) {
+			m.TakenBy = poolInstance
+			sh.free = removeSorted(sh.free, name)
+			out = append(out, m.Clone())
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Release clears the taken mark on the named machines, but only if they are
+// held by the given pool instance. It returns how many it released.
+func (s *Sharded) Release(poolInstance string, names ...string) int {
+	n := 0
+	for _, name := range names {
+		sh := s.shardFor(name)
+		sh.mu.Lock()
+		if m, ok := sh.machines[name]; ok && m.TakenBy == poolInstance {
+			m.TakenBy = ""
+			sh.free = insertSorted(sh.free, name)
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ReleaseAll clears every taken mark held by the pool instance, returning
+// the count. Pool objects call this when they shut down.
+func (s *Sharded) ReleaseAll(poolInstance string) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for name, m := range sh.machines {
+			if m.TakenBy == poolInstance {
+				m.TakenBy = ""
+				sh.free = insertSorted(sh.free, name)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TakenBy returns the names of machines currently held by the pool
+// instance, sorted.
+func (s *Sharded) TakenBy(poolInstance string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for name, m := range sh.machines {
+			if m.TakenBy == poolInstance {
+				out = append(out, name)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the database as JSON to w, in the same name-sorted snapshot
+// shape as every other backend.
+func (s *Sharded) Save(w io.Writer) error {
+	// Machines starts non-nil so an empty database serializes as [] (the
+	// same JSON Locked emits), not null.
+	snap := snapshot{Machines: []*Machine{}}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, m := range sh.machines {
+			snap.Machines = append(snap.Machines, m.Clone())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(snap.Machines, func(i, j int) bool {
+		return snap.Machines[i].Static.Name < snap.Machines[j].Static.Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load replaces the database contents with the JSON snapshot read from r.
+// The snapshot is fully validated before any shard is touched, so a bad
+// snapshot leaves the database unchanged; installation locks every shard
+// (in order, so concurrent Loads cannot deadlock) to swap atomically.
+func (s *Sharded) Load(r io.Reader) error {
+	fresh, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range s.shards {
+		sh.machines = make(map[string]*Machine, 1+len(fresh)/len(s.shards))
+		sh.free = nil
+		sh.idx = make(attrIndex)
+	}
+	for _, m := range fresh {
+		s.shardFor(m.Static.Name).insert(s.indexed, m)
+	}
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// checkInvariants verifies the internal bookkeeping of every shard: the
+// free list holds exactly the untaken machines, records live in the shard
+// their name hashes to, and the index holds exactly the terms of the
+// indexed parameters. Tests call it after stress runs.
+func (s *Sharded) checkInvariants() error {
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		err := func() error {
+			for name, m := range sh.machines {
+				if s.shardFor(name) != sh {
+					return fmt.Errorf("shard %d: machine %q is in the wrong shard", i, name)
+				}
+				free := containsSorted(sh.free, name)
+				if free != (m.TakenBy == "") {
+					return fmt.Errorf("shard %d: machine %q: free-list=%v but TakenBy=%q", i, name, free, m.TakenBy)
+				}
+				for k, v := range m.Policy.Params {
+					if !s.indexed[k] {
+						continue
+					}
+					for _, t := range indexTerms(v) {
+						if !containsSorted(sh.idx[k][t], name) {
+							return fmt.Errorf("shard %d: machine %q missing from index %q term %q", i, name, k, t)
+						}
+					}
+				}
+			}
+			if !sort.StringsAreSorted(sh.free) {
+				return fmt.Errorf("shard %d: free list is not sorted", i)
+			}
+			for _, name := range sh.free {
+				if _, ok := sh.machines[name]; !ok {
+					return fmt.Errorf("shard %d: free list holds unknown machine %q", i, name)
+				}
+			}
+			for k, byTerm := range sh.idx {
+				for t, list := range byTerm {
+					if !sort.StringsAreSorted(list) {
+						return fmt.Errorf("shard %d: index %q term %q posting list is not sorted", i, k, t)
+					}
+					for _, name := range list {
+						m, ok := sh.machines[name]
+						if !ok {
+							return fmt.Errorf("shard %d: index %q term %q holds unknown machine %q", i, k, t, name)
+						}
+						v, has := m.Policy.Params[k]
+						if !has {
+							return fmt.Errorf("shard %d: index %q term %q holds machine %q without that param", i, k, t, name)
+						}
+						found := false
+						for _, want := range indexTerms(v) {
+							if want == t {
+								found = true
+								break
+							}
+						}
+						if !found {
+							return fmt.Errorf("shard %d: index %q term %q stale for machine %q (value %q)", i, k, t, name, v.Str)
+						}
+					}
+				}
+			}
+			return nil
+		}()
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/query"
+)
+
+// The stress test hammers Take/Release/UpdateDynamic/Select/SetParam from
+// many goroutines (run under -race in CI) and asserts the Section 5.2.3
+// exclusivity guarantee: no machine is ever held by two pool instances at
+// once. Ownership is tracked in a claims map — a Take that returns a
+// machine already present in the map is a double-hand-out.
+
+func stressFleet(t *testing.T, b Backend, n int) {
+	t.Helper()
+	machines, err := DefaultFleetSpec(n).Build(time.Unix(1000000000, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range machines {
+		if err := b.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStressTakeExclusive(t *testing.T) {
+	for _, kind := range []string{BackendLocked, BackendSharded} {
+		kind := kind
+		t.Run("backend="+kind, func(t *testing.T) {
+			t.Parallel()
+			db, err := OpenBackend(kind, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const fleet = 400
+			stressFleet(t, db, fleet)
+
+			takers := 8
+			iters := 300
+			if testing.Short() {
+				iters = 60
+			}
+			queries := []*query.Query{
+				query.New().Set("punch.rsrc.arch", query.Eq("sun")),
+				query.New().Set("punch.rsrc.arch", query.In("hp", "alpha")),
+				query.New().Set("punch.rsrc.domain", query.Eq("purdue")),
+				query.New().Set("punch.rsrc.speed", query.Ge(250)),
+				query.New(), // unconstrained: everything matches
+			}
+
+			var claims sync.Map // machine name -> pool instance
+			var wg sync.WaitGroup
+			fail := make(chan string, takers)
+
+			for tk := 0; tk < takers; tk++ {
+				inst := fmt.Sprintf("stress-pool-%d", tk)
+				wg.Add(1)
+				go func(tk int, inst string) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						q := queries[(tk+i)%len(queries)]
+						got := db.Take(q, inst, 1+(tk+i)%7)
+						for _, m := range got {
+							if prev, loaded := claims.LoadOrStore(m.Static.Name, inst); loaded {
+								fail <- fmt.Sprintf("machine %q handed to %q while held by %v",
+									m.Static.Name, inst, prev)
+								return
+							}
+						}
+						// Drop the claim before the registry release so a
+						// racing Take can never observe a machine that is
+						// free in the registry but still claimed here.
+						names := machineNames(got)
+						for _, n := range names {
+							claims.Delete(n)
+						}
+						if len(names) > 0 {
+							if rel := db.Release(inst, names...); rel != len(names) {
+								fail <- fmt.Sprintf("%s released %d of %d", inst, rel, len(names))
+								return
+							}
+						}
+					}
+				}(tk, inst)
+			}
+
+			// Monitor-style writers: dynamic updates and state flaps.
+			stop := make(chan struct{})
+			var bg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				bg.Add(1)
+				go func(w int) {
+					defer bg.Done()
+					i := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						name := fmt.Sprintf("m%04d", (w*131+i)%fleet)
+						_ = db.UpdateDynamic(name, Dynamic{Load: float64(i % 5), LastUpdate: time.Unix(1000000000+int64(i), 0)})
+						_ = db.SetState(name, State(i%3))
+						i++
+					}
+				}(w)
+			}
+			// Admin writer: restripes an indexed parameter while takers run.
+			bg.Add(1)
+			go func() {
+				defer bg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					name := fmt.Sprintf("m%04d", i%fleet)
+					_ = db.SetParam(name, "pool", query.NumAttr(float64(i%4)))
+					i++
+				}
+			}()
+			// Readers: Select, Walk, Names, TakenBy under fire.
+			bg.Add(1)
+			go func() {
+				defer bg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := queries[i%len(queries)]
+					_ = db.Select(q)
+					_ = db.TakenBy(fmt.Sprintf("stress-pool-%d", i%takers))
+					if i%10 == 0 {
+						db.Walk(func(*Machine) bool { return false })
+						_ = db.Names()
+					}
+					i++
+				}
+			}()
+
+			wg.Wait()
+			close(stop)
+			bg.Wait()
+			select {
+			case msg := <-fail:
+				t.Fatal(msg)
+			default:
+			}
+
+			// Nothing may remain held, and the fleet must be intact.
+			total := 0
+			for tk := 0; tk < takers; tk++ {
+				total += db.ReleaseAll(fmt.Sprintf("stress-pool-%d", tk))
+			}
+			if total != 0 {
+				t.Errorf("%d machines left taken after all releases", total)
+			}
+			if got := db.Len(); got != fleet {
+				t.Errorf("Len = %d, want %d", got, fleet)
+			}
+			if sh, ok := db.(*Sharded); ok {
+				if err := sh.checkInvariants(); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
