@@ -2,6 +2,8 @@ package actyp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -555,6 +557,99 @@ func BenchmarkRegistrySelectTake(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// Pipeline scale benchmarks: the end-to-end Ask -> Allocate -> Release
+// hot path (query manager -> pool manager -> resource pool -> shadow
+// account) at 1k/10k/100k machines, serial and parallel, per pool
+// allocation engine. One pool aggregates the whole fleet — the Figure 6
+// worst case for the oracle's linear search — so these measure the
+// allocator the way BenchmarkRegistry* measures the white pages. The
+// oracle engine is the paper-era reference; the indexed engine must beat
+// it by widening margins as the fleet grows.
+
+// benchPipelineService builds a warmed single-pool service over a
+// homogeneous fleet on the given pool engine.
+func benchPipelineService(b *testing.B, machines int, engine string) *core.Service {
+	b.Helper()
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(machines).Populate(db, time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.New(core.Options{DB: db, PoolEngine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+		svc.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	return svc
+}
+
+func BenchmarkPipelineAskAllocateRelease(b *testing.B) {
+	for _, engine := range []string{pool.EngineOracle, pool.EngineIndexed} {
+		for _, n := range registryBenchSizes {
+			b.Run(fmt.Sprintf("engine=%s/machines=%d/serial", engine, n), func(b *testing.B) {
+				svc := benchPipelineService(b, n, engine)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					requestRelease(b, svc, "punch.rsrc.arch = sun")
+				}
+			})
+			b.Run(fmt.Sprintf("engine=%s/machines=%d/parallel", engine, n), func(b *testing.B) {
+				svc := benchPipelineService(b, n, engine)
+				// At least 8 closed-loop clients contending on the one
+				// pool, regardless of GOMAXPROCS.
+				b.SetParallelism(max(1, (8+runtime.GOMAXPROCS(0)-1)/runtime.GOMAXPROCS(0)))
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						requestRelease(b, svc, "punch.rsrc.arch = sun")
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkPipelineContention isolates the 8-way acceptance point: the
+// whole fleet in one pool, eight goroutines in a closed Ask -> Allocate ->
+// Release loop.
+func BenchmarkPipelineContention(b *testing.B) {
+	for _, engine := range []string{pool.EngineOracle, pool.EngineIndexed} {
+		b.Run(fmt.Sprintf("engine=%s/machines=10000/clients=8", engine), func(b *testing.B) {
+			svc := benchPipelineService(b, 10000, engine)
+			var wg sync.WaitGroup
+			errCh := make(chan error, 8)
+			each := b.N/8 + 1
+			b.ResetTimer()
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						g, err := svc.Request("punch.rsrc.arch = sun")
+						if err == nil {
+							err = svc.Release(g)
+						}
+						if err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		})
 	}
 }
 

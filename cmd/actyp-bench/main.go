@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"actyp/internal/experiments"
@@ -25,16 +26,26 @@ import (
 	"actyp/internal/netsim"
 )
 
+// jsonDir, when non-empty, receives one BENCH_<figure>.json per figure
+// whose driver emits machine-readable series (the perf trajectory shape).
+var jsonDir string
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
 	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
+	poolEngine := flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; ScanCost figures stay on oracle)")
+	jsonOut := flag.String("json", "", "also write BENCH_<figure>.json files into this directory")
 	flag.Parse()
 
 	if err := experiments.UseRegistry(*regBackend, *regShards); err != nil {
 		log.Fatalf("actyp-bench: %v", err)
 	}
+	if err := experiments.UsePoolEngine(*poolEngine); err != nil {
+		log.Fatalf("actyp-bench: %v", err)
+	}
+	jsonDir = *jsonOut
 
 	run := func(name string, fn func(bool) error) {
 		if *fig != "all" && *fig != name {
@@ -55,6 +66,26 @@ func main() {
 	run("9", fig9)
 	run("ablations", ablations)
 	run("registry", figRegistry)
+	run("pipeline", figPipeline)
+}
+
+// emit prints the series as a text table and, with -json, records them as
+// BENCH_<name>.json for the perf trajectory.
+func emit(name, title, xLabel, yLabel string, series []metrics.Series) error {
+	if err := metrics.Table(os.Stdout, title, xLabel, yLabel, series); err != nil {
+		return err
+	}
+	if jsonDir == "" {
+		return nil
+	}
+	path := filepath.Join(jsonDir, "BENCH_"+name+".json")
+	if err := metrics.WriteBenchFile(path, metrics.Bench{
+		Benchmark: name, XLabel: xLabel, YLabel: yLabel, Series: series,
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	return nil
 }
 
 // figRegistry sweeps the white-pages hot path (striped Select plus the
@@ -70,7 +101,25 @@ func figRegistry(quick bool) error {
 	if err != nil {
 		return err
 	}
-	return metrics.Table(os.Stdout, "Registry: Select+Take response time vs fleet size, per backend",
+	return emit("registry", "Registry: Select+Take response time vs fleet size, per backend",
+		"machines", "mean op (s)", series)
+}
+
+// figPipeline sweeps the end-to-end lease pipeline (Ask -> Allocate ->
+// Release through query manager, pool manager, and one fleet-wide pool)
+// across fleet sizes, comparing the oracle allocator against the indexed
+// one.
+func figPipeline(quick bool) error {
+	cfg := experiments.DefaultPipelineScale()
+	if quick {
+		cfg.Sizes = []int{1000, 10000}
+		cfg.OpsPerClient = 10
+	}
+	series, err := experiments.PipelineScale(cfg)
+	if err != nil {
+		return err
+	}
+	return emit("pipeline", "Pipeline: Ask->Allocate->Release response time vs fleet size, per pool engine",
 		"machines", "mean op (s)", series)
 }
 

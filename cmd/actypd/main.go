@@ -44,17 +44,18 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim leases not renewed within this lifetime (0 disables)")
 		regBackend = flag.String("registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
 		regShards  = flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
+		poolEngine = flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards); err != nil {
+	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards, *poolEngine); err != nil {
 		log.Fatalf("actypd: %v", err)
 	}
 }
 
 func run(addr string, machines int, dbPath, profileName string, scanCost time.Duration,
 	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration,
-	regBackend string, regShards int) error {
+	regBackend string, regShards int, poolEngine string) error {
 
 	backend, err := registry.OpenBackend(regBackend, regShards)
 	if err != nil {
@@ -93,6 +94,7 @@ func run(addr string, machines int, dbPath, profileName string, scanCost time.Du
 		ScanCost:        scanCost,
 		MonitorInterval: monitorIvl,
 		LeaseTTL:        leaseTTL,
+		PoolEngine:      poolEngine,
 	}
 	if firstMatch {
 		opts.Mode = querymgr.FirstMatch

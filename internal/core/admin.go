@@ -75,6 +75,7 @@ func (s *Service) SplitPool(criteria string, k int) error {
 			Objective: obj(),
 			Members:   members,
 			ScanCost:  s.opts.ScanCost,
+			Engine:    s.opts.PoolEngine,
 		})
 		if err != nil {
 			for _, c := range children {
@@ -134,6 +135,7 @@ func (s *Service) ReplicatePool(criteria string, replicas int) error {
 			Objective: obj(),
 			Members:   members,
 			ScanCost:  s.opts.ScanCost,
+			Engine:    s.opts.PoolEngine,
 		})
 		if err != nil {
 			for _, r := range made {

@@ -9,8 +9,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"actyp/internal/directory"
@@ -66,6 +66,9 @@ type Options struct {
 	// example per-license pools over multi-license machines) from
 	// letting the first pool monopolize the fleet.
 	MaxPoolSize int
+	// PoolEngine selects the allocation engine of created pools; see
+	// pool.Config.Engine.
+	PoolEngine string
 	// LeaseTTL enables lease expiry in all created pools: grants not
 	// renewed within this lifetime are reclaimed by a background reaper
 	// (crashed desktops cannot strand machines). Zero disables expiry.
@@ -104,11 +107,13 @@ type Service struct {
 	refreshStop chan struct{}
 	refreshDone chan struct{}
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	nextQM  int
-	closed  bool
+	nextQM  atomic.Uint64
 	shadowN int
+
+	// mu guards lifecycle only; the request path is lock-free in this
+	// layer (queries serialize, if at all, inside the stages below).
+	mu     sync.Mutex
+	closed bool
 }
 
 // New builds and starts a Service.
@@ -132,13 +137,15 @@ func New(opts Options) (*Service, error) {
 		opts.ShadowAccounts = 8
 	}
 
+	if err := pool.ValidateEngine(opts.PoolEngine); err != nil {
+		return nil, err
+	}
 	s := &Service{
 		db:      opts.DB,
 		schemas: opts.Schemas,
 		dir:     directory.New(),
 		shadows: shadow.NewManager(),
 		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
 		shadowN: opts.ShadowAccounts,
 	}
 	s.factory = &poolmgr.LocalFactory{
@@ -148,6 +155,7 @@ func New(opts Options) (*Service, error) {
 		Policies:    opts.Policies,
 		MaxMachines: opts.MaxPoolSize,
 		LeaseTTL:    opts.LeaseTTL,
+		Engine:      opts.PoolEngine,
 	}
 	if opts.LeaseTTL > 0 {
 		ivl := opts.ReapInterval
@@ -294,29 +302,21 @@ func (s *Service) Renew(g *Grant) error {
 	return p.Renew(g.Lease.ID)
 }
 
-// pickQM round-robins across query-manager replicas.
+// pickQM round-robins across query-manager replicas, lock-free.
 func (s *Service) pickQM() *querymgr.Manager {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	qm := s.qms[s.nextQM%len(s.qms)]
-	s.nextQM++
-	return qm
+	return s.qms[int((s.nextQM.Add(1)-1)%uint64(len(s.qms)))]
 }
 
 // allocateShadow leases a shadow account, lazily creating the machine's
-// pool on first touch.
+// pool on first touch. Losing the first-touch creation race is benign —
+// AddMachine rejects the duplicate and the winner's pool serves everyone —
+// so no lock is needed here.
 func (s *Service) allocateShadow(machine string) (shadow.Account, error) {
 	acct, err := s.shadows.Allocate(machine)
 	if err == nil {
 		return acct, nil
 	}
-	s.mu.Lock()
-	// Another goroutine may have added the pool while we were unlocked.
-	addErr := s.shadows.AddMachine(machine, s.shadowN, 20000)
-	s.mu.Unlock()
-	if addErr != nil {
-		return s.shadows.Allocate(machine)
-	}
+	_ = s.shadows.AddMachine(machine, s.shadowN, 20000)
 	return s.shadows.Allocate(machine)
 }
 

@@ -8,7 +8,6 @@ package directory
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -119,18 +118,6 @@ func (s *Service) ByInstance(instance string) (PoolRef, bool) {
 	defer s.mu.RUnlock()
 	ref, ok := s.byInstance[instance]
 	return ref, ok
-}
-
-// Pick selects one instance of the named pool uniformly at random, the
-// paper's instance-selection policy.
-func (s *Service) Pick(name query.PoolName, rng *rand.Rand) (PoolRef, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	refs := s.pools[name.String()]
-	if len(refs) == 0 {
-		return PoolRef{}, false
-	}
-	return refs[rng.Intn(len(refs))], true
 }
 
 // Names returns the distinct pool names with at least one instance,

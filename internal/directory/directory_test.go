@@ -1,7 +1,6 @@
 package directory
 
 import (
-	"math/rand"
 	"testing"
 
 	"actyp/internal/pool"
@@ -89,31 +88,6 @@ func TestLookupReturnsCopy(t *testing.T) {
 	got[0].Instance = "mutated"
 	if again := s.Lookup(n); again[0].Instance != "i0" {
 		t.Error("Lookup aliases internal slice")
-	}
-}
-
-func TestPickRandomCoversInstances(t *testing.T) {
-	s := New()
-	n := poolName(t, "punch.rsrc.arch = sun")
-	for _, inst := range []string{"i0", "i1", "i2"} {
-		if err := s.Register(PoolRef{Name: n, Instance: inst, Addr: "x:1"}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	rng := rand.New(rand.NewSource(7))
-	seen := map[string]bool{}
-	for i := 0; i < 200; i++ {
-		ref, ok := s.Pick(n, rng)
-		if !ok {
-			t.Fatal("pick failed")
-		}
-		seen[ref.Instance] = true
-	}
-	if len(seen) != 3 {
-		t.Errorf("random pick covered %d instances, want 3", len(seen))
-	}
-	if _, ok := s.Pick(poolName(t, "punch.rsrc.arch = hp"), rng); ok {
-		t.Error("pick on unknown name should fail")
 	}
 }
 

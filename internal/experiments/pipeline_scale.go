@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"actyp/internal/core"
+	"actyp/internal/metrics"
+	"actyp/internal/pool"
+	"actyp/internal/registry"
+)
+
+// PipelineScaleConfig parameterizes the lease-pipeline scale experiment:
+// the end-to-end Ask -> Allocate -> Release hot path (query manager ->
+// pool manager -> resource pool -> shadow account) measured against fleet
+// size, per pool allocation engine. One pool aggregates the whole fleet —
+// the Figure 6 worst case — so the allocator, not the registry, is the
+// bottleneck under test.
+type PipelineScaleConfig struct {
+	Sizes        []int    // fleet sizes to sweep
+	Engines      []string // pool engines to compare
+	Clients      int      // concurrent closed-loop clients
+	OpsPerClient int      // measured requests per client per point
+}
+
+// DefaultPipelineScale sweeps 1k/10k/100k machines on both engines under
+// 8-way contention.
+func DefaultPipelineScale() PipelineScaleConfig {
+	return PipelineScaleConfig{
+		Sizes:        []int{1000, 10000, 100000},
+		Engines:      []string{pool.EngineOracle, pool.EngineIndexed},
+		Clients:      8,
+		OpsPerClient: 40,
+	}
+}
+
+// PipelineScale runs the sweep and returns one series per engine: mean
+// seconds per Request+Release cycle at each fleet size.
+func PipelineScale(cfg PipelineScaleConfig) ([]metrics.Series, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 40
+	}
+	const criteria = "punch.rsrc.arch = sun"
+	var out []metrics.Series
+	for _, engine := range cfg.Engines {
+		s := metrics.Series{Label: engine}
+		for _, size := range cfg.Sizes {
+			db, err := newDB()
+			if err != nil {
+				return out, err
+			}
+			if err := registry.HomogeneousFleetSpec(size).Populate(db, time.Now()); err != nil {
+				return out, err
+			}
+			svc, err := core.New(core.Options{DB: db, PoolEngine: engine})
+			if err != nil {
+				return out, err
+			}
+			// Warm the single fleet-wide pool so the sweep measures the
+			// steady-state lease path, not first-touch creation.
+			if err := svc.Precreate(criteria); err != nil {
+				svc.Close()
+				return out, err
+			}
+			rec := metrics.NewRecorder()
+			err = closedLoop(cfg.Clients, cfg.OpsPerClient, rec, func(client, iter int) error {
+				g, err := svc.Request(criteria)
+				if err != nil {
+					return fmt.Errorf("engine %s size %d: %w", engine, size, err)
+				}
+				return svc.Release(g)
+			})
+			svc.Close()
+			if err != nil {
+				return out, err
+			}
+			s.Add(float64(size), rec.Mean().Seconds())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"actyp/internal/pool"
+)
+
+func TestPipelineScaleSmoke(t *testing.T) {
+	cfg := PipelineScaleConfig{
+		Sizes:        []int{64, 128},
+		Engines:      []string{pool.EngineOracle, pool.EngineIndexed},
+		Clients:      4,
+		OpsPerClient: 5,
+	}
+	series, err := PipelineScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want one per engine", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(cfg.Sizes) {
+			t.Errorf("series %q has %d points, want %d", s.Label, len(s.Points), len(cfg.Sizes))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("series %q: non-positive mean %f at %f machines", s.Label, p.Y, p.X)
+			}
+		}
+	}
+	if series[0].Label != pool.EngineOracle || series[1].Label != pool.EngineIndexed {
+		t.Errorf("labels = %q, %q", series[0].Label, series[1].Label)
+	}
+}
+
+func TestUsePoolEngineValidates(t *testing.T) {
+	if err := UsePoolEngine("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if err := UsePoolEngine(pool.EngineIndexed); err != nil {
+		t.Fatal(err)
+	}
+	if got := PoolEngine(); got != pool.EngineIndexed {
+		t.Errorf("PoolEngine = %q", got)
+	}
+	t.Cleanup(func() {
+		if err := UsePoolEngine(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -6,16 +6,19 @@ import (
 	"time"
 
 	"actyp/internal/metrics"
+	"actyp/internal/pool"
 	"actyp/internal/query"
 	"actyp/internal/registry"
 )
 
-// Registry backend selection shared by every experiment driver, settable
-// from the daemons' -registry-backend / -registry-shards flags.
+// Registry backend and pool engine selection shared by every experiment
+// driver, settable from the daemons' -registry-backend / -registry-shards
+// / -pool-engine flags.
 var (
 	regMu           sync.Mutex
 	registryBackend = registry.BackendSharded
 	registryShards  = 0
+	poolEngine      = ""
 )
 
 // UseRegistry selects the white-pages backend the experiment drivers
@@ -31,6 +34,27 @@ func UseRegistry(kind string, shards int) error {
 	}
 	registryShards = shards
 	return nil
+}
+
+// UsePoolEngine selects the pool allocation engine the experiment drivers
+// configure. Note the figures that model the 2001-era linear search with
+// a positive ScanCost stay on the oracle engine regardless — that is the
+// behaviour under study (see pool.Config.ScanCost).
+func UsePoolEngine(kind string) error {
+	if err := pool.ValidateEngine(kind); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	poolEngine = kind
+	return nil
+}
+
+// PoolEngine returns the configured pool engine kind ("" = default).
+func PoolEngine() string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return poolEngine
 }
 
 // newDB builds an empty white-pages database on the selected backend.

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Bench is the machine-readable form of one benchmark's plotted series —
+// the BENCH_<name>.json shape actyp-bench emits with -json, consumed by
+// the perf-trajectory tooling. Units live in the axis labels so the file
+// is self-describing.
+type Bench struct {
+	Benchmark string   `json:"benchmark"`
+	XLabel    string   `json:"xLabel"`
+	YLabel    string   `json:"yLabel"`
+	Series    []Series `json:"series"`
+}
+
+// WriteBench writes the benchmark result as indented JSON.
+func WriteBench(w io.Writer, b Bench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("metrics: encode %s: %w", b.Benchmark, err)
+	}
+	return nil
+}
+
+// WriteBenchFile writes the benchmark result to path, atomically enough
+// for CI artifact collection (full truncate-and-write).
+func WriteBenchFile(path string, b Bench) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := WriteBench(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

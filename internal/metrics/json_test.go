@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchFixture() Bench {
+	return Bench{
+		Benchmark: "pipeline",
+		XLabel:    "machines",
+		YLabel:    "mean op (s)",
+		Series: []Series{
+			{Label: "oracle", Points: []Point{{X: 1000, Y: 0.01}, {X: 10000, Y: 0.1}}},
+			{Label: "indexed", Points: []Point{{X: 1000, Y: 0.001}}},
+		},
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, benchFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var got Bench
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if got.Benchmark != "pipeline" || len(got.Series) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Series[0].Label != "oracle" || got.Series[0].Points[1].Y != 0.1 {
+		t.Fatalf("series mangled: %+v", got.Series)
+	}
+	// The shape is stable, lowercase, self-describing.
+	for _, key := range []string{`"benchmark"`, `"xLabel"`, `"yLabel"`, `"series"`, `"label"`, `"points"`, `"x"`, `"y"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("emitted JSON lacks %s:\n%s", key, buf.String())
+		}
+	}
+}
+
+func TestWriteBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := WriteBenchFile(path, benchFixture()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Bench
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.XLabel != "machines" {
+		t.Errorf("xLabel = %q", got.XLabel)
+	}
+}

@@ -193,14 +193,14 @@ func (h *Histogram) PeakBucket() (edge float64, count int) {
 
 // Series is a named list of (x, y) points — one plotted line of a figure.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
 }
 
 // Point is one (x, y) sample of a series.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Add appends a point.

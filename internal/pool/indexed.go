@@ -1,0 +1,489 @@
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actyp/internal/policy"
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+)
+
+// indexedAlloc is the concurrent allocation engine. Machines are bucketed
+// by their discrete eligibility gates — the user-group list, the
+// tool-group list, and the usage-policy reference, the only per-machine
+// inputs an allocation filters on wholesale — and each bucket keeps its
+// free entries in heaps ordered by the scheduling objective (one heap for
+// the replica's preferred stride, one for the rest, Section 7 bias).
+//
+// Allocate visits only the buckets whose gates admit the requester, pops
+// each bucket's best eligible entry under that bucket's own mutex, and
+// claims the global best: O(buckets + log n) instead of the oracle's full
+// scan, with no engine-wide critical section. A popped entry is invisible
+// to every other allocation, so claiming is race-free without a global
+// lock; losers are pushed back. Dynamic eligibility (machine down, load
+// ceiling, per-request policy verdicts, mis-routed-query verification) is
+// re-checked per candidate at pop time, exactly as the oracle folds it
+// into Busy.
+//
+// Lock order: the engine RWMutex is held in read mode for every lease
+// operation and in write mode only by Refresh (which rebuilds buckets
+// when monitor updates change gate attributes). Bucket mutexes and the
+// lease-table mutex are leaves: never is one taken while holding another.
+// Entries mutate their candidate view only while exclusively held —
+// popped from a heap but not yet in the lease table, or removed from the
+// lease table but not yet pushed back.
+type indexedAlloc struct {
+	cfg engineConfig
+
+	rw      sync.RWMutex // write: Refresh rebuilds buckets; read: everything else
+	entries []*ientry    // cache order, immutable after construction
+	groups  []*igroup    // bucket list, rebuilt by Refresh, stable key order
+
+	leaseMu sync.Mutex
+	leases  map[string]*ientry
+
+	claiming atomic.Int64  // claims mid-flight (may hold entries out of the heaps)
+	claimGen atomic.Uint64 // completed claim attempts, for miss revalidation
+
+	free    atomic.Int64
+	allocs  atomic.Int64
+	misses  atomic.Int64
+	scanned atomic.Int64 // entries popped while selecting
+}
+
+// ientry is one machine in the indexed engine.
+type ientry struct {
+	idx     int  // cache position: the oracle's scan order, used for tie-breaks
+	pref    bool // on this replica's preferred stride (idx%replicas == instance%replicas)
+	machine *registry.Machine
+	cand    schedule.Candidate
+	lease   string
+	expires time.Time
+	grp     *igroup
+}
+
+// igroup is one eligibility bucket.
+type igroup struct {
+	key        string
+	userGroups []string
+	toolGroups []string
+	policyRef  string
+
+	mu    sync.Mutex
+	pref  iheap // free entries on the preferred stride (all entries when unreplicated)
+	other iheap
+}
+
+// admits reports whether every machine in the bucket passes the request's
+// group gates, mirroring Machine.AllowsUserGroup / SupportsToolGroup.
+func (g *igroup) admits(userGroup, toolGroup string) bool {
+	return (userGroup == "" || listAdmits(g.userGroups, userGroup)) &&
+		(toolGroup == "" || listAdmits(g.toolGroups, toolGroup))
+}
+
+// listAdmits mirrors the machine-record semantics: an empty list admits
+// everyone.
+func listAdmits(list []string, member string) bool {
+	if len(list) == 0 {
+		return true
+	}
+	for _, v := range list {
+		if v == member {
+			return true
+		}
+	}
+	return false
+}
+
+// groupKey derives the bucket identity from the machine's gate attributes.
+func groupKey(m *registry.Machine) string {
+	return strings.Join(m.Policy.UserGroups, "\x1f") + "\x1e" +
+		strings.Join(m.Policy.ToolGroups, "\x1f") + "\x1e" +
+		m.Policy.UsagePolicy
+}
+
+func newIndexedAlloc(machines []*registry.Machine, cfg engineConfig) *indexedAlloc {
+	x := &indexedAlloc{cfg: cfg, leases: make(map[string]*ientry)}
+	for i, m := range machines {
+		e := &ientry{
+			idx:     i,
+			machine: m,
+			cand:    candidateOf(m),
+		}
+		e.pref = cfg.replicas <= 1 || i%cfg.replicas == cfg.instance%cfg.replicas
+		x.entries = append(x.entries, e)
+	}
+	x.free.Store(int64(len(x.entries)))
+	x.rebuildGroups()
+	return x
+}
+
+// rebuildGroups re-derives the bucket partition and re-heapifies the free
+// entries. The caller must hold rw exclusively (or be the constructor).
+func (x *indexedAlloc) rebuildGroups() {
+	byKey := make(map[string]*igroup)
+	for _, e := range x.entries {
+		key := groupKey(e.machine)
+		g, ok := byKey[key]
+		if !ok {
+			g = &igroup{
+				key:        key,
+				userGroups: e.machine.Policy.UserGroups,
+				toolGroups: e.machine.Policy.ToolGroups,
+				policyRef:  e.machine.Policy.UsagePolicy,
+			}
+			byKey[key] = g
+		}
+		e.grp = g
+		if e.lease != "" {
+			continue // leased entries rejoin a heap on release
+		}
+		if e.pref {
+			g.pref.items = append(g.pref.items, e)
+		} else {
+			g.other.items = append(g.other.items, e)
+		}
+	}
+	x.groups = x.groups[:0]
+	for _, g := range byKey {
+		g.pref.init(x)
+		g.other.init(x)
+		x.groups = append(x.groups, g)
+	}
+	sort.Slice(x.groups, func(i, j int) bool { return x.groups[i].key < x.groups[j].key })
+}
+
+// entryLess is the total order the oracle's linear search induces: the
+// scheduling objective first, cache position as the tie-break (the scan
+// keeps the earliest of equals).
+func (x *indexedAlloc) entryLess(a, b *ientry) bool {
+	if x.cfg.obj.Less(&a.cand, &b.cand) {
+		return true
+	}
+	if x.cfg.obj.Less(&b.cand, &a.cand) {
+		return false
+	}
+	return a.idx < b.idx
+}
+
+// Kind implements Allocator.
+func (x *indexedAlloc) Kind() string { return EngineIndexed }
+
+// Size implements Allocator.
+func (x *indexedAlloc) Size() int { return len(x.entries) }
+
+// Free implements Allocator.
+func (x *indexedAlloc) Free() int { return int(x.free.Load()) }
+
+// Members implements Allocator. The read lock orders the e.machine reads
+// against Refresh's pointer swaps.
+func (x *indexedAlloc) Members() []string {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	out := make([]string, len(x.entries))
+	for i, e := range x.entries {
+		out[i] = e.machine.Static.Name
+	}
+	return out
+}
+
+// eligible re-checks the dynamic gates the oracle folds into Busy. The
+// caller holds the entry's bucket mutex.
+func (x *indexedAlloc) eligible(e *ientry, pol *policy.Policy, req *allocRequest) bool {
+	m := e.machine
+	if !m.Usable() || e.cand.Load >= m.Static.MaxLoad {
+		return false
+	}
+	if req.verify != nil && !m.Attrs().MatchRsrc(req.verify) {
+		return false
+	}
+	return !policyDenied(pol, m, &e.cand, req.userGroup, req.toolGroup, req.login)
+}
+
+// claim pops the globally best eligible free entry from the admitted
+// buckets' heaps (preferred or fallback stride) and returns it exclusively
+// held, or nil when every admitted bucket is exhausted. The caller holds
+// rw in read mode.
+func (x *indexedAlloc) claim(req *allocRequest, usePref bool) *ientry {
+	var best *ientry
+	for _, g := range x.groups {
+		if !g.admits(req.userGroup, req.toolGroup) {
+			continue
+		}
+		g.mu.Lock()
+		h := &g.other
+		if usePref {
+			h = &g.pref
+		}
+		// Resolve the bucket's usage policy per request, as the oracle
+		// does per scan, so policies registered after pool creation are
+		// honoured — but only once the bucket is known non-empty, so
+		// exhausted buckets cost no Store lock traffic. The Store's own
+		// RWMutex is a leaf; taking it under g.mu cannot deadlock.
+		var pol *policy.Policy
+		if h.len() > 0 {
+			pol = lookupPolicy(x.cfg.policies, g.policyRef)
+		}
+		// Pop until an eligible entry surfaces; dynamically ineligible
+		// ones (machine down, over the load ceiling, policy-denied) go
+		// back afterwards so they stay allocatable once the condition
+		// clears.
+		var rejected []*ientry
+		var cand *ientry
+		for h.len() > 0 {
+			e := h.pop(x)
+			x.scanned.Add(1)
+			if x.eligible(e, pol, req) {
+				cand = e
+				break
+			}
+			rejected = append(rejected, e)
+		}
+		for _, e := range rejected {
+			h.push(x, e)
+		}
+		var demoted *ientry
+		if cand != nil {
+			if best == nil || x.entryLess(cand, best) {
+				demoted, best = best, cand
+			} else {
+				h.push(x, cand)
+			}
+		}
+		g.mu.Unlock()
+		if demoted != nil {
+			// Push the displaced candidate back under its own bucket's
+			// lock only — never while holding another bucket's.
+			x.pushFree(demoted)
+		}
+	}
+	return best
+}
+
+// pushFree returns an exclusively-held free entry to its bucket's heap.
+func (x *indexedAlloc) pushFree(e *ientry) {
+	g := e.grp
+	g.mu.Lock()
+	if e.pref {
+		g.pref.push(x, e)
+	} else {
+		g.other.push(x, e)
+	}
+	g.mu.Unlock()
+}
+
+// Allocate implements Allocator. Preferred-stride entries win over the
+// rest across all buckets, matching schedule.SelectBiased.
+//
+// A racing claim transiently holds its candidates outside the heaps, so a
+// miss that overlaps one may be spurious. A miss is only final once an
+// attempt overlapped no other claim (none in flight, none completed
+// during ours); otherwise Allocate retries, bounded so sustained churn on
+// a genuinely exhausted pool cannot livelock it. Serially the first
+// attempt is always conclusive.
+func (x *indexedAlloc) Allocate(req *allocRequest) (*registry.Machine, error) {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	var e *ientry
+	for attempt := 0; ; attempt++ {
+		gen := x.claimGen.Load()
+		x.claiming.Add(1)
+		e = x.claim(req, true)
+		if e == nil && x.cfg.replicas > 1 {
+			e = x.claim(req, false)
+		}
+		if e != nil {
+			break // settled below, still flagged as in flight
+		}
+		// Generation first, then the in-flight drop: an observer that
+		// sees claiming==0 is then guaranteed to also see our generation
+		// bump, so it cannot judge a miss conclusive while our pushbacks
+		// were the reason its scan came up empty.
+		x.claimGen.Add(1)
+		x.claiming.Add(-1)
+		conclusive := x.claiming.Load() == 0 && x.claimGen.Load() == gen+1
+		if conclusive || attempt >= 3 {
+			x.misses.Add(1)
+			return nil, ErrExhausted
+		}
+		runtime.Gosched()
+	}
+	id, err := req.newID()
+	if err != nil {
+		// The claim stays flagged in flight until the entry is back in
+		// its heap, so no concurrent miss can be judged conclusive while
+		// the machine is invisible yet destined to stay free.
+		x.pushFree(e)
+		x.claimGen.Add(1)
+		x.claiming.Add(-1)
+		return nil, err
+	}
+	// The entry is exclusively held: popped from its heap and not yet in
+	// the lease table, so no other goroutine can observe these writes.
+	e.lease = id
+	e.expires = req.expires
+	placeAccounting(&e.cand, e.machine)
+	x.leaseMu.Lock()
+	x.leases[id] = e
+	x.leaseMu.Unlock()
+	x.free.Add(-1)
+	// Once the lease is published the machine is genuinely gone, so a
+	// concurrent miss that now looks conclusive is correct.
+	x.claimGen.Add(1)
+	x.claiming.Add(-1)
+	x.allocs.Add(1)
+	return e.machine, nil
+}
+
+// Release implements Allocator.
+func (x *indexedAlloc) Release(leaseID string) error {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	x.leaseMu.Lock()
+	e, ok := x.leases[leaseID]
+	if ok {
+		delete(x.leases, leaseID)
+	}
+	x.leaseMu.Unlock()
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", x.cfg.poolID, leaseID)
+	}
+	x.releaseEntry(e)
+	return nil
+}
+
+// releaseEntry undoes the local load accounting on an exclusively-held
+// entry (just removed from the lease table) and returns it to its bucket.
+func (x *indexedAlloc) releaseEntry(e *ientry) {
+	e.lease = ""
+	releaseAccounting(&e.cand, e.machine)
+	x.pushFree(e)
+	x.free.Add(1)
+}
+
+// Renew implements Allocator.
+func (x *indexedAlloc) Renew(leaseID string, expires time.Time) error {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	x.leaseMu.Lock()
+	defer x.leaseMu.Unlock()
+	e, ok := x.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", x.cfg.poolID, leaseID)
+	}
+	if !expires.IsZero() {
+		e.expires = expires
+	}
+	return nil
+}
+
+// Reap implements Allocator.
+func (x *indexedAlloc) Reap(now time.Time) []string {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	x.leaseMu.Lock()
+	var expired []*ientry
+	var ids []string
+	for id, e := range x.leases {
+		if e.expires.IsZero() || e.expires.After(now) {
+			continue
+		}
+		delete(x.leases, id)
+		expired = append(expired, e)
+		ids = append(ids, id)
+	}
+	x.leaseMu.Unlock()
+	for _, e := range expired {
+		x.releaseEntry(e)
+	}
+	return ids
+}
+
+// Refresh implements Allocator. It runs exclusively: gate attributes may
+// have changed, so the bucket partition is rebuilt wholesale.
+func (x *indexedAlloc) Refresh(get func(name string) (*registry.Machine, error)) {
+	x.rw.Lock()
+	defer x.rw.Unlock()
+	for _, e := range x.entries {
+		m, err := get(e.machine.Static.Name)
+		if err != nil {
+			continue // machine unregistered; keep last view
+		}
+		e.machine = m
+		refreshCandidate(&e.cand, m)
+	}
+	x.rebuildGroups()
+}
+
+// Stats implements Allocator. Scanned counts heap pops, not full-cache
+// passes: with every machine eligible it stays near one per allocation,
+// which is the point.
+func (x *indexedAlloc) Stats() (allocs, misses int, scanned int64) {
+	return int(x.allocs.Load()), int(x.misses.Load()), x.scanned.Load()
+}
+
+// iheap is a binary min-heap of free entries under the engine's total
+// order. Entries leave only via pop (claims take the minimum), so no
+// arbitrary removal or position tracking is needed.
+type iheap struct {
+	items []*ientry
+}
+
+func (h *iheap) len() int { return len(h.items) }
+
+// init heapifies items in place.
+func (h *iheap) init(x *indexedAlloc) {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(x, i)
+	}
+}
+
+func (h *iheap) push(x *indexedAlloc, e *ientry) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.entryLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *iheap) pop(x *indexedAlloc) *ientry {
+	n := len(h.items)
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.siftDown(x, 0)
+	}
+	return top
+}
+
+func (h *iheap) siftDown(x *indexedAlloc, i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && x.entryLess(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && x.entryLess(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

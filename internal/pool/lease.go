@@ -1,7 +1,6 @@
 package pool
 
 import (
-	"fmt"
 	"sync"
 	"time"
 )
@@ -15,53 +14,34 @@ import (
 // SetLeaseTTL enables expiry for leases granted *after* the call. A
 // non-positive ttl disables expiry.
 func (p *Pool) SetLeaseTTL(ttl time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.life.Lock()
+	defer p.life.Unlock()
 	p.leaseTTL = ttl
 }
 
 // Renew extends a live lease's lifetime by the pool's TTL from now.
 // Renewing an unknown (possibly already-reaped) lease is an error the
-// holder must treat as "your machine is gone".
+// holder must treat as "your machine is gone". On pools without a TTL it
+// is a validity check: any existing deadline is left untouched.
 func (p *Pool) Renew(leaseID string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.leases[leaseID]
-	if !ok {
-		return fmt.Errorf("pool %s: unknown lease %s", p.id, leaseID)
-	}
+	p.life.RLock()
+	defer p.life.RUnlock()
+	var expires time.Time
 	if p.leaseTTL > 0 {
-		e.expires = p.clock().Add(p.leaseTTL)
+		expires = p.clock().Add(p.leaseTTL)
 	}
-	return nil
+	return p.engine.Renew(leaseID, expires)
 }
 
 // Reap releases every lease whose lifetime has passed, returning the
 // reaped lease ids. Pools with expiry disabled never reap.
 func (p *Pool) Reap() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.life.RLock()
+	defer p.life.RUnlock()
 	if p.leaseTTL <= 0 {
 		return nil
 	}
-	now := p.clock()
-	var reaped []string
-	for id, e := range p.leases {
-		if e.expires.IsZero() || e.expires.After(now) {
-			continue
-		}
-		delete(p.leases, id)
-		e.lease = ""
-		if e.cand.ActiveJobs > 0 {
-			e.cand.ActiveJobs--
-		}
-		e.cand.Load -= 1 / float64(maxInt(1, e.machine.Static.CPUs))
-		if e.cand.Load < 0 {
-			e.cand.Load = 0
-		}
-		reaped = append(reaped, id)
-	}
-	return reaped
+	return p.engine.Reap(p.clock())
 }
 
 // Reaper periodically reaps expired leases on a set of pools.

@@ -103,6 +103,37 @@ func TestRenewUnknownLease(t *testing.T) {
 	}
 }
 
+// TestRenewWithTTLDisabledKeepsDeadline pins a subtlety: renewing while
+// expiry is administratively disabled must not erase a deadline granted
+// earlier, or the lease would dodge the reaper forever once expiry is
+// re-enabled.
+func TestRenewWithTTLDisabledKeepsDeadline(t *testing.T) {
+	for _, engine := range []string{EngineOracle, EngineIndexed} {
+		t.Run("engine="+engine, func(t *testing.T) {
+			db := fleetDB(t, 1)
+			clk := &fakeClock{now: time.Unix(0, 0)}
+			p := newSunPool(t, db, func(c *Config) {
+				c.Engine = engine
+				c.Clock = clk.Now
+				c.LeaseTTL = time.Minute
+			})
+			l, err := p.Allocate(sunQuery(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.SetLeaseTTL(0)
+			if err := p.Renew(l.ID); err != nil { // validity check only
+				t.Fatal(err)
+			}
+			p.SetLeaseTTL(time.Minute)
+			clk.Advance(2 * time.Minute)
+			if got := p.Reap(); len(got) != 1 || got[0] != l.ID {
+				t.Errorf("reap = %v, want the original deadline to stand", got)
+			}
+		})
+	}
+}
+
 func TestReaperSweepsAllPools(t *testing.T) {
 	db := fleetDB(t, 4)
 	clk := &fakeClock{now: time.Unix(0, 0)}

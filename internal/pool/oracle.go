@@ -1,0 +1,208 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actyp/internal/registry"
+	"actyp/internal/schedule"
+)
+
+// entry is one machine in the oracle engine's cache.
+type entry struct {
+	machine *registry.Machine
+	cand    schedule.Candidate
+	lease   string    // active lease id, "" when free
+	expires time.Time // lease deadline; zero means no expiry
+}
+
+// oracleAlloc is the reference engine: the paper's linear search over the
+// full cache, inside a single critical section. Concurrent queries to the
+// same pool instance serialize on the scan — the bottleneck Figures 6-8
+// measure, modelled by scanCost — so this engine stays deliberately
+// serialized and acts as the semantic oracle for the indexed engine.
+type oracleAlloc struct {
+	cfg engineConfig
+
+	mu     sync.Mutex
+	cache  []*entry
+	leases map[string]*entry
+	// scratch buffers reused across Allocate calls (guarded by mu) so a
+	// 3,200-entry scan does not allocate per query.
+	scratch    []schedule.Candidate
+	scratchPtr []*schedule.Candidate
+
+	allocs  atomic.Int64
+	misses  atomic.Int64
+	scanned atomic.Int64 // total entries scanned, for the linear-search benches
+}
+
+func newOracleAlloc(machines []*registry.Machine, cfg engineConfig) *oracleAlloc {
+	o := &oracleAlloc{cfg: cfg, leases: make(map[string]*entry)}
+	for _, m := range machines {
+		o.cache = append(o.cache, &entry{machine: m, cand: candidateOf(m)})
+	}
+	return o
+}
+
+// Kind implements Allocator.
+func (o *oracleAlloc) Kind() string { return EngineOracle }
+
+// Size implements Allocator.
+func (o *oracleAlloc) Size() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.cache)
+}
+
+// Free implements Allocator.
+func (o *oracleAlloc) Free() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, e := range o.cache {
+		if e.lease == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Members implements Allocator.
+func (o *oracleAlloc) Members() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, len(o.cache))
+	for i, e := range o.cache {
+		out[i] = e.machine.Static.Name
+	}
+	return out
+}
+
+// Allocate implements Allocator with the paper's linear search, honouring
+// the scheduling objective, the replication bias, machine usability, and
+// the user- and tool-group access policies carried in the request.
+func (o *oracleAlloc) Allocate(req *allocRequest) (*registry.Machine, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	// One linear pass builds the candidate view; ineligible machines are
+	// folded into the Busy flag so selection stays a single linear scan.
+	// The scratch buffers live on the engine (mu held) to keep the hot
+	// path allocation-free.
+	if cap(o.scratch) < len(o.cache) {
+		o.scratch = make([]schedule.Candidate, len(o.cache))
+		o.scratchPtr = make([]*schedule.Candidate, len(o.cache))
+	}
+	cands := o.scratchPtr[:len(o.cache)]
+	for i, e := range o.cache {
+		c := &o.scratch[i]
+		*c = e.cand
+		m := e.machine
+		c.Busy = e.lease != "" ||
+			!m.Usable() || c.Load >= m.Static.MaxLoad ||
+			(req.userGroup != "" && !m.AllowsUserGroup(req.userGroup)) ||
+			(req.toolGroup != "" && !m.SupportsToolGroup(req.toolGroup)) ||
+			(req.verify != nil && !m.Attrs().MatchRsrc(req.verify)) ||
+			policyDenied(lookupPolicy(o.cfg.policies, m.Policy.UsagePolicy), m, &e.cand,
+				req.userGroup, req.toolGroup, req.login)
+		cands[i] = c
+	}
+	o.scanned.Add(int64(len(cands)))
+	if o.cfg.scanCost > 0 {
+		// Charge the modelled per-entry search cost inside the critical
+		// section: concurrent queries to the same pool instance serialize
+		// on its scan, which is the bottleneck Figures 6-8 measure.
+		time.Sleep(o.cfg.scanCost * time.Duration(len(cands)))
+	}
+
+	idx := schedule.SelectBiased(cands, o.cfg.obj, nil, o.cfg.instance, o.cfg.replicas)
+	if idx < 0 {
+		o.misses.Add(1)
+		return nil, ErrExhausted
+	}
+
+	e := o.cache[idx]
+	id, err := req.newID()
+	if err != nil {
+		return nil, err // nothing marked yet; the candidate stays free
+	}
+	e.lease = id
+	e.expires = req.expires
+	placeAccounting(&e.cand, e.machine)
+	o.leases[id] = e
+	o.allocs.Add(1)
+	return e.machine, nil
+}
+
+// Release implements Allocator.
+func (o *oracleAlloc) Release(leaseID string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", o.cfg.poolID, leaseID)
+	}
+	delete(o.leases, leaseID)
+	releaseEntryLocked(e)
+	return nil
+}
+
+// releaseEntryLocked returns a leased entry to the free state, undoing the
+// local load accounting. The caller holds the engine lock.
+func releaseEntryLocked(e *entry) {
+	e.lease = ""
+	releaseAccounting(&e.cand, e.machine)
+}
+
+// Renew implements Allocator.
+func (o *oracleAlloc) Renew(leaseID string, expires time.Time) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("pool %s: unknown lease %s", o.cfg.poolID, leaseID)
+	}
+	if !expires.IsZero() {
+		e.expires = expires
+	}
+	return nil
+}
+
+// Reap implements Allocator.
+func (o *oracleAlloc) Reap(now time.Time) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var reaped []string
+	for id, e := range o.leases {
+		if e.expires.IsZero() || e.expires.After(now) {
+			continue
+		}
+		delete(o.leases, id)
+		releaseEntryLocked(e)
+		reaped = append(reaped, id)
+	}
+	return reaped
+}
+
+// Refresh implements Allocator: it re-reads the dynamic fields of every
+// cached machine, preserving locally-accounted jobs.
+func (o *oracleAlloc) Refresh(get func(name string) (*registry.Machine, error)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range o.cache {
+		m, err := get(e.machine.Static.Name)
+		if err != nil {
+			continue // machine unregistered; keep last view
+		}
+		e.machine = m
+		refreshCandidate(&e.cand, m)
+	}
+}
+
+// Stats implements Allocator.
+func (o *oracleAlloc) Stats() (allocs, misses int, scanned int64) {
+	return int(o.allocs.Load()), int(o.misses.Load()), o.scanned.Load()
+}

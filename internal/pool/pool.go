@@ -5,6 +5,10 @@
 // answer allocation queries with machine leases, support the splitting and
 // replication (instance-bias) mechanisms evaluated in Section 7, and mark
 // their machines "taken" in the white-pages database while they hold them.
+//
+// The allocation hot path is pluggable (see Allocator): the oracle engine
+// is the paper's serialized linear search, the indexed engine answers
+// concurrent queries from eligibility-bucketed heaps.
 package pool
 
 import (
@@ -12,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"actyp/internal/policy"
@@ -72,6 +77,8 @@ type Config struct {
 	// controlled experiments use it to model the paper's 2001-era linear
 	// search, whose per-entry cost made single large pools a measurable
 	// bottleneck (Figure 6). Production configurations leave it zero.
+	// A positive ScanCost pins the pool to the oracle engine: the model
+	// only means something on a serialized scan.
 	ScanCost time.Duration
 	// Policies resolves the usage-policy references of white-pages field
 	// 19. Nil (or an unknown reference) means allow-all, preserving the
@@ -80,57 +87,49 @@ type Config struct {
 	// LeaseTTL enables lease expiry: leases not renewed within this
 	// lifetime are reclaimed by Reap. Zero disables expiry.
 	LeaseTTL time.Duration
+	// Engine selects the allocation engine, EngineOracle or
+	// EngineIndexed. Empty picks the indexed engine unless ScanCost is
+	// set (see ScanCost).
+	Engine string
 }
 
-// entry is one machine in the pool's local cache.
-type entry struct {
-	machine *registry.Machine
-	cand    schedule.Candidate
-	lease   string    // active lease id, "" when free
-	expires time.Time // lease deadline; zero means no expiry
-}
-
-// Pool is a resource pool instance.
+// Pool is a resource pool instance. The allocation state lives in the
+// engine; the Pool contributes lease identity (ids, access keys), TTL
+// policy, and lifecycle.
 type Pool struct {
 	name     query.PoolName
 	family   string
 	id       string // unique instance id, e.g. "arch,==/sun#2"
 	instance int
 	replicas int
-	obj      schedule.Objective
 	db       *registry.DB
 	excl     bool
 	clock    func() time.Time
-	scanCost time.Duration
-	policies *policy.Store
+	engine   Allocator
+	nextSeq  atomic.Int64
 
-	mu       sync.Mutex
-	cache    []*entry
-	leases   map[string]*entry
-	nextSeq  int
+	// life guards lifecycle and TTL policy only — never the allocation
+	// hot path, which engines synchronize internally. Lease operations
+	// hold it shared so Close can wait out in-flight grants.
+	life     sync.RWMutex
 	closed   bool
 	leaseTTL time.Duration
-	// scratch buffers reused across Allocate calls (guarded by mu) so a
-	// 3,200-entry scan does not allocate per query.
-	scratch    []schedule.Candidate
-	scratchPtr []*schedule.Candidate
-
-	statMu    sync.Mutex
-	allocs    int
-	misses    int
-	scanCount int64 // total entries scanned, for the linear-search benches
 }
 
 // New creates and initializes a pool object: it walks the white pages for
 // machines matching the criteria encoded in the pool name (or adopts the
-// explicit member list), loads them into its local cache, and — when
-// exclusive — marks them taken in the database.
+// explicit member list), loads them into the allocation engine, and —
+// when exclusive — marks them taken in the database.
 func New(cfg Config) (*Pool, error) {
 	if cfg.Name.IsZero() {
 		return nil, fmt.Errorf("pool: config needs a name")
 	}
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("pool: config needs a database")
+	}
+	kind, err := resolveEngine(cfg.Engine, cfg.ScanCost)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Family == "" {
 		cfg.Family = "punch"
@@ -150,14 +149,10 @@ func New(cfg Config) (*Pool, error) {
 		id:       fmt.Sprintf("%s#%d", cfg.Name.String(), cfg.Instance),
 		instance: cfg.Instance,
 		replicas: cfg.Replicas,
-		obj:      cfg.Objective,
 		db:       cfg.DB,
 		excl:     cfg.Exclusive,
 		clock:    cfg.Clock,
-		scanCost: cfg.ScanCost,
-		policies: cfg.Policies,
 		leaseTTL: cfg.LeaseTTL,
-		leases:   make(map[string]*entry),
 	}
 
 	var machines []*registry.Machine
@@ -187,14 +182,19 @@ func New(cfg Config) (*Pool, error) {
 		}
 	}
 	if len(machines) == 0 {
-		if cfg.Exclusive {
-			cfg.DB.ReleaseAll(p.id)
-		}
+		// Nothing was taken, so there is nothing to release — and a
+		// ReleaseAll here could strip the claims of a racing pool that
+		// carries the same instance id.
 		return nil, fmt.Errorf("pool %s: no machines match the aggregation criteria", p.id)
 	}
-	for _, m := range machines {
-		p.cache = append(p.cache, &entry{machine: m, cand: candidateOf(m)})
-	}
+	p.engine = newAllocator(kind, machines, engineConfig{
+		poolID:   p.id,
+		obj:      cfg.Objective,
+		instance: cfg.Instance,
+		replicas: cfg.Replicas,
+		scanCost: cfg.ScanCost,
+		policies: cfg.Policies,
+	})
 	return p, nil
 }
 
@@ -219,153 +219,85 @@ func (p *Pool) ID() string { return p.id }
 // Instance returns the replica number.
 func (p *Pool) Instance() int { return p.instance }
 
+// Engine returns the allocation engine kind backing this pool.
+func (p *Pool) Engine() string { return p.engine.Kind() }
+
 // Size returns the number of machines in the cache.
-func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.cache)
-}
+func (p *Pool) Size() int { return p.engine.Size() }
 
 // Free returns how many machines are currently unleased.
-func (p *Pool) Free() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n := 0
-	for _, e := range p.cache {
-		if e.lease == "" {
-			n++
-		}
-	}
-	return n
-}
+func (p *Pool) Free() int { return p.engine.Free() }
 
 // Members returns the machine names in cache order.
-func (p *Pool) Members() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]string, len(p.cache))
-	for i, e := range p.cache {
-		out[i] = e.machine.Static.Name
-	}
-	return out
-}
+func (p *Pool) Members() []string { return p.engine.Members() }
 
 // Allocate answers a basic query with a machine lease. It performs the
-// paper's linear search over the cache, honouring the scheduling objective,
-// the replication bias, machine usability, and the user- and tool-group
-// access policies carried in the query. It returns ErrExhausted when no
-// machine qualifies.
+// engine's search over the cache, honouring the scheduling objective, the
+// replication bias, machine usability, and the user- and tool-group access
+// policies carried in the query. It returns ErrExhausted when no machine
+// qualifies.
 func (p *Pool) Allocate(q *query.Query) (*Lease, error) {
-	userGroup := condStr(q, p.family, query.ClassUser, "accessgroup")
-	toolGroup := condStr(q, p.family, query.ClassAppl, "tool")
-	login := condStr(q, p.family, query.ClassUser, "login")
+	req := &allocRequest{
+		userGroup: condStr(q, p.family, query.ClassUser, "accessgroup"),
+		toolGroup: condStr(q, p.family, query.ClassAppl, "tool"),
+		login:     condStr(q, p.family, query.ClassUser, "login"),
+	}
 	// Pool managers route queries to the pool whose name matches, so
 	// members normally satisfy the query by construction. A query whose
 	// name differs was mis-routed (or sent directly); re-verify its rsrc
 	// constraints per machine rather than handing out a wrong lease.
-	verifyRsrc := query.Name(q) != p.name
+	if query.Name(q) != p.name {
+		req.verify = q
+	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.life.RLock()
+	defer p.life.RUnlock()
 	if p.closed {
 		return nil, fmt.Errorf("pool %s: closed", p.id)
 	}
-
-	// One linear pass builds the candidate view; ineligible machines are
-	// folded into the Busy flag so selection stays a single linear scan.
-	// The scratch buffers live on the pool (mu held) to keep the hot
-	// path allocation-free.
-	if cap(p.scratch) < len(p.cache) {
-		p.scratch = make([]schedule.Candidate, len(p.cache))
-		p.scratchPtr = make([]*schedule.Candidate, len(p.cache))
+	granted := p.clock()
+	if p.leaseTTL > 0 {
+		req.expires = granted.Add(p.leaseTTL)
 	}
-	cands := p.scratchPtr[:len(p.cache)]
-	for i, e := range p.cache {
-		c := &p.scratch[i]
-		*c = e.cand
-		m := e.machine
-		c.Busy = e.lease != "" ||
-			!m.Usable() || c.Load >= m.Static.MaxLoad ||
-			(userGroup != "" && !m.AllowsUserGroup(userGroup)) ||
-			(toolGroup != "" && !m.SupportsToolGroup(toolGroup)) ||
-			(verifyRsrc && !m.Attrs().MatchRsrc(q)) ||
-			p.deniedByPolicy(e, userGroup, toolGroup, login)
-		cands[i] = c
+	// Minted by the engine only once a machine is claimed, so misses pay
+	// no id-generation work. The access-key prefix makes the lease id
+	// globally unique: pool instance ids are only unique within one
+	// directory, and two administrative domains can both run an
+	// "arch,==/sun#0" whose sequence numbers collide.
+	var leaseID, key string
+	req.newID = func() (string, error) {
+		k, err := newAccessKey()
+		if err != nil {
+			return "", fmt.Errorf("pool %s: %w", p.id, err)
+		}
+		key = k
+		leaseID = fmt.Sprintf("%s:%d:%s", p.id, p.nextSeq.Add(1), k[:8])
+		return leaseID, nil
 	}
-	p.statMu.Lock()
-	p.scanCount += int64(len(cands))
-	p.statMu.Unlock()
-	if p.scanCost > 0 {
-		// Charge the modelled per-entry search cost inside the critical
-		// section: concurrent queries to the same pool instance serialize
-		// on its scan, which is the bottleneck Figures 6-8 measure.
-		time.Sleep(p.scanCost * time.Duration(len(cands)))
-	}
-
-	idx := schedule.SelectBiased(cands, p.obj, nil, p.instance, p.replicas)
-	if idx < 0 {
-		p.statMu.Lock()
-		p.misses++
-		p.statMu.Unlock()
-		return nil, ErrExhausted
-	}
-
-	e := p.cache[idx]
-	key, err := newAccessKey()
+	m, err := p.engine.Allocate(req)
 	if err != nil {
-		return nil, fmt.Errorf("pool %s: %w", p.id, err)
+		return nil, err
 	}
-	p.nextSeq++
-	// The access-key prefix makes the lease id globally unique: pool
-	// instance ids are only unique within one directory, and two
-	// administrative domains can both run an "arch,==/sun#0" whose
-	// sequence numbers collide.
-	lease := &Lease{
-		ID:           fmt.Sprintf("%s:%d:%s", p.id, p.nextSeq, key[:8]),
-		Machine:      e.machine.Static.Name,
-		Addr:         e.machine.Access.Addr,
-		ExecUnitPort: e.machine.Access.ExecUnitPort,
-		MountMgrPort: e.machine.Access.MountMgrPort,
+	return &Lease{
+		ID:           leaseID,
+		Machine:      m.Static.Name,
+		Addr:         m.Access.Addr,
+		ExecUnitPort: m.Access.ExecUnitPort,
+		MountMgrPort: m.Access.MountMgrPort,
 		AccessKey:    key,
 		Pool:         p.id,
-		Granted:      p.clock(),
-	}
-	e.lease = lease.ID
-	if p.leaseTTL > 0 {
-		e.expires = lease.Granted.Add(p.leaseTTL)
-	} else {
-		e.expires = time.Time{}
-	}
-	// Account the placed job locally so subsequent scheduling decisions
-	// see the machine as more loaded even before the monitor reports it.
-	e.cand.ActiveJobs++
-	e.cand.Load += 1 / float64(maxInt(1, e.machine.Static.CPUs))
-	p.leases[lease.ID] = e
-
-	p.statMu.Lock()
-	p.allocs++
-	p.statMu.Unlock()
-	return lease, nil
+		Granted:      granted,
+	}, nil
 }
 
-// Release frees the machine held by a lease.
+// Release frees the machine held by a lease. It deliberately skips the
+// closed check — outstanding leases stay releasable while the pool shuts
+// down — but still holds the lifecycle lock shared so Close waits out
+// in-flight releases like every other lease operation.
 func (p *Pool) Release(leaseID string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.leases[leaseID]
-	if !ok {
-		return fmt.Errorf("pool %s: unknown lease %s", p.id, leaseID)
-	}
-	delete(p.leases, leaseID)
-	e.lease = ""
-	if e.cand.ActiveJobs > 0 {
-		e.cand.ActiveJobs--
-	}
-	e.cand.Load -= 1 / float64(maxInt(1, e.machine.Static.CPUs))
-	if e.cand.Load < 0 {
-		e.cand.Load = 0
-	}
-	return nil
+	p.life.RLock()
+	defer p.life.RUnlock()
+	return p.engine.Release(leaseID)
 }
 
 // Refresh re-reads the dynamic fields of every cached machine from the
@@ -373,22 +305,7 @@ func (p *Pool) Release(leaseID string) error {
 // monitor updates land in the database and Refresh folds them into the
 // cache, preserving locally-accounted jobs.
 func (p *Pool) Refresh() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, e := range p.cache {
-		m, err := p.db.Get(e.machine.Static.Name)
-		if err != nil {
-			continue // machine unregistered; keep last view
-		}
-		local := e.cand.ActiveJobs - m.Dynamic.ActiveJobs
-		if local < 0 {
-			local = 0
-		}
-		e.machine = m
-		e.cand = candidateOf(m)
-		e.cand.ActiveJobs += local
-		e.cand.Load += float64(local) / float64(maxInt(1, m.Static.CPUs))
-	}
+	p.engine.Refresh(p.db.Get)
 }
 
 // Split partitions the pool's members into k contiguous, nearly equal
@@ -418,57 +335,28 @@ func (p *Pool) Split(k int) ([][]string, error) {
 
 // Close releases the pool's claim on its machines in the white pages and
 // refuses further allocations. Outstanding leases remain valid records but
-// can no longer be released through the pool.
+// can no longer be released through the pool. Only the pool's own members
+// are released — never ReleaseAll on the instance id, which two pools can
+// momentarily share when managers race to create the same pool name (the
+// loser's close must not strip the winner's claims).
 func (p *Pool) Close() {
-	p.mu.Lock()
+	p.life.Lock()
 	if p.closed {
-		p.mu.Unlock()
+		p.life.Unlock()
 		return
 	}
 	p.closed = true
-	p.mu.Unlock()
+	p.life.Unlock()
 	if p.excl {
-		p.db.ReleaseAll(p.id)
+		p.db.Release(p.id, p.Members()...)
 	}
 }
 
 // Stats reports allocation counters: successful allocations, exhausted
-// misses, and the total number of cache entries scanned (the linear-search
-// cost driver of Figure 6).
+// misses, and the total number of cache entries examined during selection
+// (for the oracle, the linear-search cost driver of Figure 6).
 func (p *Pool) Stats() (allocs, misses int, scanned int64) {
-	p.statMu.Lock()
-	defer p.statMu.Unlock()
-	return p.allocs, p.misses, p.scanCount
-}
-
-// deniedByPolicy evaluates the machine's field-19 usage-policy metaprogram
-// against the requester and the machine's live state. The caller holds
-// p.mu.
-func (p *Pool) deniedByPolicy(e *entry, group, tool, login string) bool {
-	ref := e.machine.Policy.UsagePolicy
-	if p.policies == nil || ref == "" {
-		return false
-	}
-	pol, ok := p.policies.Lookup(ref)
-	if !ok {
-		return false // unresolvable reference behaves like the paper's unimplemented field
-	}
-	ctx := policy.Context{
-		"load":       query.NumAttr(e.cand.Load),
-		"freememory": query.NumAttr(e.cand.FreeMemory),
-		"activejobs": query.NumAttr(float64(e.cand.ActiveJobs)),
-		"machine":    query.StrAttr(e.machine.Static.Name),
-	}
-	if group != "" {
-		ctx["group"] = query.StrAttr(group)
-	}
-	if tool != "" {
-		ctx["tool"] = query.StrAttr(tool)
-	}
-	if login != "" {
-		ctx["login"] = query.StrAttr(login)
-	}
-	return pol.Evaluate(ctx) == policy.Deny
+	return p.engine.Stats()
 }
 
 func condStr(q *query.Query, family string, class query.Class, name string) string {
@@ -485,11 +373,4 @@ func newAccessKey() (string, error) {
 		return "", fmt.Errorf("access key: %w", err)
 	}
 	return hex.EncodeToString(b[:]), nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -90,6 +90,41 @@ func TestNewWalksWhitePagesAndTakes(t *testing.T) {
 	}
 }
 
+// TestCloseReleasesOnlyOwnClaims pins the create-race repair path: when
+// two managers race to build the same pool name, both exclusive pools
+// carry the same instance id, and closing the loser (or failing to build
+// it at all) must not strip the winner's white-pages claims.
+func TestCloseReleasesOnlyOwnClaims(t *testing.T) {
+	db := fleetDB(t, 8)
+	winner := newSunPool(t, db, func(c *Config) { c.MaxMachines = 5 })
+	loser, err := New(Config{Name: sunName(t), DB: db, Exclusive: true}) // same id "...#0"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.ID() != loser.ID() {
+		t.Fatalf("ids differ: %q vs %q", winner.ID(), loser.ID())
+	}
+	if loser.Size() != 3 {
+		t.Fatalf("loser took %d machines, want the 3 remaining", loser.Size())
+	}
+	// With the fleet fully taken, a third creation attempt fails — and
+	// its error path must not release anything under the shared id.
+	if _, err := New(Config{Name: sunName(t), DB: db, Exclusive: true}); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if got := db.TakenBy(winner.ID()); len(got) != 8 {
+		t.Fatalf("failed creation stripped live claims: %d taken, want 8", len(got))
+	}
+	loser.Close()
+	if got := db.TakenBy(winner.ID()); len(got) != 5 {
+		t.Fatalf("losing pool's close stripped the winner's claims: %d taken, want 5", len(got))
+	}
+	winner.Close()
+	if got := db.TakenBy(winner.ID()); len(got) != 0 {
+		t.Fatalf("winner's close left %d taken", len(got))
+	}
+}
+
 func TestNewWithMembers(t *testing.T) {
 	db := fleetDB(t, 6)
 	p, err := New(Config{
@@ -124,62 +159,76 @@ func TestMaxMachines(t *testing.T) {
 }
 
 func TestAllocateReleaseLifecycle(t *testing.T) {
-	db := fleetDB(t, 3)
-	p := newSunPool(t, db)
-	q := sunQuery(t)
+	for _, engine := range []string{EngineOracle, EngineIndexed} {
+		t.Run("engine="+engine, func(t *testing.T) {
+			db := fleetDB(t, 3)
+			p := newSunPool(t, db, func(c *Config) { c.Engine = engine })
+			if p.Engine() != engine {
+				t.Fatalf("engine = %q, want %q", p.Engine(), engine)
+			}
+			q := sunQuery(t)
 
-	seen := map[string]bool{}
-	var leases []*Lease
-	for i := 0; i < 3; i++ {
-		l, err := p.Allocate(q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if seen[l.Machine] {
-			t.Errorf("machine %s leased twice", l.Machine)
-		}
-		seen[l.Machine] = true
-		if l.AccessKey == "" || len(l.AccessKey) != 32 {
-			t.Errorf("access key = %q", l.AccessKey)
-		}
-		if l.Addr == "" || l.ExecUnitPort == 0 {
-			t.Errorf("lease missing coordinates: %+v", l)
-		}
-		if l.Pool != p.ID() {
-			t.Errorf("lease pool = %q", l.Pool)
-		}
-		leases = append(leases, l)
-	}
-	if p.Free() != 0 {
-		t.Errorf("free = %d", p.Free())
-	}
-	if _, err := p.Allocate(q); err != ErrExhausted {
-		t.Errorf("exhausted pool returned %v", err)
-	}
+			seen := map[string]bool{}
+			var leases []*Lease
+			for i := 0; i < 3; i++ {
+				l, err := p.Allocate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[l.Machine] {
+					t.Errorf("machine %s leased twice", l.Machine)
+				}
+				seen[l.Machine] = true
+				if l.AccessKey == "" || len(l.AccessKey) != 32 {
+					t.Errorf("access key = %q", l.AccessKey)
+				}
+				if l.Addr == "" || l.ExecUnitPort == 0 {
+					t.Errorf("lease missing coordinates: %+v", l)
+				}
+				if l.Pool != p.ID() {
+					t.Errorf("lease pool = %q", l.Pool)
+				}
+				leases = append(leases, l)
+			}
+			if p.Free() != 0 {
+				t.Errorf("free = %d", p.Free())
+			}
+			if _, err := p.Allocate(q); err != ErrExhausted {
+				t.Errorf("exhausted pool returned %v", err)
+			}
 
-	if err := p.Release(leases[0].ID); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Release(leases[0].ID); err == nil {
-		t.Error("double release should fail")
-	}
-	if err := p.Release("bogus"); err == nil {
-		t.Error("unknown lease should fail")
-	}
-	if p.Free() != 1 {
-		t.Errorf("free after release = %d", p.Free())
-	}
-	// Released machine is allocatable again.
-	if _, err := p.Allocate(q); err != nil {
-		t.Errorf("re-allocate: %v", err)
-	}
+			if err := p.Release(leases[0].ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Release(leases[0].ID); err == nil {
+				t.Error("double release should fail")
+			}
+			if err := p.Release("bogus"); err == nil {
+				t.Error("unknown lease should fail")
+			}
+			if p.Free() != 1 {
+				t.Errorf("free after release = %d", p.Free())
+			}
+			// Released machine is allocatable again.
+			if _, err := p.Allocate(q); err != nil {
+				t.Errorf("re-allocate: %v", err)
+			}
 
-	allocs, misses, scanned := p.Stats()
-	if allocs != 4 || misses != 1 {
-		t.Errorf("stats = %d allocs, %d misses", allocs, misses)
-	}
-	if scanned < int64(4*p.Size()) {
-		t.Errorf("scanned = %d", scanned)
+			allocs, misses, scanned := p.Stats()
+			if allocs != 4 || misses != 1 {
+				t.Errorf("stats = %d allocs, %d misses", allocs, misses)
+			}
+			if engine == EngineOracle {
+				// The oracle scans the whole cache per allocation attempt.
+				if scanned < int64(4*p.Size()) {
+					t.Errorf("scanned = %d", scanned)
+				}
+			} else if scanned < int64(allocs) {
+				// The indexed engine examines only popped heap entries: at
+				// least one per successful allocation, far less than a scan.
+				t.Errorf("scanned = %d", scanned)
+			}
+		})
 	}
 }
 

@@ -37,6 +37,9 @@ type LocalFactory struct {
 	Policies *policy.Store
 	// LeaseTTL is forwarded to created pools; see pool.Config.LeaseTTL.
 	LeaseTTL time.Duration
+	// Engine selects the allocation engine of created pools; see
+	// pool.Config.Engine.
+	Engine string
 
 	mu      sync.Mutex
 	created []*pool.Pool
@@ -62,6 +65,7 @@ func (f *LocalFactory) Create(name query.PoolName, instance int) (directory.Pool
 		ScanCost:    f.ScanCost,
 		Policies:    f.Policies,
 		LeaseTTL:    f.LeaseTTL,
+		Engine:      f.Engine,
 	})
 	if err != nil {
 		return directory.PoolRef{}, err

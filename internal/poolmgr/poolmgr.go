@@ -5,13 +5,18 @@
 // resources are not available locally — forwards the query to a peer pool
 // manager, carrying a visited list and a time-to-live counter with the
 // query exactly as IP datagrams carry a TTL.
+//
+// The manager itself holds no lock on the request path: instance
+// selection draws from a lock-free deterministic sequence, counters are
+// atomic, and pool creation coalesces concurrent creators per pool
+// signature (creating pool A never blocks creating pool B).
 package poolmgr
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"actyp/internal/directory"
 	"actyp/internal/pool"
@@ -64,16 +69,27 @@ type Manager struct {
 	factory Factory
 	ttl     int
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	seed    uint64
+	pickSeq atomic.Uint64
 
-	createMu sync.Mutex // serializes pool creation per manager
+	// createMu guards only the in-flight creation table; the creations
+	// themselves (which Take machines from the white pages) run outside
+	// it, one flight per pool signature.
+	createMu sync.Mutex
+	creating map[string]*createCall
 
-	statMu    sync.Mutex
-	resolved  int
-	created   int
-	forwarded int
-	failed    int
+	resolved  atomic.Int64
+	created   atomic.Int64
+	forwarded atomic.Int64
+	failed    atomic.Int64
+}
+
+// createCall is one in-flight pool creation; concurrent creators of the
+// same signature share its result.
+type createCall struct {
+	done chan struct{}
+	ref  directory.PoolRef
+	err  error
 }
 
 // New creates a pool manager.
@@ -92,16 +108,34 @@ func New(cfg Config) (*Manager, error) {
 		seed = 1
 	}
 	return &Manager{
-		name:    cfg.Name,
-		dir:     cfg.Dir,
-		factory: cfg.Factory,
-		ttl:     cfg.TTL,
-		rng:     rand.New(rand.NewSource(seed)),
+		name:     cfg.Name,
+		dir:      cfg.Dir,
+		factory:  cfg.Factory,
+		ttl:      cfg.TTL,
+		seed:     uint64(seed),
+		creating: make(map[string]*createCall),
 	}, nil
 }
 
 // Name implements directory.Forwarder.
 func (m *Manager) Name() string { return m.name }
+
+// pickStart returns a pseudo-random index in [0, n): one splitmix64 draw
+// from a lock-free sequence, deterministic per seed, so random instance
+// selection (the paper's policy) never serializes requests on a shared
+// rand.Rand mutex.
+func (m *Manager) pickStart(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := m.seed + m.pickSeq.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
 
 // Resolve maps the basic query to a pool name and allocates a machine,
 // creating the pool if necessary and delegating to peers when local
@@ -115,21 +149,19 @@ func (m *Manager) Resolve(q *query.Query) (*pool.Lease, error) {
 // from reaching any manager twice; the TTL bounds total hops.
 func (m *Manager) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
 	if ttl <= 0 {
-		m.countFail()
+		m.failed.Add(1)
 		return nil, ErrTTLExpired
 	}
 	for _, v := range visited {
 		if v == m.name {
-			m.countFail()
+			m.failed.Add(1)
 			return nil, fmt.Errorf("poolmgr %s: query already visited this manager", m.name)
 		}
 	}
 
 	name := query.Name(q)
 	if lease, err := m.resolveLocal(name, q); err == nil {
-		m.statMu.Lock()
-		m.resolved++
-		m.statMu.Unlock()
+		m.resolved.Add(1)
 		return lease, nil
 	}
 
@@ -141,22 +173,20 @@ func (m *Manager) Forward(q *query.Query, ttl int, visited []string) (*pool.Leas
 		if peer.Name() == m.name || contains(visited, peer.Name()) {
 			continue
 		}
-		m.statMu.Lock()
-		m.forwarded++
-		m.statMu.Unlock()
+		m.forwarded.Add(1)
 		lease, err := peer.Forward(q, ttl, visited)
 		if err == nil {
 			return lease, nil
 		}
 		if errors.Is(err, ErrTTLExpired) {
-			m.countFail()
+			m.failed.Add(1)
 			return nil, err
 		}
 		// Peer failed for another reason; it recorded itself in its own
 		// visited handling, but our copy must also skip it.
 		visited = append(visited, peer.Name())
 	}
-	m.countFail()
+	m.failed.Add(1)
 	if ttl <= 0 {
 		return nil, ErrTTLExpired
 	}
@@ -177,12 +207,7 @@ func (m *Manager) resolveLocal(name query.PoolName, q *query.Query) (*pool.Lease
 		refs = []directory.PoolRef{created}
 	}
 	// Start at a random instance, then walk the rest in order.
-	start := 0
-	if len(refs) > 1 {
-		m.rngMu.Lock()
-		start = m.rng.Intn(len(refs))
-		m.rngMu.Unlock()
-	}
+	start := m.pickStart(len(refs))
 	var lastErr error
 	for i := 0; i < len(refs); i++ {
 		ref := refs[(start+i)%len(refs)]
@@ -199,35 +224,56 @@ func (m *Manager) resolveLocal(name query.PoolName, q *query.Query) (*pool.Lease
 	return nil, lastErr
 }
 
-func (m *Manager) pick(name query.PoolName) (directory.PoolRef, bool) {
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.dir.Pick(name, m.rng)
-}
-
-// create builds instance 0 of a missing pool through the factory,
-// registering it in the directory. Concurrent creators race benignly: the
-// loser adopts the winner's registration.
+// create coalesces concurrent creations of one pool signature into a
+// single flight — and only that signature's: creating pool A (which Takes
+// machines from the white pages) never blocks creating pool B.
 func (m *Manager) create(name query.PoolName) (directory.PoolRef, error) {
 	if m.factory == nil {
 		return directory.PoolRef{}, fmt.Errorf("poolmgr %s: no factory to create pool %s", m.name, name)
 	}
+	key := name.String()
 	m.createMu.Lock()
-	defer m.createMu.Unlock()
-	// Another goroutine may have created the pool while we waited.
-	if ref, ok := m.pick(name); ok {
-		return ref, nil
+	if c, ok := m.creating[key]; ok {
+		m.createMu.Unlock()
+		<-c.done
+		return c.ref, c.err
+	}
+	c := &createCall{done: make(chan struct{})}
+	m.creating[key] = c
+	m.createMu.Unlock()
+
+	c.ref, c.err = m.buildPool(name)
+	m.createMu.Lock()
+	delete(m.creating, key)
+	m.createMu.Unlock()
+	close(c.done)
+	return c.ref, c.err
+}
+
+// buildPool creates instance 0 of a missing pool through the factory and
+// registers it. A creator that finds the pool already registered (an
+// earlier flight, or a peer manager sharing the directory) adopts the
+// existing registration instead.
+func (m *Manager) buildPool(name query.PoolName) (directory.PoolRef, error) {
+	if refs := m.dir.Lookup(name); len(refs) > 0 {
+		return refs[m.pickStart(len(refs))], nil
 	}
 	ref, err := m.factory.Create(name, 0)
 	if err != nil {
 		return directory.PoolRef{}, fmt.Errorf("poolmgr %s: create %s: %w", m.name, name, err)
 	}
 	if err := m.dir.Register(ref); err != nil {
+		// Lost a cross-manager race. Shut our orphan down (releasing its
+		// white-pages claims) and adopt the winner.
+		if cl, ok := ref.Local.(interface{ Close() }); ok {
+			cl.Close()
+		}
+		if refs := m.dir.Lookup(name); len(refs) > 0 {
+			return refs[m.pickStart(len(refs))], nil
+		}
 		return directory.PoolRef{}, err
 	}
-	m.statMu.Lock()
-	m.created++
-	m.statMu.Unlock()
+	m.created.Add(1)
 	return ref, nil
 }
 
@@ -249,15 +295,8 @@ func (m *Manager) Release(lease *pool.Lease) error {
 // Stats returns counters: locally resolved queries, pools created,
 // delegations attempted, and failures.
 func (m *Manager) Stats() (resolved, created, forwarded, failed int) {
-	m.statMu.Lock()
-	defer m.statMu.Unlock()
-	return m.resolved, m.created, m.forwarded, m.failed
-}
-
-func (m *Manager) countFail() {
-	m.statMu.Lock()
-	m.failed++
-	m.statMu.Unlock()
+	return int(m.resolved.Load()), int(m.created.Load()),
+		int(m.forwarded.Load()), int(m.failed.Load())
 }
 
 func contains(list []string, s string) bool {

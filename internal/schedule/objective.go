@@ -238,10 +238,3 @@ func SelectBiased(cands []*Candidate, obj Objective, filter func(*Candidate) boo
 func Sort(cands []*Candidate, obj Objective) {
 	sort.SliceStable(cands, func(i, j int) bool { return obj.Less(cands[i], cands[j]) })
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
