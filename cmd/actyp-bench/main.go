@@ -31,7 +31,7 @@ import (
 var jsonDir string
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
 	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
@@ -67,6 +67,7 @@ func main() {
 	run("ablations", ablations)
 	run("registry", figRegistry)
 	run("pipeline", figPipeline)
+	run("transport", figTransport)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -121,6 +122,25 @@ func figPipeline(quick bool) error {
 	}
 	return emit("pipeline", "Pipeline: Ask->Allocate->Release response time vs fleet size, per pool engine",
 		"machines", "mean op (s)", series)
+}
+
+// figTransport sweeps single-connection throughput against concurrent
+// in-flight callers, per server-side dispatch window: the multiplexed
+// transport's gain over the old one-frame-at-a-time connection handling.
+func figTransport(quick bool) error {
+	cfg := experiments.DefaultTransport()
+	if quick {
+		cfg.Machines = 2000
+		cfg.Windows = []int{1, 8}
+		cfg.Clients = []int{1, 4, 8}
+		cfg.OpsPerClient = 15
+	}
+	series, err := experiments.TransportScale(cfg)
+	if err != nil {
+		return err
+	}
+	return emit("transport", "Transport: single-connection throughput vs in-flight callers, per window",
+		"concurrent callers", "throughput (ops/s)", series)
 }
 
 func fig4(quick bool) error {

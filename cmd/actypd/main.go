@@ -26,6 +26,7 @@ import (
 	"actyp/internal/netsim"
 	"actyp/internal/querymgr"
 	"actyp/internal/registry"
+	"actyp/internal/wire"
 )
 
 func main() {
@@ -45,17 +46,18 @@ func main() {
 		regBackend = flag.String("registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
 		regShards  = flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 		poolEngine = flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
+		connWindow = flag.Int("conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards, *poolEngine); err != nil {
+	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards, *poolEngine, *connWindow); err != nil {
 		log.Fatalf("actypd: %v", err)
 	}
 }
 
 func run(addr string, machines int, dbPath, profileName string, scanCost time.Duration,
 	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration,
-	regBackend string, regShards int, poolEngine string) error {
+	regBackend string, regShards int, poolEngine string, connWindow int) error {
 
 	backend, err := registry.OpenBackend(regBackend, regShards)
 	if err != nil {
@@ -115,13 +117,13 @@ func run(addr string, machines int, dbPath, profileName string, scanCost time.Du
 		log.Printf("actypd: pre-created %d striped pools", warm)
 	}
 
-	srv, err := core.Serve(svc, addr, profile)
+	srv, err := core.ServeWindow(svc, addr, profile, connWindow)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	srv.Logf = log.Printf
-	log.Printf("actypd: serving on %s (profile %s)", srv.Addr(), profileName)
+	log.Printf("actypd: serving on %s (profile %s, conn window %d)", srv.Addr(), profileName, connWindow)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

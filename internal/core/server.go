@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -12,12 +14,15 @@ import (
 
 // Server exposes a Service over TCP using the wire protocol, so clients
 // (network desktops) and remote pipeline stages can reach it across a LAN
-// or WAN. Each connection is served by its own goroutine; requests on one
-// connection are handled sequentially, which matches the closed-loop
-// clients of the paper's experiments.
+// or WAN. Each connection is multiplexed: a reader goroutine feeds decoded
+// frames to a bounded worker pool and a writer goroutine drains the
+// replies, so one desktop can keep up to `window` requests in flight on a
+// single connection and a slow query never blocks the renewals, releases,
+// and pings queued behind it.
 type Server struct {
-	svc *Service
-	ln  net.Listener
+	svc    *Service
+	ln     net.Listener
+	window int
 
 	mu     sync.Mutex
 	closed bool
@@ -29,13 +34,21 @@ type Server struct {
 }
 
 // Serve starts a server for svc on addr (for example "127.0.0.1:0") with
-// the given network profile applied to every connection.
+// the given network profile applied to every connection and the default
+// per-connection in-flight window.
 func Serve(svc *Service, addr string, profile netsim.Profile) (*Server, error) {
+	return ServeWindow(svc, addr, profile, wire.DefaultWindow)
+}
+
+// ServeWindow is Serve with an explicit per-connection in-flight window
+// (how many requests one connection may have executing concurrently;
+// values below 1 mean serial service, the pre-multiplexing behaviour).
+func ServeWindow(svc *Service, addr string, profile netsim.Profile, window int) (*Server, error) {
 	ln, err := netsim.Listen(addr, profile)
 	if err != nil {
 		return nil, fmt.Errorf("core: listen %s: %w", addr, err)
 	}
-	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{svc: svc, ln: ln, window: window, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -99,26 +112,26 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	for {
-		env, err := wire.ReadFrame(conn)
-		if err != nil {
-			return // client went away or sent garbage
-		}
-		reply, err := s.dispatch(env)
-		if err != nil {
-			reply, _ = wire.NewEnvelope(wire.TypeError, env.ID, wire.ErrorReply{Message: err.Error()})
-		}
-		if reply == nil {
-			continue
-		}
-		if err := wire.WriteFrame(conn, reply); err != nil {
-			s.logf("core: server write: %v", err)
-			return
-		}
+	err := wire.ServeConn(conn, s.window, func(env *wire.Envelope) *wire.Envelope {
+		return serveEnvelope(s.svc, env)
+	})
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.logf("core: server conn %s: %v", conn.RemoteAddr(), err)
 	}
 }
 
-func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
+// serveEnvelope dispatches one request envelope against the service and
+// returns the reply envelope. It is shared by the TCP and UDP endpoints,
+// which differ only in framing.
+func serveEnvelope(svc *Service, env *wire.Envelope) *wire.Envelope {
+	reply, err := dispatchEnvelope(svc, env)
+	if err != nil {
+		return wire.ErrorEnvelope(env.ID, err)
+	}
+	return reply
+}
+
+func dispatchEnvelope(svc *Service, env *wire.Envelope) (*wire.Envelope, error) {
 	switch env.Type {
 	case wire.TypePing:
 		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}, nil
@@ -127,7 +140,7 @@ func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 		if err := env.Decode(&req); err != nil {
 			return nil, err
 		}
-		grant, err := s.svc.RequestLang(req.Lang, req.Text)
+		grant, err := svc.RequestLang(req.Lang, req.Text)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +161,7 @@ func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 		if req.Shadow != nil {
 			g.Shadow = *req.Shadow
 		}
-		if err := s.svc.Release(g); err != nil {
+		if err := svc.Release(g); err != nil {
 			return nil, err
 		}
 		return wire.NewEnvelope(wire.TypeRelease, env.ID, wire.ReleaseReply{})
@@ -157,7 +170,7 @@ func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 		if err := env.Decode(&req); err != nil {
 			return nil, err
 		}
-		if err := s.svc.Renew(&Grant{Lease: &req.Lease}); err != nil {
+		if err := svc.Renew(&Grant{Lease: &req.Lease}); err != nil {
 			return nil, err
 		}
 		return wire.NewEnvelope(wire.TypeRenew, env.ID, wire.RenewReply{})
@@ -166,36 +179,53 @@ func (s *Server) dispatch(env *wire.Envelope) (*wire.Envelope, error) {
 	}
 }
 
-// Client is the remote counterpart of a Service: it speaks the wire
-// protocol over a single TCP connection. It is safe for one goroutine;
-// experiment clients each own one (closed-loop behaviour).
+// Client is the remote counterpart of a Service: it multiplexes the wire
+// protocol over a single TCP connection. It is safe for concurrent use —
+// any number of goroutines may keep calls in flight at once, and replies
+// are correlated by envelope id. A broken connection is redialed on the
+// next call.
 type Client struct {
-	conn   net.Conn
-	nextID uint64
+	c *wire.Client
 }
 
 // Dial connects a client to a server with the given network profile.
 func Dial(addr string, profile netsim.Profile) (*Client, error) {
-	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
-	if err != nil {
+	c := wire.NewClient(func() (net.Conn, error) {
+		return (netsim.Dialer{Profile: profile}).Dial(addr)
+	}, 0)
+	if err := c.Connect(); err != nil {
 		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{c: c}, nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.c.Close() }
+
+// call round-trips one request, translating server-side failures into the
+// historical "core: server: ..." form.
+func (c *Client) call(ctx context.Context, typ string, payload any) (*wire.Envelope, error) {
+	reply, err := c.c.CallContext(ctx, typ, payload)
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return nil, fmt.Errorf("core: server: %s", remote.Message)
+		}
+		return nil, err
+	}
+	if reply.Type != typ {
+		return nil, fmt.Errorf("core: %s got %q", typ, reply.Type)
+	}
+	return reply, nil
+}
 
 // Ping round-trips a liveness probe.
-func (c *Client) Ping() error {
-	env, err := c.roundTrip(&wire.Envelope{Type: wire.TypePing, ID: c.id()})
-	if err != nil {
-		return err
-	}
-	if env.Type != wire.TypePing {
-		return fmt.Errorf("core: ping got %q", env.Type)
-	}
-	return nil
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext is Ping with cancellation.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.call(ctx, wire.TypePing, nil)
+	return err
 }
 
 // Request submits a query text and returns the grant.
@@ -203,11 +233,12 @@ func (c *Client) Request(text string) (*Grant, error) { return c.RequestLang("",
 
 // RequestLang submits a query in the named language.
 func (c *Client) RequestLang(lang, text string) (*Grant, error) {
-	req, err := wire.NewEnvelope(wire.TypeQuery, c.id(), wire.QueryRequest{Lang: lang, Text: text})
-	if err != nil {
-		return nil, err
-	}
-	env, err := c.roundTrip(req)
+	return c.RequestContext(context.Background(), lang, text)
+}
+
+// RequestContext submits a query with cancellation.
+func (c *Client) RequestContext(ctx context.Context, lang, text string) (*Grant, error) {
+	env, err := c.call(ctx, wire.TypeQuery, wire.QueryRequest{Lang: lang, Text: text})
 	if err != nil {
 		return nil, err
 	}
@@ -239,18 +270,8 @@ func (c *Client) Release(g *Grant) error {
 		sh := g.Shadow
 		req.Shadow = &sh
 	}
-	env, err := wire.NewEnvelope(wire.TypeRelease, c.id(), req)
-	if err != nil {
-		return err
-	}
-	reply, err := c.roundTrip(env)
-	if err != nil {
-		return err
-	}
-	if reply.Type != wire.TypeRelease {
-		return fmt.Errorf("core: release got %q", reply.Type)
-	}
-	return nil
+	_, err := c.call(context.Background(), wire.TypeRelease, req)
+	return err
 }
 
 // Renew heartbeats a grant on a TTL-enabled service.
@@ -258,42 +279,6 @@ func (c *Client) Renew(g *Grant) error {
 	if g == nil || g.Lease == nil {
 		return errors.New("core: nil grant")
 	}
-	env, err := wire.NewEnvelope(wire.TypeRenew, c.id(), wire.RenewRequest{Lease: *g.Lease})
-	if err != nil {
-		return err
-	}
-	reply, err := c.roundTrip(env)
-	if err != nil {
-		return err
-	}
-	if reply.Type != wire.TypeRenew {
-		return fmt.Errorf("core: renew got %q", reply.Type)
-	}
-	return nil
-}
-
-func (c *Client) id() uint64 {
-	c.nextID++
-	return c.nextID
-}
-
-func (c *Client) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
-	if err := wire.WriteFrame(c.conn, env); err != nil {
-		return nil, err
-	}
-	reply, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	if reply.ID != env.ID {
-		return nil, fmt.Errorf("core: reply id %d for request %d", reply.ID, env.ID)
-	}
-	if reply.Type == wire.TypeError {
-		var e wire.ErrorReply
-		if err := reply.Decode(&e); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("core: server: %s", e.Message)
-	}
-	return reply, nil
+	_, err := c.call(context.Background(), wire.TypeRenew, wire.RenewRequest{Lease: *g.Lease})
+	return err
 }

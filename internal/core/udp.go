@@ -71,12 +71,12 @@ func (s *UDPServer) loop() {
 		}
 		// Handle each datagram concurrently; replies race, which is fine
 		// because the client correlates by envelope id.
-		payload := make([]byte, n)
-		copy(payload, buf[:n])
 		s.wg.Add(1)
 		go func(env wire.Envelope, from *net.UDPAddr) {
 			defer s.wg.Done()
-			reply := s.handle(&env)
+			// serveEnvelope is the same dispatcher the TCP server uses;
+			// only the framing differs (one datagram per envelope).
+			reply := serveEnvelope(s.svc, &env)
 			if reply == nil {
 				return
 			}
@@ -87,60 +87,6 @@ func (s *UDPServer) loop() {
 			_, _ = s.conn.WriteToUDP(raw, from)
 		}(env, from)
 	}
-}
-
-func (s *UDPServer) handle(env *wire.Envelope) *wire.Envelope {
-	switch env.Type {
-	case wire.TypePing:
-		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
-	case wire.TypeQuery:
-		var req wire.QueryRequest
-		if err := env.Decode(&req); err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		grant, err := s.svc.RequestLang(req.Lang, req.Text)
-		if err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		reply, err := wire.NewEnvelope(wire.TypeQuery, env.ID, wire.QueryReply{
-			Lease:     grant.Lease,
-			Shadow:    &grant.Shadow,
-			Fragments: grant.Fragments,
-			Succeeded: grant.Succeeded,
-			ElapsedNS: grant.Elapsed.Nanoseconds(),
-		})
-		if err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		return reply
-	case wire.TypeRelease:
-		var req wire.ReleaseRequest
-		if err := env.Decode(&req); err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		g := &Grant{Lease: &req.Lease}
-		if req.Shadow != nil {
-			g.Shadow = *req.Shadow
-		}
-		if err := s.svc.Release(g); err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		reply, err := wire.NewEnvelope(wire.TypeRelease, env.ID, wire.ReleaseReply{})
-		if err != nil {
-			return errEnvelopeUDP(env.ID, err)
-		}
-		return reply
-	default:
-		return errEnvelopeUDP(env.ID, fmt.Errorf("core: unknown message type %q", env.Type))
-	}
-}
-
-func errEnvelopeUDP(id uint64, err error) *wire.Envelope {
-	env, marshalErr := wire.NewEnvelope(wire.TypeError, id, wire.ErrorReply{Message: err.Error()})
-	if marshalErr != nil {
-		return &wire.Envelope{Type: wire.TypeError, ID: id}
-	}
-	return env
 }
 
 // UDPClient is the datagram counterpart of Client. Lost datagrams surface

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"actyp/internal/pool"
 	"actyp/internal/query"
@@ -42,20 +43,55 @@ type Forwarder interface {
 	Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error)
 }
 
-// Service is a concurrency-safe local directory.
-type Service struct {
-	mu         sync.RWMutex
+// snapshot is one immutable view of the directory. Readers load it with a
+// single atomic pointer read and walk it without locking or copying;
+// mutations build a replacement under the write lock. The slices and maps
+// inside a published snapshot are never modified again.
+type snapshot struct {
 	pools      map[string][]PoolRef // name.String() -> instances
 	byInstance map[string]PoolRef
 	peers      []Forwarder
 }
 
+var emptySnapshot = &snapshot{
+	pools:      map[string][]PoolRef{},
+	byInstance: map[string]PoolRef{},
+}
+
+// Service is a concurrency-safe local directory. Reads (Lookup, ByInstance,
+// Peers — the per-request resolve path) are lock-free against a
+// copy-on-write snapshot; only mutations (Register, Unregister, AddPeer —
+// pool lifecycle events, orders of magnitude rarer) take the write lock to
+// swap in a rebuilt snapshot.
+type Service struct {
+	mu   sync.Mutex // serializes mutations only; readers never take it
+	snap atomic.Pointer[snapshot]
+}
+
 // New returns an empty directory service.
 func New() *Service {
-	return &Service{
-		pools:      make(map[string][]PoolRef),
-		byInstance: make(map[string]PoolRef),
+	s := &Service{}
+	s.snap.Store(emptySnapshot)
+	return s
+}
+
+// rebuild clones the current snapshot, applies mutate to the clone, and
+// publishes it. Callers must hold s.mu.
+func (s *Service) rebuild(mutate func(next *snapshot)) {
+	cur := s.snap.Load()
+	next := &snapshot{
+		pools:      make(map[string][]PoolRef, len(cur.pools)),
+		byInstance: make(map[string]PoolRef, len(cur.byInstance)),
+		peers:      cur.peers, // immutable; AddPeer replaces wholesale
 	}
+	for k, refs := range cur.pools {
+		next.pools[k] = refs // per-name slices are immutable too
+	}
+	for k, ref := range cur.byInstance {
+		next.byInstance[k] = ref
+	}
+	mutate(next)
+	s.snap.Store(next)
 }
 
 // Register adds a pool instance. Registering a duplicate instance id fails.
@@ -71,12 +107,17 @@ func (s *Service) Register(ref PoolRef) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.byInstance[ref.Instance]; dup {
+	if _, dup := s.snap.Load().byInstance[ref.Instance]; dup {
 		return fmt.Errorf("directory: instance %s already registered", ref.Instance)
 	}
-	key := ref.Name.String()
-	s.pools[key] = append(s.pools[key], ref)
-	s.byInstance[ref.Instance] = ref
+	s.rebuild(func(next *snapshot) {
+		key := ref.Name.String()
+		old := next.pools[key]
+		refs := make([]PoolRef, 0, len(old)+1)
+		refs = append(append(refs, old...), ref)
+		next.pools[key] = refs
+		next.byInstance[ref.Instance] = ref
+	})
 	return nil
 }
 
@@ -84,78 +125,73 @@ func (s *Service) Register(ref PoolRef) error {
 func (s *Service) Unregister(instance string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ref, ok := s.byInstance[instance]
+	ref, ok := s.snap.Load().byInstance[instance]
 	if !ok {
 		return
 	}
-	delete(s.byInstance, instance)
-	key := ref.Name.String()
-	refs := s.pools[key]
-	for i := range refs {
-		if refs[i].Instance == instance {
-			s.pools[key] = append(refs[:i], refs[i+1:]...)
-			break
+	s.rebuild(func(next *snapshot) {
+		delete(next.byInstance, instance)
+		key := ref.Name.String()
+		old := next.pools[key]
+		refs := make([]PoolRef, 0, len(old))
+		for _, r := range old {
+			if r.Instance != instance {
+				refs = append(refs, r)
+			}
 		}
-	}
-	if len(s.pools[key]) == 0 {
-		delete(s.pools, key)
-	}
+		if len(refs) == 0 {
+			delete(next.pools, key)
+		} else {
+			next.pools[key] = refs
+		}
+	})
 }
 
-// Lookup returns every registered instance of the named pool.
+// Lookup returns every registered instance of the named pool. The returned
+// slice is a shared immutable snapshot: callers must not modify it.
 func (s *Service) Lookup(name query.PoolName) []PoolRef {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	refs := s.pools[name.String()]
-	out := make([]PoolRef, len(refs))
-	copy(out, refs)
-	return out
+	return s.snap.Load().pools[name.String()]
 }
 
 // ByInstance returns the ref registered under an instance id.
 func (s *Service) ByInstance(instance string) (PoolRef, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ref, ok := s.byInstance[instance]
+	ref, ok := s.snap.Load().byInstance[instance]
 	return ref, ok
 }
 
 // Names returns the distinct pool names with at least one instance,
 // sorted by their string form.
 func (s *Service) Names() []query.PoolName {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.pools))
-	for k := range s.pools {
+	snap := s.snap.Load()
+	keys := make([]string, 0, len(snap.pools))
+	for k := range snap.pools {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	out := make([]query.PoolName, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, s.pools[k][0].Name)
+		out = append(out, snap.pools[k][0].Name)
 	}
 	return out
 }
 
 // Instances returns the total number of registered pool instances.
 func (s *Service) Instances() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byInstance)
+	return len(s.snap.Load().byInstance)
 }
 
 // AddPeer lists a peer pool manager for delegation.
 func (s *Service) AddPeer(f Forwarder) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.peers = append(s.peers, f)
+	s.rebuild(func(next *snapshot) {
+		peers := make([]Forwarder, 0, len(next.peers)+1)
+		next.peers = append(append(peers, next.peers...), f)
+	})
 }
 
-// Peers returns the delegation peers in registration order.
+// Peers returns the delegation peers in registration order. The returned
+// slice is a shared immutable snapshot: callers must not modify it.
 func (s *Service) Peers() []Forwarder {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Forwarder, len(s.peers))
-	copy(out, s.peers)
-	return out
+	return s.snap.Load().peers
 }

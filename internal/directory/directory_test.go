@@ -78,16 +78,31 @@ func TestRegisterValidation(t *testing.T) {
 	}
 }
 
-func TestLookupReturnsCopy(t *testing.T) {
+func TestLookupSnapshotsAreImmutable(t *testing.T) {
 	s := New()
 	n := poolName(t, "punch.rsrc.arch = sun")
 	if err := s.Register(PoolRef{Name: n, Instance: "i0", Addr: "a:1"}); err != nil {
 		t.Fatal(err)
 	}
-	got := s.Lookup(n)
-	got[0].Instance = "mutated"
-	if again := s.Lookup(n); again[0].Instance != "i0" {
-		t.Error("Lookup aliases internal slice")
+	// A slice handed out before a mutation is a frozen snapshot: the
+	// directory's later changes never reach it, and it stays readable.
+	before := s.Lookup(n)
+	if err := s.Register(PoolRef{Name: n, Instance: "i1", Addr: "a:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 1 || before[0].Instance != "i0" {
+		t.Errorf("pre-mutation snapshot changed: %v", before)
+	}
+	after := s.Lookup(n)
+	if len(after) != 2 {
+		t.Fatalf("post-mutation lookup = %v", after)
+	}
+	s.Unregister("i0")
+	if len(after) != 2 || after[0].Instance != "i0" {
+		t.Errorf("snapshot changed by Unregister: %v", after)
+	}
+	if got := s.Lookup(n); len(got) != 1 || got[0].Instance != "i1" {
+		t.Errorf("lookup after unregister = %v", got)
 	}
 }
 
@@ -126,9 +141,12 @@ func TestPeers(t *testing.T) {
 	if len(got) != 2 || got[0].Name() != "pm-a" || got[1].Name() != "pm-b" {
 		t.Errorf("peers = %v", got)
 	}
-	// Returned slice is a copy.
-	got[0] = b
-	if s.Peers()[0].Name() != "pm-a" {
-		t.Error("Peers aliases internal slice")
+	// A peers slice handed out before a mutation is a frozen snapshot.
+	s.AddPeer(&fakeForwarder{name: "pm-c"})
+	if len(got) != 2 || got[0].Name() != "pm-a" {
+		t.Errorf("pre-mutation snapshot changed: %v", got)
+	}
+	if now := s.Peers(); len(now) != 3 || now[2].Name() != "pm-c" {
+		t.Errorf("peers after AddPeer = %v", now)
 	}
 }

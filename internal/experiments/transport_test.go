@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/netsim"
+)
+
+// TestTransportScaleShape runs the sweep at reduced scale and asserts the
+// result the multiplexed transport exists for: with concurrent callers
+// sharing one connection, throughput rises well above the serial
+// single-caller baseline because round trips overlap in flight.
+func TestTransportScaleShape(t *testing.T) {
+	cfg := TransportConfig{
+		Machines:     800,
+		Windows:      []int{1, 8},
+		Clients:      []int{1, 8},
+		OpsPerClient: 10,
+		Profile:      netsim.Profile{Latency: 2 * time.Millisecond, Seed: 1},
+	}
+	series, err := TransportScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	for i, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %d points = %v", i, s.Points)
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %q has non-positive throughput: %v", s.Label, p)
+			}
+		}
+	}
+	serial := series[0].Points[0].Y // window=1, one caller: the old wire behaviour
+	mux := series[1].Points[1].Y    // window=8, eight callers in flight
+	if mux < 2*serial {
+		t.Errorf("8 in-flight callers = %.0f ops/s, want >= 2x serial baseline %.0f ops/s", mux, serial)
+	}
+}

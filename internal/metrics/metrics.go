@@ -12,13 +12,30 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Recorder accumulates duration samples.
-type Recorder struct {
+// recorderStripes is the fixed number of independently locked sample
+// buffers in a Recorder; a power of two so the stripe pick is one mask.
+const recorderStripes = 32
+
+// recorderStripe is one independently locked sample buffer, padded out so
+// neighbouring stripes do not share a cache line.
+type recorderStripe struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	_       [88]byte // pad past a 64-byte line (mutex 8 + slice header 24)
+}
+
+// Recorder accumulates duration samples. Record spreads appends over a
+// fixed set of striped buffers (picked by one atomic increment), so the
+// closed-loop experiment drivers' clients stop contending on a single
+// mutex at high client counts; snapshot reads (Count, Mean, Percentile,
+// ...) merge the stripes.
+type Recorder struct {
+	seq     atomic.Uint64
+	stripes [recorderStripes]recorderStripe
 }
 
 // NewRecorder returns an empty recorder.
@@ -26,45 +43,70 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Record adds one sample.
 func (r *Recorder) Record(d time.Duration) {
-	r.mu.Lock()
-	r.samples = append(r.samples, d)
-	r.mu.Unlock()
+	s := &r.stripes[r.seq.Add(1)&(recorderStripes-1)]
+	s.mu.Lock()
+	s.samples = append(s.samples, d)
+	s.mu.Unlock()
+}
+
+// merged returns a copy of all samples across stripes, in no particular
+// order.
+func (r *Recorder) merged() []time.Duration {
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.samples)
+		s.mu.Unlock()
+	}
+	out := make([]time.Duration, 0, n)
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.samples...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Count returns the number of samples.
 func (r *Recorder) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.samples)
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.samples)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (r *Recorder) Mean() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	samples := r.merged()
+	if len(samples) == 0 {
 		return 0
 	}
 	var sum time.Duration
-	for _, d := range r.samples {
+	for _, d := range samples {
 		sum += d
 	}
-	return sum / time.Duration(len(r.samples))
+	return sum / time.Duration(len(samples))
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
 // nearest-rank method, or 0 with no samples.
 func (r *Recorder) Percentile(p float64) time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 || p <= 0 {
+	if p <= 0 {
+		return 0
+	}
+	sorted := r.merged()
+	if len(sorted) == 0 {
 		return 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]time.Duration, len(r.samples))
-	copy(sorted, r.samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
@@ -80,13 +122,12 @@ func (r *Recorder) Min() time.Duration { return r.extreme(true) }
 func (r *Recorder) Max() time.Duration { return r.extreme(false) }
 
 func (r *Recorder) extreme(min bool) time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	samples := r.merged()
+	if len(samples) == 0 {
 		return 0
 	}
-	out := r.samples[0]
-	for _, d := range r.samples[1:] {
+	out := samples[0]
+	for _, d := range samples[1:] {
 		if (min && d < out) || (!min && d > out) {
 			out = d
 		}
@@ -96,9 +137,12 @@ func (r *Recorder) extreme(min bool) time.Duration {
 
 // Reset discards all samples.
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	r.samples = r.samples[:0]
-	r.mu.Unlock()
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		s.samples = s.samples[:0]
+		s.mu.Unlock()
+	}
 }
 
 // Summary is a one-line digest of a recorder.

@@ -72,13 +72,42 @@ func (d *Delayer) Sleep() {
 	}
 }
 
-// Conn wraps a net.Conn, delaying every Write by the profile's one-way
-// latency. In a closed-loop request/response exchange this yields one
-// round-trip time of delay per exchange, matching how the experiments
-// measure response time.
+// maxQueuedChunks bounds a Conn's delivery queue. A link only buffers so
+// much in flight: once the queue is full, Write blocks until the pump
+// drains — the flow-control pushback a real socket would exert.
+const maxQueuedChunks = 256
+
+// closeGrace is how long Close waits beyond the queued chunks' due times
+// for the flush to complete before closing the underlying connection out
+// from under a pump stalled on an unresponsive peer.
+const closeGrace = 250 * time.Millisecond
+
+// Conn wraps a net.Conn, delaying the *delivery* of every Write by the
+// profile's one-way latency: Write stamps the data with a due time and
+// returns (without blocking, while queue space lasts), and a background
+// pump forwards each chunk to the wrapped connection once its due time
+// arrives. In a closed-loop request/response exchange this yields one
+// round-trip time of delay per exchange, exactly as before — but, like a
+// real link, propagation delay no longer consumes sender occupancy, so
+// multiple in-flight frames on one connection overlap their delays
+// instead of serializing on them.
 type Conn struct {
 	net.Conn
 	d *Delayer
+
+	mu       sync.Mutex
+	pumpCond *sync.Cond // pump waits here for work
+	sendCond *sync.Cond // writers wait here for queue space
+	queue    []chunk
+	err      error // first underlying write error, returned by later Writes
+	closed   bool
+	done     chan struct{} // pump exited
+}
+
+// chunk is one delayed write.
+type chunk struct {
+	data []byte
+	due  time.Time
 }
 
 // WrapConn applies a profile to an existing connection. A zero profile
@@ -87,13 +116,92 @@ func WrapConn(c net.Conn, p Profile) net.Conn {
 	if p.Zero() {
 		return c
 	}
-	return &Conn{Conn: c, d: NewDelayer(p)}
+	nc := &Conn{
+		Conn: c,
+		d:    NewDelayer(p),
+		done: make(chan struct{}),
+	}
+	nc.pumpCond = sync.NewCond(&nc.mu)
+	nc.sendCond = sync.NewCond(&nc.mu)
+	go nc.pump()
+	return nc
 }
 
-// Write delays, then forwards to the wrapped connection.
+// Write queues the data for delivery one one-way delay from now, blocking
+// only when the bounded queue is full. The copy is mandatory: callers
+// (and pooled frame encoders) reuse b immediately.
 func (c *Conn) Write(b []byte) (int, error) {
-	c.d.Sleep()
-	return c.Conn.Write(b)
+	c.mu.Lock()
+	for len(c.queue) >= maxQueuedChunks && !c.closed && c.err == nil {
+		c.sendCond.Wait()
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	c.queue = append(c.queue, chunk{data: append([]byte(nil), b...), due: time.Now().Add(c.d.Next())})
+	c.pumpCond.Signal()
+	c.mu.Unlock()
+	return len(b), nil
+}
+
+// pump delivers queued chunks in FIFO order at their due times.
+func (c *Conn) pump() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed && c.err == nil {
+			c.pumpCond.Wait()
+		}
+		if len(c.queue) == 0 { // closed or failed, and fully drained
+			c.sendCond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		ch := c.queue[0]
+		c.queue = c.queue[1:]
+		c.sendCond.Signal()
+		c.mu.Unlock()
+		if d := time.Until(ch.due); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := c.Conn.Write(ch.data); err != nil {
+			c.mu.Lock()
+			c.err = err
+			c.queue = nil
+			c.sendCond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Close flushes queued writes (bounded by their due times plus a grace
+// period), then closes the wrapped connection — so a reply written just
+// before Close is still delivered, as it was when Write slept inline, but
+// a pump wedged on an unresponsive peer cannot hang Close: after the
+// grace the underlying close errors the stuck write out.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.pumpCond.Signal()
+	c.sendCond.Broadcast()
+	c.mu.Unlock()
+	// Every queued chunk was stamped due at most one full delay from its
+	// Write, so latency+jitter+grace bounds the whole flush unless the
+	// underlying write itself is stuck.
+	select {
+	case <-c.done:
+	case <-time.After(c.d.p.Latency + c.d.p.Jitter + closeGrace):
+	}
+	err := c.Conn.Close()
+	<-c.done
+	return err
 }
 
 // Dialer dials TCP connections and applies the profile to each.

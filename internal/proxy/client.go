@@ -1,9 +1,9 @@
 package proxy
 
 import (
+	"errors"
 	"fmt"
 	"net"
-	"sync"
 
 	"actyp/internal/netsim"
 	"actyp/internal/pool"
@@ -47,44 +47,49 @@ func Spawn(addr string, req wire.SpawnPoolRequest, profile netsim.Profile) (*wir
 // RemotePool is the client stub for a pool served by a proxy. It satisfies
 // the directory service's Allocator contract, so remote pools register and
 // allocate exactly like local ones. It is safe for concurrent use: calls
-// serialize on the single connection, mirroring the single-threaded pool
-// objects of the paper.
+// multiplex over the single connection with correlated replies, so
+// concurrent allocations overlap on the wire instead of queueing behind
+// one another.
 type RemotePool struct {
-	addr    string
-	profile netsim.Profile
-
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
+	addr string
+	c    *wire.Client
 }
 
 // NewRemotePool connects a stub to the pool endpoint at addr.
 func NewRemotePool(addr string, profile netsim.Profile) (*RemotePool, error) {
-	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
-	if err != nil {
+	c := wire.NewClient(func() (net.Conn, error) {
+		return (netsim.Dialer{Profile: profile}).Dial(addr)
+	}, 0)
+	if err := c.Connect(); err != nil {
 		return nil, fmt.Errorf("proxy: dial pool %s: %w", addr, err)
 	}
-	return &RemotePool{addr: addr, profile: profile, conn: conn}, nil
+	return &RemotePool{addr: addr, c: c}, nil
 }
 
 // Addr returns the pool endpoint address.
 func (r *RemotePool) Addr() string { return r.addr }
 
 // Close drops the connection.
-func (r *RemotePool) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.conn.Close()
+func (r *RemotePool) Close() error { return r.c.Close() }
+
+// call round-trips one request, translating server-reported failures into
+// the historical "proxy: remote pool: ..." form.
+func (r *RemotePool) call(typ string, payload any) (*wire.Envelope, error) {
+	reply, err := r.c.Call(typ, payload)
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return nil, fmt.Errorf("proxy: remote pool: %s", remote.Message)
+		}
+		return nil, err
+	}
+	return reply, nil
 }
 
 // Allocate implements the Allocator contract over the wire: the basic
 // query travels in its textual form, which round-trips losslessly.
 func (r *RemotePool) Allocate(q *query.Query) (*pool.Lease, error) {
-	env, err := wire.NewEnvelope(typeAlloc, 0, allocRequest{Query: q.String()})
-	if err != nil {
-		return nil, err
-	}
-	reply, err := r.roundTrip(env)
+	reply, err := r.call(typeAlloc, allocRequest{Query: q.String()})
 	if err != nil {
 		return nil, err
 	}
@@ -100,35 +105,6 @@ func (r *RemotePool) Allocate(q *query.Query) (*pool.Lease, error) {
 
 // Release implements the Allocator contract.
 func (r *RemotePool) Release(leaseID string) error {
-	env, err := wire.NewEnvelope(typeRelease, 0, releaseRequest{LeaseID: leaseID})
-	if err != nil {
-		return err
-	}
-	_, err = r.roundTrip(env)
+	_, err := r.call(typeRelease, releaseRequest{LeaseID: leaseID})
 	return err
-}
-
-func (r *RemotePool) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nextID++
-	env.ID = r.nextID
-	if err := wire.WriteFrame(r.conn, env); err != nil {
-		return nil, err
-	}
-	reply, err := wire.ReadFrame(r.conn)
-	if err != nil {
-		return nil, err
-	}
-	if reply.ID != env.ID {
-		return nil, fmt.Errorf("proxy: reply id %d for request %d", reply.ID, env.ID)
-	}
-	if reply.Type == wire.TypeError {
-		var e wire.ErrorReply
-		if err := reply.Decode(&e); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("proxy: remote pool: %s", e.Message)
-	}
-	return reply, nil
 }

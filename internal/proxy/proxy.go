@@ -119,49 +119,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleControl processes spawn requests on the proxy's control port.
+// handleControl processes spawn requests on the proxy's control port,
+// multiplexing so concurrent spawns on one connection overlap.
 func (s *Server) handleControl(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	for {
-		env, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		var reply *wire.Envelope
+	wire.ServeConn(conn, wire.DefaultWindow, func(env *wire.Envelope) *wire.Envelope {
 		switch env.Type {
 		case wire.TypePing:
-			reply = &wire.Envelope{Type: wire.TypePing, ID: env.ID}
+			return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
 		case wire.TypeSpawnPool:
 			var req wire.SpawnPoolRequest
 			if err := env.Decode(&req); err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
 			sp, err := s.spawn(req)
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
-			reply, err = wire.NewEnvelope(wire.TypeSpawnPool, env.ID, sp)
+			reply, err := wire.NewEnvelope(wire.TypeSpawnPool, env.ID, sp)
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
+				return wire.ErrorEnvelope(env.ID, err)
 			}
+			return reply
 		default:
-			reply = errEnvelope(env.ID, fmt.Errorf("proxy: unknown message %q", env.Type))
+			return wire.ErrorEnvelope(env.ID, fmt.Errorf("proxy: unknown message %q", env.Type))
 		}
-		if err := wire.WriteFrame(conn, reply); err != nil {
-			return
-		}
-	}
-}
-
-func errEnvelope(id uint64, err error) *wire.Envelope {
-	env, marshalErr := wire.NewEnvelope(wire.TypeError, id, wire.ErrorReply{Message: err.Error()})
-	if marshalErr != nil {
-		return &wire.Envelope{Type: wire.TypeError, ID: id}
-	}
-	return env
+	})
 }
 
 // spawn creates a pool and a dedicated listener serving its allocations.
@@ -213,55 +197,47 @@ func (s *Server) servePool(ln net.Listener, p *pool.Pool) {
 	}
 }
 
+// handlePool serves one connection's allocation traffic against a spawned
+// pool. The pool is concurrency-safe, so requests on one connection
+// dispatch through the multiplexer and overlap.
 func (s *Server) handlePool(conn net.Conn, p *pool.Pool) {
 	defer s.wg.Done()
 	defer conn.Close()
-	for {
-		env, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		var reply *wire.Envelope
+	wire.ServeConn(conn, wire.DefaultWindow, func(env *wire.Envelope) *wire.Envelope {
 		switch env.Type {
 		case typeAlloc:
 			var req allocRequest
 			if err := env.Decode(&req); err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
 			q, err := query.ParseBasic(req.Query)
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
 			lease, err := p.Allocate(q)
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
-			reply, err = wire.NewEnvelope(typeAlloc, env.ID, allocReply{Lease: lease})
+			reply, err := wire.NewEnvelope(typeAlloc, env.ID, allocReply{Lease: lease})
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
+				return wire.ErrorEnvelope(env.ID, err)
 			}
+			return reply
 		case typeRelease:
 			var req releaseRequest
 			if err := env.Decode(&req); err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
 			if err := p.Release(req.LeaseID); err != nil {
-				reply = errEnvelope(env.ID, err)
-				break
+				return wire.ErrorEnvelope(env.ID, err)
 			}
-			reply, err = wire.NewEnvelope(typeRelease, env.ID, struct{}{})
+			reply, err := wire.NewEnvelope(typeRelease, env.ID, struct{}{})
 			if err != nil {
-				reply = errEnvelope(env.ID, err)
+				return wire.ErrorEnvelope(env.ID, err)
 			}
+			return reply
 		default:
-			reply = errEnvelope(env.ID, fmt.Errorf("proxy: unknown pool message %q", env.Type))
+			return wire.ErrorEnvelope(env.ID, fmt.Errorf("proxy: unknown pool message %q", env.Type))
 		}
-		if err := wire.WriteFrame(conn, reply); err != nil {
-			return
-		}
-	}
+	})
 }

@@ -1,8 +1,7 @@
 package querymgr
 
 import (
-	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"actyp/internal/query"
 )
@@ -11,14 +10,39 @@ import (
 // Section 5.2.1: "Query managers select pool managers on the basis of the
 // values of one or more of the parameters specified within queries. It is
 // also possible to select pool managers in random or round-robin order."
+//
+// All selectors are lock-free on the selection path: random draws come
+// from a seeded splitmix64 sequence advanced with one atomic add (the same
+// treatment poolmgr's instance selection got), and round-robin is a single
+// atomic counter — concurrent fragments never serialize on a shared
+// rand.Rand mutex.
 type Selector interface {
 	Select(q *query.Query, managers []ResourceManager) ResourceManager
 }
 
+// splitmix is a lock-free deterministic pseudo-random index source.
+type splitmix struct {
+	seed uint64
+	seq  atomic.Uint64
+}
+
+// next returns a pseudo-random index in [0, n), deterministic per seed.
+func (s *splitmix) next(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := s.seed + s.seq.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
 // RandomSelector picks uniformly at random.
 type RandomSelector struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	rng splitmix
 }
 
 // NewRandomSelector returns a random selector seeded deterministically.
@@ -26,7 +50,9 @@ func NewRandomSelector(seed int64) *RandomSelector {
 	if seed == 0 {
 		seed = 1
 	}
-	return &RandomSelector{rng: rand.New(rand.NewSource(seed))}
+	s := &RandomSelector{}
+	s.rng.seed = uint64(seed)
+	return s
 }
 
 // Select implements Selector.
@@ -34,15 +60,13 @@ func (s *RandomSelector) Select(q *query.Query, managers []ResourceManager) Reso
 	if len(managers) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return managers[s.rng.Intn(len(managers))]
+	return managers[s.rng.next(len(managers))]
 }
 
-// RoundRobinSelector cycles through the managers.
+// RoundRobinSelector cycles through the managers. The zero value starts at
+// the first manager.
 type RoundRobinSelector struct {
-	mu   sync.Mutex
-	next int
+	next atomic.Uint64
 }
 
 // Select implements Selector.
@@ -50,11 +74,7 @@ func (s *RoundRobinSelector) Select(q *query.Query, managers []ResourceManager) 
 	if len(managers) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := managers[s.next%len(managers)]
-	s.next++
-	return m
+	return managers[int((s.next.Add(1)-1)%uint64(len(managers)))]
 }
 
 // ParamSelector routes by the value of one rsrc parameter: the example of
@@ -71,8 +91,7 @@ type ParamSelector struct {
 	// key is absent; empty means "all managers".
 	Default []int
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	rng splitmix
 }
 
 // NewParamSelector builds a parameter-based selector with a deterministic
@@ -81,13 +100,14 @@ func NewParamSelector(key string, routes map[string][]int, def []int, seed int64
 	if seed == 0 {
 		seed = 1
 	}
-	return &ParamSelector{
+	s := &ParamSelector{
 		Key:     key,
 		Family:  "punch",
 		Routes:  routes,
 		Default: def,
-		rng:     rand.New(rand.NewSource(seed)),
 	}
+	s.rng.seed = uint64(seed)
+	return s
 }
 
 // Select implements Selector.
@@ -106,14 +126,12 @@ func (s *ParamSelector) Select(q *query.Query, managers []ResourceManager) Resou
 			set = routed
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(set) == 0 {
-		return managers[s.rng.Intn(len(managers))]
+		return managers[s.rng.next(len(managers))]
 	}
-	idx := set[s.rng.Intn(len(set))]
+	idx := set[s.rng.next(len(set))]
 	if idx < 0 || idx >= len(managers) {
-		return managers[s.rng.Intn(len(managers))]
+		return managers[s.rng.next(len(managers))]
 	}
 	return managers[idx]
 }

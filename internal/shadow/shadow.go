@@ -97,15 +97,18 @@ func (p *Pool) InUse() []string {
 }
 
 // Manager is the secondary database referenced by field 18: it holds the
-// shadow account pool of every machine in the grid.
+// shadow account pool of every machine in the grid. The machine -> pool
+// lookup rides the allocate path of every single grant, so it lives in a
+// sync.Map: reads are lock-free (no global RWMutex for hot fleets to pile
+// up on), and the write-once-per-machine population pattern is exactly the
+// access profile sync.Map is built for.
 type Manager struct {
-	mu    sync.RWMutex
-	pools map[string]*Pool
+	pools sync.Map // machine name -> *Pool
 }
 
 // NewManager returns an empty manager.
 func NewManager() *Manager {
-	return &Manager{pools: make(map[string]*Pool)}
+	return &Manager{}
 }
 
 // AddMachine creates a pool of n accounts for the machine. Adding a machine
@@ -115,20 +118,24 @@ func (m *Manager) AddMachine(machine string, n, baseUID int) error {
 	if err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.pools[machine]; ok {
+	if _, loaded := m.pools.LoadOrStore(machine, p); loaded {
 		return fmt.Errorf("shadow: machine %s already has a pool", machine)
 	}
-	m.pools[machine] = p
 	return nil
+}
+
+// lookup resolves a machine's pool without locking.
+func (m *Manager) lookup(machine string) (*Pool, bool) {
+	v, ok := m.pools.Load(machine)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Pool), true
 }
 
 // Allocate leases a shadow account on the machine.
 func (m *Manager) Allocate(machine string) (Account, error) {
-	m.mu.RLock()
-	p, ok := m.pools[machine]
-	m.mu.RUnlock()
+	p, ok := m.lookup(machine)
 	if !ok {
 		return Account{}, fmt.Errorf("shadow: machine %s has no shadow pool", machine)
 	}
@@ -137,9 +144,7 @@ func (m *Manager) Allocate(machine string) (Account, error) {
 
 // Release returns a leased account.
 func (m *Manager) Release(machine, user string) error {
-	m.mu.RLock()
-	p, ok := m.pools[machine]
-	m.mu.RUnlock()
+	p, ok := m.lookup(machine)
 	if !ok {
 		return fmt.Errorf("shadow: machine %s has no shadow pool", machine)
 	}
@@ -149,9 +154,7 @@ func (m *Manager) Release(machine, user string) error {
 // Free reports the available accounts on a machine, or 0 for unknown
 // machines.
 func (m *Manager) Free(machine string) int {
-	m.mu.RLock()
-	p, ok := m.pools[machine]
-	m.mu.RUnlock()
+	p, ok := m.lookup(machine)
 	if !ok {
 		return 0
 	}
@@ -160,12 +163,11 @@ func (m *Manager) Free(machine string) int {
 
 // Machines lists machines with pools, sorted.
 func (m *Manager) Machines() []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]string, 0, len(m.pools))
-	for name := range m.pools {
-		out = append(out, name)
-	}
+	var out []string
+	m.pools.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }

@@ -12,6 +12,7 @@
 package stage
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -105,26 +106,14 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	for {
-		env, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		reply := s.dispatch(env)
-		if err := wire.WriteFrame(conn, reply); err != nil {
-			return
-		}
-	}
+	// The pool manager is concurrency-safe, so one connection's requests
+	// dispatch through the multiplexer and overlap; a delegated Resolve
+	// that fans out across peers no longer blocks the releases behind it.
+	wire.ServeConn(conn, wire.DefaultWindow, s.dispatch)
 }
 
 func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
-	fail := func(err error) *wire.Envelope {
-		e, marshalErr := wire.NewEnvelope(wire.TypeError, env.ID, wire.ErrorReply{Message: err.Error()})
-		if marshalErr != nil {
-			return &wire.Envelope{Type: wire.TypeError, ID: env.ID}
-		}
-		return e
-	}
+	fail := func(err error) *wire.Envelope { return wire.ErrorEnvelope(env.ID, err) }
 	switch env.Type {
 	case wire.TypePing:
 		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
@@ -172,37 +161,35 @@ func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
 
 // Remote is the client stub for a remote pool manager. It satisfies
 // querymgr.ResourceManager (Name/Resolve/Release) and directory.Forwarder
-// (Name/Forward), so it slots into both stages' wiring. Calls serialize on
-// one connection.
+// (Name/Forward), so it slots into both stages' wiring. Calls multiplex
+// over one connection: concurrent fragments routed to the same remote
+// manager keep their requests in flight together, and a dropped connection
+// is redialed on the next call.
 type Remote struct {
 	addr string
-
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
-	name   string
-	ttl    int
+	c    *wire.Client
+	name string
+	ttl  int
 }
 
 // DialRemote connects a stub and fetches the remote manager's name. ttl is
 // attached to Resolve calls (<=0 uses poolmgr.DefaultTTL).
 func DialRemote(addr string, profile netsim.Profile, ttl int) (*Remote, error) {
-	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("stage: dial %s: %w", addr, err)
-	}
 	if ttl <= 0 {
 		ttl = poolmgr.DefaultTTL
 	}
-	r := &Remote{addr: addr, conn: conn, ttl: ttl}
-	reply, err := r.roundTrip(&wire.Envelope{Type: typeName})
+	c := wire.NewClient(func() (net.Conn, error) {
+		return (netsim.Dialer{Profile: profile}).Dial(addr)
+	}, 0)
+	r := &Remote{addr: addr, c: c, ttl: ttl}
+	reply, err := r.call(typeName, nil)
 	if err != nil {
-		_ = conn.Close()
-		return nil, err
+		_ = c.Close()
+		return nil, fmt.Errorf("stage: dial %s: %w", addr, err)
 	}
 	var nr nameReply
 	if err := reply.Decode(&nr); err != nil {
-		_ = conn.Close()
+		_ = c.Close()
 		return nil, err
 	}
 	r.name = nr.Name
@@ -213,7 +200,7 @@ func DialRemote(addr string, profile netsim.Profile, ttl int) (*Remote, error) {
 func (r *Remote) Name() string { return r.name }
 
 // Close drops the connection.
-func (r *Remote) Close() error { return r.conn.Close() }
+func (r *Remote) Close() error { return r.c.Close() }
 
 // Resolve implements querymgr.ResourceManager.
 func (r *Remote) Resolve(q *query.Query) (*pool.Lease, error) {
@@ -223,13 +210,9 @@ func (r *Remote) Resolve(q *query.Query) (*pool.Lease, error) {
 // Forward implements directory.Forwarder: the TTL and visited list travel
 // in the wire message.
 func (r *Remote) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
-	env, err := wire.NewEnvelope(typeResolve, 0, resolveRequest{
+	reply, err := r.call(typeResolve, resolveRequest{
 		Query: q.String(), TTL: ttl, Visited: visited,
 	})
-	if err != nil {
-		return nil, err
-	}
-	reply, err := r.roundTrip(env)
 	if err != nil {
 		return nil, err
 	}
@@ -248,35 +231,20 @@ func (r *Remote) Release(lease *pool.Lease) error {
 	if lease == nil {
 		return fmt.Errorf("stage: nil lease")
 	}
-	env, err := wire.NewEnvelope(typeRelease, 0, releaseRequest{Lease: *lease})
-	if err != nil {
-		return err
-	}
-	_, err = r.roundTrip(env)
+	_, err := r.call(typeRelease, releaseRequest{Lease: *lease})
 	return err
 }
 
-func (r *Remote) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nextID++
-	env.ID = r.nextID
-	if err := wire.WriteFrame(r.conn, env); err != nil {
-		return nil, err
-	}
-	reply, err := wire.ReadFrame(r.conn)
+// call round-trips one request, translating server-reported failures into
+// the historical "stage: <name>: ..." form.
+func (r *Remote) call(typ string, payload any) (*wire.Envelope, error) {
+	reply, err := r.c.Call(typ, payload)
 	if err != nil {
-		return nil, err
-	}
-	if reply.ID != env.ID {
-		return nil, fmt.Errorf("stage: reply id %d for request %d", reply.ID, env.ID)
-	}
-	if reply.Type == wire.TypeError {
-		var e wire.ErrorReply
-		if err := reply.Decode(&e); err != nil {
-			return nil, err
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return nil, fmt.Errorf("stage: %s: %s", r.name, remote.Message)
 		}
-		return nil, fmt.Errorf("stage: %s: %s", r.name, e.Message)
+		return nil, err
 	}
 	return reply, nil
 }

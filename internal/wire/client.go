@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// DialFunc opens the transport connection a Client multiplexes. The client
+// invokes it lazily on first use and again after a connection failure, so
+// reconnection policy lives in one place.
+type DialFunc func() (net.Conn, error)
+
+// ErrClosed is returned by calls issued against (or in flight on) a client
+// that has been closed.
+var ErrClosed = errors.New("wire: client closed")
+
+// RemoteError is a failure the server reported through an error envelope.
+// The connection itself is healthy; only this call failed.
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string { return e.Message }
+
+// Client multiplexes concurrent requests over one connection: every call
+// writes a frame tagged with a fresh envelope id and parks on a private
+// reply channel, while a single reader goroutine demultiplexes whatever
+// reply arrives next to the call that owns its id. Replies may therefore
+// return in any order, and N callers share one connection without waiting
+// for each other's round trips.
+//
+// A failed connection fails every in-flight call; the next call redials
+// through the DialFunc. Client is safe for concurrent use.
+type Client struct {
+	dialFn  DialFunc
+	timeout time.Duration
+
+	writeMu sync.Mutex // serializes frame writes on the live connection
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan callResult
+	nextID  uint64
+	closed  bool
+}
+
+type callResult struct {
+	env *Envelope
+	err error
+}
+
+// NewClient builds a client over dial. timeout bounds each call that
+// arrives without its own context deadline; zero means no bound.
+func NewClient(dial DialFunc, timeout time.Duration) *Client {
+	return &Client{
+		dialFn:  dial,
+		timeout: timeout,
+		pending: make(map[uint64]chan callResult),
+	}
+}
+
+// Connect ensures a live connection, dialing if necessary. Calls dial
+// lazily anyway; Connect exists so constructors can surface dial errors
+// immediately.
+func (c *Client) Connect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.ensureConnLocked()
+}
+
+// Close fails every in-flight call and drops the connection. Subsequent
+// calls return ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.failPendingLocked(ErrClosed)
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Call round-trips one request under the client's default timeout.
+func (c *Client) Call(typ string, payload any) (*Envelope, error) {
+	return c.CallContext(context.Background(), typ, payload)
+}
+
+// CallContext round-trips one request. A nil payload sends a bare
+// envelope. The reply envelope is returned as-is unless it is an error
+// envelope, which is decoded into a *RemoteError. Cancelling the context
+// abandons the call (a late reply is discarded); it does not disturb other
+// calls in flight on the same connection.
+func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Envelope, error) {
+	env := &Envelope{Type: typ}
+	if payload != nil {
+		built, err := NewEnvelope(typ, 0, payload)
+		if err != nil {
+			return nil, err
+		}
+		env = built
+	}
+
+	if c.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+
+	// Register the call: id assignment, pending entry, and the connection
+	// it will travel on are decided under one lock.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	env.ID = c.nextID
+	ch := make(chan callResult, 1)
+	c.pending[env.ID] = ch
+	conn := c.conn
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteFrame(conn, env)
+	c.writeMu.Unlock()
+	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Rejected before any bytes hit the wire: the connection is
+			// fine, only this call fails.
+			c.mu.Lock()
+			delete(c.pending, env.ID)
+			c.mu.Unlock()
+			return nil, err
+		}
+		// Any other frame-write failure means the connection is broken:
+		// tear it down (failing every call in flight on it, ourselves
+		// included).
+		c.connFailed(conn, err)
+	}
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.env.Type == TypeError {
+			var e ErrorReply
+			if err := res.env.Decode(&e); err != nil {
+				return nil, err
+			}
+			return nil, &RemoteError{Message: e.Message}
+		}
+		return res.env, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, env.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: call %s: %w", typ, ctx.Err())
+	}
+}
+
+// ensureConnLocked dials if no connection is live and starts its reader.
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dialFn()
+	if err != nil {
+		return fmt.Errorf("wire: dial: %w", err)
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return nil
+}
+
+// readLoop demultiplexes replies on one connection until it fails.
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			c.connFailed(conn, err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- callResult{env: env} // buffered; single send per entry
+		}
+		// Unmatched ids are replies to abandoned (timed-out) calls: drop.
+	}
+}
+
+// connFailed retires a broken connection and fails the calls in flight on
+// it. The next call redials.
+func (c *Client) connFailed(conn net.Conn, err error) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		c.failPendingLocked(fmt.Errorf("wire: connection lost: %w", err))
+	}
+	c.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (c *Client) failPendingLocked(err error) {
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callResult{err: err}
+	}
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"net"
+	"sync"
+)
+
+// DefaultWindow is the per-connection in-flight window used when a server
+// is not configured with one: how many decoded requests may be executing
+// (or waiting to be written back) concurrently on a single connection.
+const DefaultWindow = 32
+
+// Handler processes one decoded request envelope and returns the reply
+// envelope; nil means the request produces no reply.
+type Handler func(*Envelope) *Envelope
+
+// ServeConn multiplexes one connection: a reader loop decodes frames and
+// hands each to a pool of `window` workers, and a single writer goroutine
+// drains the reply channel, so replies interleave out of order (the
+// envelope id correlates them) and a slow request never blocks service of
+// the requests queued behind it.
+//
+// Backpressure is structural: when all workers are busy the reader blocks
+// handing off the next frame, so at most `window` requests execute
+// concurrently and at most `window` replies queue for the writer; beyond
+// that, frames accumulate in the kernel socket buffer and TCP flow control
+// pushes back on the client.
+//
+// ServeConn returns when the connection fails or the peer closes it, after
+// all in-flight handlers finish; the returned error is the terminal read
+// or write failure (io.EOF for a clean peer close). It does not close
+// conn; the caller owns its lifecycle.
+func ServeConn(conn net.Conn, window int, handle Handler) error {
+	if window < 1 {
+		window = 1
+	}
+	work := make(chan *Envelope)
+	replies := make(chan *Envelope, window)
+	var workers sync.WaitGroup
+	spawned := 0
+	worker := func() {
+		defer workers.Done()
+		for env := range work {
+			if reply := handle(env); reply != nil {
+				replies <- reply
+			}
+		}
+	}
+	// dispatch hands one frame to an idle worker, growing the pool on
+	// demand up to the window: a mostly-idle connection costs one parked
+	// goroutine, not `window` of them, with identical semantics.
+	dispatch := func(env *Envelope) {
+		select {
+		case work <- env:
+			return
+		default:
+		}
+		if spawned < window {
+			spawned++
+			workers.Add(1)
+			go worker()
+		}
+		work <- env // blocks only when all `window` workers are busy
+	}
+	writerDone := make(chan struct{})
+	var writeErr error
+	go func() {
+		defer close(writerDone)
+		for reply := range replies {
+			if err := WriteFrame(conn, reply); err != nil {
+				// The write side failed: close the connection so the
+				// reader unblocks, then keep draining so no worker ever
+				// blocks on the reply channel.
+				writeErr = err
+				_ = conn.Close()
+				for range replies {
+				}
+				return
+			}
+		}
+	}()
+	var readErr error
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			readErr = err // peer went away or sent garbage
+			break
+		}
+		dispatch(env)
+	}
+	close(work)
+	workers.Wait()
+	close(replies)
+	<-writerDone
+	if writeErr != nil {
+		return writeErr
+	}
+	return readErr
+}
+
+// ErrorEnvelope wraps a failure in an error-reply envelope correlated to
+// the failed request. A payload marshal failure degrades to a bare error
+// envelope rather than silencing the reply.
+func ErrorEnvelope(id uint64, err error) *Envelope {
+	env, marshalErr := NewEnvelope(TypeError, id, ErrorReply{Message: err.Error()})
+	if marshalErr != nil {
+		return &Envelope{Type: TypeError, ID: id}
+	}
+	return env
+}

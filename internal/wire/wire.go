@@ -6,10 +6,13 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"actyp/internal/pool"
 	"actyp/internal/shadow"
@@ -18,6 +21,11 @@ import (
 // MaxFrame bounds a frame's payload size; anything larger is rejected as
 // corrupt or hostile.
 const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge is wrapped by WriteFrame when a frame exceeds MaxFrame.
+// The error precedes any bytes reaching the wire, so the connection is
+// still healthy — Client keeps it open and fails only the oversized call.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 
 // Message types.
 const (
@@ -93,37 +101,78 @@ type ErrorReply struct {
 	Message string `json:"message"`
 }
 
+// pooledBuf bounds how large a pooled codec buffer may grow before it is
+// dropped instead of recycled, so one oversized frame cannot pin memory.
+const pooledBuf = 64 << 10
+
+// frameEncoder pairs a reusable buffer with a JSON encoder targeting it,
+// so the frame hot path re-serializes without per-call allocations.
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	fe := &frameEncoder{}
+	fe.enc = json.NewEncoder(&fe.buf)
+	return fe
+}}
+
+var readPool = sync.Pool{New: func() any {
+	b := make([]byte, 4096)
+	return &b
+}}
+
 // WriteFrame marshals the envelope and writes one length-prefixed frame.
+// Header and body go out in a single Write from a pooled buffer, so frames
+// from interleaved writers stay atomic per call and the hot path does not
+// allocate.
 func WriteFrame(w io.Writer, env *Envelope) error {
-	body, err := json.Marshal(env)
-	if err != nil {
+	fe := encPool.Get().(*frameEncoder)
+	defer func() {
+		if fe.buf.Cap() <= pooledBuf {
+			encPool.Put(fe)
+		}
+	}()
+	fe.buf.Reset()
+	fe.buf.Write([]byte{0, 0, 0, 0}) // length prefix, patched below
+	if err := fe.enc.Encode(env); err != nil {
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	frame := fe.buf.Bytes()
+	body := len(frame) - 4 // includes the encoder's trailing newline (JSON whitespace)
+	if body > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes: %w", body, ErrFrameTooLarge)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
 // ReadFrame reads one length-prefixed frame and unmarshals the envelope.
+// The body is read into a pooled buffer; json.RawMessage copies the
+// payload out during unmarshal, so recycling the buffer is safe.
 func ReadFrame(r io.Reader) (*Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF signals a clean close
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n == 0 || n > MaxFrame {
 		return nil, fmt.Errorf("wire: bad frame length %d", n)
 	}
-	body := make([]byte, n)
+	bp := readPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= pooledBuf {
+			readPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
