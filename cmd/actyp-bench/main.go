@@ -31,11 +31,12 @@ import (
 var jsonDir string
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
 	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	poolEngine := flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; ScanCost figures stay on oracle)")
+	wireCodec := flag.String("wire-codec", "", "wire codec preference for the transport figure: auto, binary or json (the codec figure sweeps both regardless)")
 	jsonOut := flag.String("json", "", "also write BENCH_<figure>.json files into this directory")
 	flag.Parse()
 
@@ -43,6 +44,9 @@ func main() {
 		log.Fatalf("actyp-bench: %v", err)
 	}
 	if err := experiments.UsePoolEngine(*poolEngine); err != nil {
+		log.Fatalf("actyp-bench: %v", err)
+	}
+	if err := experiments.UseWireCodec(*wireCodec); err != nil {
 		log.Fatalf("actyp-bench: %v", err)
 	}
 	jsonDir = *jsonOut
@@ -68,6 +72,7 @@ func main() {
 	run("registry", figRegistry)
 	run("pipeline", figPipeline)
 	run("transport", figTransport)
+	run("codec", figCodec)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -141,6 +146,29 @@ func figTransport(quick bool) error {
 	}
 	return emit("transport", "Transport: single-connection throughput vs in-flight callers, per window",
 		"concurrent callers", "throughput (ops/s)", series)
+}
+
+// figCodec sweeps the wire codecs: end-to-end ops/s with both ends pinned
+// to one codec at several request payload sizes, plus a socket-free
+// frames/s sweep through each codec's encode+decode round trip.
+func figCodec(quick bool) error {
+	cfg := experiments.DefaultCodec()
+	if quick {
+		cfg.Machines = 2000
+		cfg.PayloadBytes = []int{0, 4096}
+		cfg.OpsPerClient = 15
+		cfg.FrameIters = 3000
+	}
+	ops, frames, err := experiments.CodecScale(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit("codec", "Codec: end-to-end throughput vs request payload size, per wire codec",
+		"payload pad (bytes)", "throughput (ops/s)", ops); err != nil {
+		return err
+	}
+	return emit("codec_frames", "Codec: encode+decode round trips vs request payload size, per wire codec",
+		"payload pad (bytes)", "frames/s", frames)
 }
 
 func fig4(quick bool) error {

@@ -10,7 +10,11 @@
 //
 // With -db the white pages load from a JSON snapshot; otherwise a
 // synthetic fleet of -machines machines is generated. The -profile flag
-// injects LAN- or WAN-like latency for controlled experiments.
+// injects LAN- or WAN-like latency for controlled experiments. The wire
+// codec is negotiated per connection (-wire-codec pins the preference),
+// and the daemon can additionally host a UDP endpoint (-udp-addr), a
+// pool-manager stage endpoint (-stage-addr), and a pool-spawning proxy
+// endpoint (-proxy-addr), each with its own in-flight window knob.
 package main
 
 import (
@@ -24,49 +28,80 @@ import (
 
 	"actyp/internal/core"
 	"actyp/internal/netsim"
+	"actyp/internal/proxy"
 	"actyp/internal/querymgr"
 	"actyp/internal/registry"
+	"actyp/internal/stage"
 	"actyp/internal/wire"
 )
 
+// daemonConfig carries every flag into run.
+type daemonConfig struct {
+	addr       string
+	machines   int
+	dbPath     string
+	profile    string
+	scanCost   time.Duration
+	qms, pms   int
+	objective  string
+	monitor    time.Duration
+	warm       int
+	firstMatch bool
+	leaseTTL   time.Duration
+	regBackend string
+	regShards  int
+	poolEngine string
+	connWindow int
+	wireCodec  string
+	udpAddr    string
+	udpWindow  int
+	stageAddr  string
+	stageWin   int
+	proxyAddr  string
+	proxyWin   int
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", "127.0.0.1:7464", "listen address")
-		machines   = flag.Int("machines", 256, "synthetic fleet size (ignored with -db)")
-		dbPath     = flag.String("db", "", "load white pages from this JSON snapshot")
-		profile    = flag.String("profile", "local", "network profile: local, lan or wan")
-		scanCost   = flag.Duration("scancost", 0, "modelled per-entry linear-search cost (e.g. 2us)")
-		qms        = flag.Int("query-managers", 1, "query manager replicas")
-		pms        = flag.Int("pool-managers", 1, "pool manager replicas")
-		objective  = flag.String("objective", "least-load", "pool scheduling objective")
-		monitor    = flag.Duration("monitor", time.Second, "resource monitor sweep interval (0 disables)")
-		warm       = flag.Int("warm", 0, "pre-stripe machines across N pools and pre-create them")
-		firstMatch = flag.Bool("first-match", false, "return the first composite fragment instead of reintegrating all")
-		leaseTTL   = flag.Duration("lease-ttl", 0, "reclaim leases not renewed within this lifetime (0 disables)")
-		regBackend = flag.String("registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
-		regShards  = flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
-		poolEngine = flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
-		connWindow = flag.Int("conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7464", "listen address")
+	flag.IntVar(&cfg.machines, "machines", 256, "synthetic fleet size (ignored with -db)")
+	flag.StringVar(&cfg.dbPath, "db", "", "load white pages from this JSON snapshot")
+	flag.StringVar(&cfg.profile, "profile", "local", "network profile: local, lan or wan")
+	flag.DurationVar(&cfg.scanCost, "scancost", 0, "modelled per-entry linear-search cost (e.g. 2us)")
+	flag.IntVar(&cfg.qms, "query-managers", 1, "query manager replicas")
+	flag.IntVar(&cfg.pms, "pool-managers", 1, "pool manager replicas")
+	flag.StringVar(&cfg.objective, "objective", "least-load", "pool scheduling objective")
+	flag.DurationVar(&cfg.monitor, "monitor", time.Second, "resource monitor sweep interval (0 disables)")
+	flag.IntVar(&cfg.warm, "warm", 0, "pre-stripe machines across N pools and pre-create them")
+	flag.BoolVar(&cfg.firstMatch, "first-match", false, "return the first composite fragment instead of reintegrating all")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "reclaim leases not renewed within this lifetime (0 disables)")
+	flag.StringVar(&cfg.regBackend, "registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
+	flag.IntVar(&cfg.regShards, "registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
+	flag.StringVar(&cfg.poolEngine, "pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
+	flag.IntVar(&cfg.connWindow, "conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
+	flag.StringVar(&cfg.wireCodec, "wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, or a comma list")
+	flag.StringVar(&cfg.udpAddr, "udp-addr", "", "also serve the service over UDP on this address")
+	flag.IntVar(&cfg.udpWindow, "udp-window", wire.DefaultWindow, "UDP in-flight dispatch window (bounds datagram fan-out)")
+	flag.StringVar(&cfg.stageAddr, "stage-addr", "", "also expose the first pool manager as a stage endpoint on this address")
+	flag.IntVar(&cfg.stageWin, "stage-window", wire.DefaultWindow, "stage endpoint per-connection in-flight window")
+	flag.StringVar(&cfg.proxyAddr, "proxy-addr", "", "also run a pool-spawning proxy server on this address")
+	flag.IntVar(&cfg.proxyWin, "proxy-window", wire.DefaultWindow, "proxy endpoint per-connection in-flight window")
 	flag.Parse()
 
-	if err := run(*addr, *machines, *dbPath, *profile, *scanCost, *qms, *pms, *objective, *monitor, *warm, *firstMatch, *leaseTTL, *regBackend, *regShards, *poolEngine, *connWindow); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatalf("actypd: %v", err)
 	}
 }
 
-func run(addr string, machines int, dbPath, profileName string, scanCost time.Duration,
-	qms, pms int, objective string, monitorIvl time.Duration, warm int, firstMatch bool, leaseTTL time.Duration,
-	regBackend string, regShards int, poolEngine string, connWindow int) error {
-
-	backend, err := registry.OpenBackend(regBackend, regShards)
+func run(cfg daemonConfig) error {
+	backend, err := registry.OpenBackend(cfg.regBackend, cfg.regShards)
 	if err != nil {
 		return err
 	}
 	db := registry.NewDBWith(backend)
-	log.Printf("actypd: white pages on the %s backend", regBackend)
-	if dbPath != "" {
-		f, err := os.Open(dbPath)
+	log.Printf("actypd: white pages on the %s backend", cfg.regBackend)
+	if cfg.dbPath != "" {
+		f, err := os.Open(cfg.dbPath)
 		if err != nil {
 			return err
 		}
@@ -75,30 +110,34 @@ func run(addr string, machines int, dbPath, profileName string, scanCost time.Du
 		if err != nil {
 			return err
 		}
-		log.Printf("actypd: loaded %d machines from %s", db.Len(), dbPath)
+		log.Printf("actypd: loaded %d machines from %s", db.Len(), cfg.dbPath)
 	} else {
-		if err := registry.DefaultFleetSpec(machines).Populate(db, time.Now()); err != nil {
+		if err := registry.DefaultFleetSpec(cfg.machines).Populate(db, time.Now()); err != nil {
 			return err
 		}
 		log.Printf("actypd: generated a synthetic fleet of %d machines", db.Len())
 	}
 
-	profile, err := profileByName(profileName)
+	profile, err := profileByName(cfg.profile)
+	if err != nil {
+		return err
+	}
+	codecs, err := wire.ParseCodecs(cfg.wireCodec)
 	if err != nil {
 		return err
 	}
 
 	opts := core.Options{
 		DB:              db,
-		QueryManagers:   qms,
-		PoolManagers:    pms,
-		Objective:       objective,
-		ScanCost:        scanCost,
-		MonitorInterval: monitorIvl,
-		LeaseTTL:        leaseTTL,
-		PoolEngine:      poolEngine,
+		QueryManagers:   cfg.qms,
+		PoolManagers:    cfg.pms,
+		Objective:       cfg.objective,
+		ScanCost:        cfg.scanCost,
+		MonitorInterval: cfg.monitor,
+		LeaseTTL:        cfg.leaseTTL,
+		PoolEngine:      cfg.poolEngine,
 	}
-	if firstMatch {
+	if cfg.firstMatch {
 		opts.Mode = querymgr.FirstMatch
 	}
 	svc, err := core.New(opts)
@@ -107,23 +146,56 @@ func run(addr string, machines int, dbPath, profileName string, scanCost time.Du
 	}
 	defer svc.Close()
 
-	if warm > 0 {
-		if err := svc.StripePools(warm); err != nil {
+	if cfg.warm > 0 {
+		if err := svc.StripePools(cfg.warm); err != nil {
 			return err
 		}
-		if err := svc.WarmPools(warm); err != nil {
+		if err := svc.WarmPools(cfg.warm); err != nil {
 			return err
 		}
-		log.Printf("actypd: pre-created %d striped pools", warm)
+		log.Printf("actypd: pre-created %d striped pools", cfg.warm)
 	}
 
-	srv, err := core.ServeWindow(svc, addr, profile, connWindow)
+	if cfg.connWindow < 1 {
+		cfg.connWindow = -1 // any sub-1 flag value means serial, as it always did
+	}
+	srv, err := core.ServeOpts(svc, cfg.addr, profile, core.ServeConfig{Window: cfg.connWindow, Codecs: codecs})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	srv.Logf = log.Printf
-	log.Printf("actypd: serving on %s (profile %s, conn window %d)", srv.Addr(), profileName, connWindow)
+	log.Printf("actypd: serving on %s (profile %s, conn window %d, codecs %s)",
+		srv.Addr(), cfg.profile, cfg.connWindow, cfg.wireCodec)
+
+	if cfg.udpAddr != "" {
+		udp, err := core.ServeUDPWindow(svc, cfg.udpAddr, cfg.udpWindow)
+		if err != nil {
+			return err
+		}
+		defer udp.Close()
+		log.Printf("actypd: UDP endpoint on %s (window %d)", udp.Addr(), cfg.udpWindow)
+	}
+	if cfg.stageAddr != "" {
+		pms := svc.PoolManagers()
+		if len(pms) == 0 {
+			return fmt.Errorf("no pool manager to expose on -stage-addr")
+		}
+		st, err := stage.ServeOpts(pms[0], cfg.stageAddr, profile, stage.ServerOptions{Window: cfg.stageWin, Codecs: codecs})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		log.Printf("actypd: stage endpoint on %s (window %d)", st.Addr(), cfg.stageWin)
+	}
+	if cfg.proxyAddr != "" {
+		px, err := proxy.StartOpts(db, cfg.proxyAddr, profile, proxy.ServerOptions{Window: cfg.proxyWin, Codecs: codecs})
+		if err != nil {
+			return err
+		}
+		defer px.Close()
+		log.Printf("actypd: proxy endpoint on %s (window %d)", px.Addr(), cfg.proxyWin)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"actyp/internal/netsim"
 	"actyp/internal/wire"
@@ -20,9 +21,9 @@ import (
 // single connection and a slow query never blocks the renewals, releases,
 // and pings queued behind it.
 type Server struct {
-	svc    *Service
-	ln     net.Listener
-	window int
+	svc *Service
+	ln  net.Listener
+	cfg ServeConfig
 
 	mu     sync.Mutex
 	closed bool
@@ -33,22 +34,48 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
+// ServeConfig tunes a Server's per-connection transport.
+type ServeConfig struct {
+	// Window is the per-connection in-flight window: how many requests
+	// one connection may have executing concurrently. Zero means
+	// wire.DefaultWindow; negative (or explicit 1) serializes each
+	// connection, the pre-multiplexing behaviour.
+	Window int
+	// Codecs is the wire-codec negotiation preference (nil means
+	// wire.DefaultCodecs: binary preferred, JSON floor). Offering only
+	// wire.JSON pins every connection to JSON.
+	Codecs []wire.Codec
+	// DisableNegotiation makes the server behave like a pre-codec build:
+	// plain JSON, hellos dispatched (and rejected) as unknown requests.
+	DisableNegotiation bool
+}
+
 // Serve starts a server for svc on addr (for example "127.0.0.1:0") with
 // the given network profile applied to every connection and the default
-// per-connection in-flight window.
+// transport configuration.
 func Serve(svc *Service, addr string, profile netsim.Profile) (*Server, error) {
-	return ServeWindow(svc, addr, profile, wire.DefaultWindow)
+	return ServeOpts(svc, addr, profile, ServeConfig{})
 }
 
 // ServeWindow is Serve with an explicit per-connection in-flight window
-// (how many requests one connection may have executing concurrently;
-// values below 1 mean serial service, the pre-multiplexing behaviour).
+// (values below 1 mean serial service, the pre-multiplexing behaviour).
 func ServeWindow(svc *Service, addr string, profile netsim.Profile, window int) (*Server, error) {
+	if window < 1 {
+		window = -1 // explicit serial; ServeConfig treats 0 as the default
+	}
+	return ServeOpts(svc, addr, profile, ServeConfig{Window: window})
+}
+
+// ServeOpts is Serve with an explicit transport configuration.
+func ServeOpts(svc *Service, addr string, profile netsim.Profile, cfg ServeConfig) (*Server, error) {
+	if cfg.Window == 0 {
+		cfg.Window = wire.DefaultWindow
+	}
 	ln, err := netsim.Listen(addr, profile)
 	if err != nil {
 		return nil, fmt.Errorf("core: listen %s: %w", addr, err)
 	}
-	s := &Server{svc: svc, ln: ln, window: window, conns: make(map[net.Conn]struct{})}
+	s := &Server{svc: svc, ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -112,7 +139,11 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	err := wire.ServeConn(conn, s.window, func(env *wire.Envelope) *wire.Envelope {
+	err := wire.ServeConnOpts(conn, wire.ServeOptions{
+		Window:             s.cfg.Window,
+		Codecs:             s.cfg.Codecs,
+		DisableNegotiation: s.cfg.DisableNegotiation,
+	}, func(env *wire.Envelope) *wire.Envelope {
 		return serveEnvelope(s.svc, env)
 	})
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -188,24 +219,59 @@ type Client struct {
 	c *wire.Client
 }
 
-// Dial connects a client to a server with the given network profile.
+// DialConfig tunes a Client's transport.
+type DialConfig struct {
+	// Codecs is the wire-codec negotiation preference (nil means
+	// wire.DefaultCodecs).
+	Codecs []wire.Codec
+	// DisableNegotiation makes the client behave like a pre-codec build:
+	// plain JSON frames, no hello.
+	DisableNegotiation bool
+	// Timeout bounds each call without its own context deadline.
+	Timeout time.Duration
+}
+
+// Dial connects a client to a server with the given network profile and
+// the default transport configuration (codec negotiated per connection).
 func Dial(addr string, profile netsim.Profile) (*Client, error) {
-	c := wire.NewClient(func() (net.Conn, error) {
+	return DialOpts(addr, profile, DialConfig{})
+}
+
+// DialOpts is Dial with an explicit transport configuration.
+func DialOpts(addr string, profile netsim.Profile, cfg DialConfig) (*Client, error) {
+	c := wire.NewClientOpts(func() (net.Conn, error) {
 		return (netsim.Dialer{Profile: profile}).Dial(addr)
-	}, 0)
+	}, wire.ClientOptions{
+		Timeout:            cfg.Timeout,
+		Codecs:             cfg.Codecs,
+		DisableNegotiation: cfg.DisableNegotiation,
+	})
 	if err := c.Connect(); err != nil {
 		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
 	}
 	return &Client{c: c}, nil
 }
 
+// CodecName reports the wire codec of the live connection ("" when none).
+func (c *Client) CodecName() string { return c.c.CodecName() }
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.c.Close() }
 
 // call round-trips one request, translating server-side failures into the
-// historical "core: server: ..." form.
+// historical "core: server: ..." form. idempotent requests (Ping, Renew)
+// transparently retry across connection loss with backoff.
 func (c *Client) call(ctx context.Context, typ string, payload any) (*wire.Envelope, error) {
 	reply, err := c.c.CallContext(ctx, typ, payload)
+	return c.finish(typ, reply, err)
+}
+
+func (c *Client) callIdempotent(ctx context.Context, typ string, payload any) (*wire.Envelope, error) {
+	reply, err := c.c.CallIdempotent(ctx, typ, payload)
+	return c.finish(typ, reply, err)
+}
+
+func (c *Client) finish(typ string, reply *wire.Envelope, err error) (*wire.Envelope, error) {
 	if err != nil {
 		var remote *wire.RemoteError
 		if errors.As(err, &remote) {
@@ -222,9 +288,11 @@ func (c *Client) call(ctx context.Context, typ string, payload any) (*wire.Envel
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error { return c.PingContext(context.Background()) }
 
-// PingContext is Ping with cancellation.
+// PingContext is Ping with cancellation. Pings are idempotent, so a ping
+// that dies with its connection retries transparently — a heartbeat rides
+// out a server restart without a caller-visible error.
 func (c *Client) PingContext(ctx context.Context) error {
-	_, err := c.call(ctx, wire.TypePing, nil)
+	_, err := c.callIdempotent(ctx, wire.TypePing, nil)
 	return err
 }
 
@@ -274,11 +342,13 @@ func (c *Client) Release(g *Grant) error {
 	return err
 }
 
-// Renew heartbeats a grant on a TTL-enabled service.
+// Renew heartbeats a grant on a TTL-enabled service. Renewals are
+// idempotent (extending a lease twice is harmless), so they retry across
+// connection loss like pings.
 func (c *Client) Renew(g *Grant) error {
 	if g == nil || g.Lease == nil {
 		return errors.New("core: nil grant")
 	}
-	_, err := c.call(context.Background(), wire.TypeRenew, wire.RenewRequest{Lease: *g.Lease})
+	_, err := c.callIdempotent(context.Background(), wire.TypeRenew, wire.RenewRequest{Lease: *g.Lease})
 	return err
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -13,20 +12,32 @@ import (
 // UDPServer exposes a Service over UDP. Section 6 of the paper notes that
 // "queries propagate from one stage to the next via TCP or UDP"; the UDP
 // path trades connection state for datagram semantics — each request and
-// reply is one datagram (a JSON envelope, no length prefix). Requests
-// larger than a datagram or replies lost in flight are the client's
-// problem, exactly as with the paper's UDP stages.
+// reply is one datagram (always a JSON envelope, no length prefix:
+// datagrams carry no per-connection negotiation state, so they stay on the
+// codec floor). Requests larger than a datagram or replies lost in flight
+// are the client's problem, exactly as with the paper's UDP stages.
 type UDPServer struct {
 	svc  *Service
 	conn *net.UDPConn
+	sem  chan struct{} // in-flight dispatch window
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0").
+// ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0")
+// with the default in-flight dispatch window.
 func ServeUDP(svc *Service, addr string) (*UDPServer, error) {
+	return ServeUDPWindow(svc, addr, wire.DefaultWindow)
+}
+
+// ServeUDPWindow is ServeUDP with an explicit in-flight dispatch window:
+// at most `window` datagrams are being served concurrently (values below 1
+// serialize dispatch). Beyond it the read loop stops draining the socket,
+// so a datagram flood backs up into the kernel buffer and drops there —
+// the endpoint no longer spawns one goroutine per datagram without bound.
+func ServeUDPWindow(svc *Service, addr string, window int) (*UDPServer, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: resolve %s: %w", addr, err)
@@ -35,7 +46,10 @@ func ServeUDP(svc *Service, addr string) (*UDPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: listen udp %s: %w", addr, err)
 	}
-	s := &UDPServer{svc: svc, conn: conn}
+	if window < 1 {
+		window = 1
+	}
+	s := &UDPServer{svc: svc, conn: conn, sem: make(chan struct{}, window)}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
@@ -65,22 +79,27 @@ func (s *UDPServer) loop() {
 		if err != nil {
 			return // closed
 		}
-		var env wire.Envelope
-		if err := json.Unmarshal(buf[:n], &env); err != nil || env.Type == "" {
+		env, err := wire.DecodeDatagram(buf[:n])
+		if err != nil {
 			continue // drop malformed datagrams, as UDP services do
 		}
-		// Handle each datagram concurrently; replies race, which is fine
-		// because the client correlates by envelope id.
+		// Handle each datagram concurrently up to the window; replies
+		// race, which is fine because the client correlates by envelope
+		// id. A full window blocks the read here, which is the bound.
+		s.sem <- struct{}{}
 		s.wg.Add(1)
-		go func(env wire.Envelope, from *net.UDPAddr) {
-			defer s.wg.Done()
+		go func(env *wire.Envelope, from *net.UDPAddr) {
+			defer func() {
+				<-s.sem
+				s.wg.Done()
+			}()
 			// serveEnvelope is the same dispatcher the TCP server uses;
 			// only the framing differs (one datagram per envelope).
-			reply := serveEnvelope(s.svc, &env)
+			reply := serveEnvelope(s.svc, env)
 			if reply == nil {
 				return
 			}
-			raw, err := json.Marshal(reply)
+			raw, err := wire.EncodeDatagram(reply)
 			if err != nil {
 				return
 			}
@@ -182,7 +201,7 @@ func (c *UDPClient) id() uint64 {
 }
 
 func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
-	raw, err := json.Marshal(env)
+	raw, err := wire.EncodeDatagram(env)
 	if err != nil {
 		return nil, err
 	}
@@ -199,8 +218,8 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: udp read: %w", err)
 		}
-		var reply wire.Envelope
-		if err := json.Unmarshal(buf[:n], &reply); err != nil {
+		reply, err := wire.DecodeDatagram(buf[:n])
+		if err != nil {
 			continue // malformed datagram; keep waiting for ours
 		}
 		if reply.ID != env.ID {
@@ -213,6 +232,6 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 			}
 			return nil, fmt.Errorf("core: server: %s", e.Message)
 		}
-		return &reply, nil
+		return reply, nil
 	}
 }

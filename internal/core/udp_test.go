@@ -81,6 +81,97 @@ func TestUDPServerCloseIdempotent(t *testing.T) {
 	}
 }
 
+// startSlowUDP serves a ScanCost-modelled service over UDP with the given
+// dispatch window: 200 machines x 2ms makes each query take ~400ms.
+func startSlowUDP(t *testing.T, window int) *UDPServer {
+	t.Helper()
+	db := registry.NewDB()
+	if err := registry.HomogeneousFleetSpec(200).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db, ScanCost: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Precreate("punch.rsrc.arch = sun"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeUDPWindow(svc, "127.0.0.1:0", window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv
+}
+
+// slowQueryThenPing starts a slow query from one UDP client, lets it get
+// in flight, then measures a second client's ping round trip.
+func slowQueryThenPing(t *testing.T, srv *UDPServer) (pingElapsed, queryElapsed time.Duration) {
+	t.Helper()
+	qc, err := DialUDP(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	pc, err := DialUDP(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	type result struct {
+		elapsed time.Duration
+		err     error
+	}
+	queryDone := make(chan result, 1)
+	start := time.Now()
+	go func() {
+		g, err := qc.Request("punch.rsrc.arch = sun")
+		if err == nil {
+			err = qc.Release(g)
+		}
+		queryDone <- result{time.Since(start), err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow query get in flight
+	pingStart := time.Now()
+	if err := pc.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	pingElapsed = time.Since(pingStart)
+	q := <-queryDone
+	if q.err != nil {
+		t.Fatalf("slow query: %v", q.err)
+	}
+	if q.elapsed < 300*time.Millisecond {
+		t.Fatalf("query took %v; the ScanCost model did not make it slow enough", q.elapsed)
+	}
+	return pingElapsed, q.elapsed
+}
+
+// TestUDPWindowBoundsDispatch proves the in-flight window is real in both
+// directions: with window=1 a ping queues behind a slow query (dispatch is
+// serialized — the flood bound), while with a wide window it overtakes
+// (dispatch still overlaps up to the bound).
+func TestUDPWindowBoundsDispatch(t *testing.T) {
+	t.Run("window=1 serializes", func(t *testing.T) {
+		srv := startSlowUDP(t, 1)
+		ping, query := slowQueryThenPing(t, srv)
+		if ping < 100*time.Millisecond {
+			t.Errorf("window=1 ping took only %v behind a %v query; expected it to wait", ping, query)
+		}
+	})
+	t.Run("window=32 overlaps", func(t *testing.T) {
+		srv := startSlowUDP(t, 32)
+		ping, query := slowQueryThenPing(t, srv)
+		if ping > query/2 {
+			t.Errorf("ping took %v behind a %v query: it queued despite the window", ping, query)
+		}
+	})
+}
+
 func TestUDPCompositeQuery(t *testing.T) {
 	_, client := startUDP(t, 32)
 	g, err := client.Request("punch.rsrc.arch = sun | hp")

@@ -9,16 +9,18 @@ import (
 	"actyp/internal/pool"
 	"actyp/internal/query"
 	"actyp/internal/registry"
+	"actyp/internal/wire"
 )
 
-// Registry backend and pool engine selection shared by every experiment
-// driver, settable from the daemons' -registry-backend / -registry-shards
-// / -pool-engine flags.
+// Registry backend, pool engine, and wire codec selection shared by every
+// experiment driver, settable from the daemons' -registry-backend /
+// -registry-shards / -pool-engine / -wire-codec flags.
 var (
 	regMu           sync.Mutex
 	registryBackend = registry.BackendSharded
 	registryShards  = 0
 	poolEngine      = ""
+	wireCodecs      []wire.Codec
 )
 
 // UseRegistry selects the white-pages backend the experiment drivers
@@ -55,6 +57,27 @@ func PoolEngine() string {
 	regMu.Lock()
 	defer regMu.Unlock()
 	return poolEngine
+}
+
+// UseWireCodec pins the wire-codec preference the wire-speaking experiment
+// drivers (transport) negotiate with; "" or "auto" keeps the default. The
+// codec figure ignores it — comparing codecs is that figure's job.
+func UseWireCodec(spec string) error {
+	codecs, err := wire.ParseCodecs(spec)
+	if err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	wireCodecs = codecs
+	return nil
+}
+
+// WireCodecs returns the configured codec preference (nil = default).
+func WireCodecs() []wire.Codec {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return wireCodecs
 }
 
 // newDB builds an empty white-pages database on the selected backend.

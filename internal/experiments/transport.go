@@ -59,12 +59,16 @@ func TransportScale(cfg TransportConfig) ([]metrics.Series, error) {
 				svc.Close()
 				return out, err
 			}
-			srv, err := core.ServeWindow(svc, "127.0.0.1:0", cfg.Profile, window)
+			win := window
+			if win == 0 {
+				win = -1 // explicit serial; ServeConfig treats 0 as default
+			}
+			srv, err := core.ServeOpts(svc, "127.0.0.1:0", cfg.Profile, core.ServeConfig{Window: win, Codecs: WireCodecs()})
 			if err != nil {
 				svc.Close()
 				return out, err
 			}
-			cli, err := core.Dial(srv.Addr(), cfg.Profile)
+			cli, err := core.DialOpts(srv.Addr(), cfg.Profile, core.DialConfig{Codecs: WireCodecs()})
 			if err != nil {
 				srv.Close()
 				svc.Close()

@@ -12,21 +12,24 @@ import (
 )
 
 // Spawn asks the proxy server at addr to create a pool instance and
-// returns the new instance's id and allocation address.
+// returns the new instance's id and allocation address. A spawn is a rare
+// one-shot exchange on a throwaway connection, so it skips codec
+// negotiation and speaks the JSON floor directly.
 func Spawn(addr string, req wire.SpawnPoolRequest, profile netsim.Profile) (*wire.SpawnPoolReply, error) {
 	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	framer := wire.NewFramer(wire.JSON)
 	env, err := wire.NewEnvelope(wire.TypeSpawnPool, 1, req)
 	if err != nil {
 		return nil, err
 	}
-	if err := wire.WriteFrame(conn, env); err != nil {
+	if err := framer.WriteFrame(conn, env); err != nil {
 		return nil, err
 	}
-	reply, err := wire.ReadFrame(conn)
+	reply, err := framer.ReadFrame(conn)
 	if err != nil {
 		return nil, err
 	}

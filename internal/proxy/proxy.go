@@ -41,11 +41,23 @@ type releaseRequest struct {
 	LeaseID string `json:"leaseId"`
 }
 
+// ServerOptions tunes a proxy server's per-connection transport.
+type ServerOptions struct {
+	// Window is the per-connection in-flight window for both the control
+	// port and every spawned pool's endpoint (0 means wire.DefaultWindow;
+	// values below 0 serialize).
+	Window int
+	// Codecs is the wire-codec negotiation preference (nil means
+	// wire.DefaultCodecs).
+	Codecs []wire.Codec
+}
+
 // Server is one machine's proxy: it spawns pools and serves them.
 type Server struct {
 	db      *registry.DB
 	profile netsim.Profile
 	ln      net.Listener
+	opts    ServerOptions
 
 	mu     sync.Mutex
 	closed bool
@@ -54,19 +66,34 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Start launches a proxy server for the machine hosting db.
+// Start launches a proxy server for the machine hosting db with the
+// default transport configuration.
 func Start(db *registry.DB, addr string, profile netsim.Profile) (*Server, error) {
+	return StartOpts(db, addr, profile, ServerOptions{})
+}
+
+// StartOpts is Start with an explicit transport configuration.
+func StartOpts(db *registry.DB, addr string, profile netsim.Profile, opts ServerOptions) (*Server, error) {
 	if db == nil {
 		return nil, fmt.Errorf("proxy: server needs a database")
+	}
+	if opts.Window == 0 {
+		opts.Window = wire.DefaultWindow
 	}
 	ln, err := netsim.Listen(addr, profile)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{db: db, profile: profile, ln: ln, pools: make(map[string]*pool.Pool)}
+	s := &Server{db: db, profile: profile, ln: ln, opts: opts, pools: make(map[string]*pool.Pool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// serveOptions is the wire-level translation of the server's transport
+// configuration, shared by the control and pool connection handlers.
+func (s *Server) serveOptions() wire.ServeOptions {
+	return wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs}
 }
 
 // Addr returns the proxy's control address.
@@ -124,7 +151,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) handleControl(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	wire.ServeConn(conn, wire.DefaultWindow, func(env *wire.Envelope) *wire.Envelope {
+	wire.ServeConnOpts(conn, s.serveOptions(), func(env *wire.Envelope) *wire.Envelope {
 		switch env.Type {
 		case wire.TypePing:
 			return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
@@ -203,7 +230,7 @@ func (s *Server) servePool(ln net.Listener, p *pool.Pool) {
 func (s *Server) handlePool(conn net.Conn, p *pool.Pool) {
 	defer s.wg.Done()
 	defer conn.Close()
-	wire.ServeConn(conn, wire.DefaultWindow, func(env *wire.Envelope) *wire.Envelope {
+	wire.ServeConnOpts(conn, s.serveOptions(), func(env *wire.Envelope) *wire.Envelope {
 		switch env.Type {
 		case typeAlloc:
 			var req allocRequest

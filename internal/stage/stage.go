@@ -49,10 +49,22 @@ type nameReply struct {
 	Name string `json:"name"`
 }
 
+// ServerOptions tunes a stage server's per-connection transport.
+type ServerOptions struct {
+	// Window is the per-connection in-flight window (0 means
+	// wire.DefaultWindow; values below 0 serialize). Stage fan-in from
+	// many query managers can be tuned per deployment with it.
+	Window int
+	// Codecs is the wire-codec negotiation preference (nil means
+	// wire.DefaultCodecs).
+	Codecs []wire.Codec
+}
+
 // Server exposes a pool manager over TCP.
 type Server struct {
-	pm *poolmgr.Manager
-	ln net.Listener
+	pm   *poolmgr.Manager
+	ln   net.Listener
+	opts ServerOptions
 
 	mu     sync.Mutex
 	closed bool
@@ -60,16 +72,24 @@ type Server struct {
 }
 
 // Serve starts a stage server for pm on addr with the given network
-// profile.
+// profile and the default transport configuration.
 func Serve(pm *poolmgr.Manager, addr string, profile netsim.Profile) (*Server, error) {
+	return ServeOpts(pm, addr, profile, ServerOptions{})
+}
+
+// ServeOpts is Serve with an explicit transport configuration.
+func ServeOpts(pm *poolmgr.Manager, addr string, profile netsim.Profile, opts ServerOptions) (*Server, error) {
 	if pm == nil {
 		return nil, fmt.Errorf("stage: server needs a pool manager")
+	}
+	if opts.Window == 0 {
+		opts.Window = wire.DefaultWindow
 	}
 	ln, err := netsim.Listen(addr, profile)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{pm: pm, ln: ln}
+	s := &Server{pm: pm, ln: ln, opts: opts}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -109,7 +129,7 @@ func (s *Server) handle(conn net.Conn) {
 	// The pool manager is concurrency-safe, so one connection's requests
 	// dispatch through the multiplexer and overlap; a delegated Resolve
 	// that fans out across peers no longer blocks the releases behind it.
-	wire.ServeConn(conn, wire.DefaultWindow, s.dispatch)
+	wire.ServeConnOpts(conn, wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs}, s.dispatch)
 }
 
 func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -18,6 +19,14 @@ type DialFunc func() (net.Conn, error)
 // that has been closed.
 var ErrClosed = errors.New("wire: client closed")
 
+// ErrConnLost wraps failures of calls that died with their connection; the
+// request may or may not have executed. Idempotent calls retry on it.
+var ErrConnLost = errors.New("wire: connection lost")
+
+// ErrDial wraps failures to establish (or negotiate) a connection.
+// Idempotent calls retry on it.
+var ErrDial = errors.New("wire: dial")
+
 // RemoteError is a failure the server reported through an error envelope.
 // The connection itself is healthy; only this call failed.
 type RemoteError struct {
@@ -26,26 +35,49 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return e.Message }
 
+// ClientOptions configures a Client beyond its dial function.
+type ClientOptions struct {
+	// Timeout bounds each call that arrives without its own context
+	// deadline; zero means no bound.
+	Timeout time.Duration
+	// Codecs is the negotiation preference, best first (nil means
+	// DefaultCodecs). Offering only JSON pins connections to JSON.
+	Codecs []Codec
+	// DisableNegotiation speaks plain JSON with no hello — exactly how a
+	// pre-codec client behaves. Tests use it to prove old clients keep
+	// working against new servers.
+	DisableNegotiation bool
+}
+
 // Client multiplexes concurrent requests over one connection: every call
 // writes a frame tagged with a fresh envelope id and parks on a private
 // reply channel, while a single reader goroutine demultiplexes whatever
 // reply arrives next to the call that owns its id. Replies may therefore
 // return in any order, and N callers share one connection without waiting
-// for each other's round trips.
+// for each other's round trips. Each new connection starts with the codec
+// handshake (unless negotiation is disabled), so frames travel in the best
+// codec both ends speak.
 //
-// A failed connection fails every in-flight call; the next call redials
-// through the DialFunc. Client is safe for concurrent use.
+// A failed connection fails every in-flight call; a background loop then
+// redials with exponential backoff so heartbeating callers find a live
+// connection again without paying the dial themselves (the next call also
+// redials on demand, whichever comes first). Client is safe for concurrent
+// use.
 type Client struct {
-	dialFn  DialFunc
-	timeout time.Duration
+	dialFn      DialFunc
+	timeout     time.Duration
+	codecs      []Codec
+	noNegotiate bool
 
 	writeMu sync.Mutex // serializes frame writes on the live connection
 
-	mu      sync.Mutex
-	conn    net.Conn
-	pending map[uint64]chan callResult
-	nextID  uint64
-	closed  bool
+	mu           sync.Mutex
+	conn         net.Conn
+	framer       *Framer
+	pending      map[uint64]chan callResult
+	nextID       uint64
+	closed       bool
+	reconnecting bool
 }
 
 type callResult struct {
@@ -53,19 +85,31 @@ type callResult struct {
 	err error
 }
 
-// NewClient builds a client over dial. timeout bounds each call that
-// arrives without its own context deadline; zero means no bound.
+// NewClient builds a client over dial with the default codec preference.
+// timeout bounds each call that arrives without its own context deadline;
+// zero means no bound.
 func NewClient(dial DialFunc, timeout time.Duration) *Client {
+	return NewClientOpts(dial, ClientOptions{Timeout: timeout})
+}
+
+// NewClientOpts builds a client over dial with explicit options.
+func NewClientOpts(dial DialFunc, opts ClientOptions) *Client {
+	codecs := opts.Codecs
+	if codecs == nil {
+		codecs = DefaultCodecs()
+	}
 	return &Client{
-		dialFn:  dial,
-		timeout: timeout,
-		pending: make(map[uint64]chan callResult),
+		dialFn:      dial,
+		timeout:     opts.Timeout,
+		codecs:      codecs,
+		noNegotiate: opts.DisableNegotiation,
+		pending:     make(map[uint64]chan callResult),
 	}
 }
 
-// Connect ensures a live connection, dialing if necessary. Calls dial
-// lazily anyway; Connect exists so constructors can surface dial errors
-// immediately.
+// Connect ensures a live connection, dialing (and negotiating the codec)
+// if necessary. Calls dial lazily anyway; Connect exists so constructors
+// can surface dial errors immediately.
 func (c *Client) Connect() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -73,6 +117,16 @@ func (c *Client) Connect() error {
 		return ErrClosed
 	}
 	return c.ensureConnLocked()
+}
+
+// CodecName reports the codec of the live connection ("" when none is up).
+func (c *Client) CodecName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil || c.framer == nil {
+		return ""
+	}
+	return c.framer.Codec().Name()
 }
 
 // Close fails every in-flight call and drops the connection. Subsequent
@@ -86,6 +140,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.conn = nil
+	c.framer = nil
 	c.failPendingLocked(ErrClosed)
 	c.mu.Unlock()
 	if conn != nil {
@@ -105,14 +160,7 @@ func (c *Client) Call(typ string, payload any) (*Envelope, error) {
 // abandons the call (a late reply is discarded); it does not disturb other
 // calls in flight on the same connection.
 func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Envelope, error) {
-	env := &Envelope{Type: typ}
-	if payload != nil {
-		built, err := NewEnvelope(typ, 0, payload)
-		if err != nil {
-			return nil, err
-		}
-		env = built
-	}
+	env := &Envelope{Type: typ, Msg: payload}
 
 	if c.timeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -137,14 +185,14 @@ func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Env
 	env.ID = c.nextID
 	ch := make(chan callResult, 1)
 	c.pending[env.ID] = ch
-	conn := c.conn
+	conn, framer := c.conn, c.framer
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := WriteFrame(conn, env)
+	err := framer.WriteFrame(conn, env)
 	c.writeMu.Unlock()
 	if err != nil {
-		if errors.Is(err, ErrFrameTooLarge) {
+		if preWire(err) {
 			// Rejected before any bytes hit the wire: the connection is
 			// fine, only this call fails.
 			c.mu.Lock()
@@ -179,24 +227,107 @@ func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Env
 	}
 }
 
-// ensureConnLocked dials if no connection is live and starts its reader.
+// CallIdempotent is CallContext for requests that are safe to re-send
+// (Ping, Renew): a call that dies with its connection, or cannot dial, is
+// retried with exponential backoff until the context — or the client's
+// default timeout — expires, so a short server outage is invisible to the
+// caller. Failures the server reports (RemoteError), encode failures, and
+// a closed client are not retried. The caller owns the idempotency claim:
+// a retried request may execute twice on the server.
+func (c *Client) CallIdempotent(ctx context.Context, typ string, payload any) (*Envelope, error) {
+	if c.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+	// Without any deadline the loop needs its own bound; with one, the
+	// context cuts the retries off.
+	maxAttempts := math.MaxInt
+	if _, has := ctx.Deadline(); !has {
+		maxAttempts = 8
+	}
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		reply, err := c.CallContext(ctx, typ, payload)
+		if err == nil || !Retryable(err) || attempt >= maxAttempts {
+			return reply, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("wire: call %s: %w", typ, ctx.Err())
+		case <-time.After(backoff):
+		}
+		backoff = min(backoff*2, maxBackoff)
+	}
+}
+
+// Retryable reports whether a call failure is a transport-level loss (the
+// connection died or could not be established) that an idempotent request
+// may safely retry.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrConnLost) || errors.Is(err, ErrDial)
+}
+
+// ensureConnLocked dials and negotiates if no connection is live, and
+// starts the connection's reader. Caller holds c.mu.
 func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := c.dialFn()
+	conn, framer, err := c.dialAndNegotiate()
 	if err != nil {
-		return fmt.Errorf("wire: dial: %w", err)
+		return err
 	}
-	c.conn = conn
-	go c.readLoop(conn)
+	c.installConnLocked(conn, framer)
 	return nil
 }
 
+// negotiateTimeout bounds the handshake round trip on a fresh connection
+// when the client has no tighter per-call timeout: dialing is the one
+// moment the client blocks on a peer that has not yet proven it speaks
+// the protocol, so a hung accept must not wedge Connect (and the mutex
+// behind it) forever.
+const negotiateTimeout = 10 * time.Second
+
+// dialAndNegotiate opens a fresh connection and runs the codec handshake
+// on it (one round trip). It holds no client locks, so the background
+// reconnect loop can use it without blocking callers.
+func (c *Client) dialAndNegotiate() (net.Conn, *Framer, error) {
+	conn, err := c.dialFn()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDial, err)
+	}
+	framer := NewFramer(JSON)
+	if !c.noNegotiate {
+		bound := negotiateTimeout
+		if c.timeout > 0 && c.timeout < bound {
+			bound = c.timeout
+		}
+		_ = conn.SetDeadline(time.Now().Add(bound)) // best effort: not every conn has deadlines
+		chosen, err := negotiateClient(conn, c.codecs)
+		if err != nil {
+			_ = conn.Close()
+			return nil, nil, fmt.Errorf("%w: negotiate: %v", ErrDial, err)
+		}
+		_ = conn.SetDeadline(time.Time{})
+		framer = NewFramer(chosen)
+	}
+	return conn, framer, nil
+}
+
+func (c *Client) installConnLocked(conn net.Conn, framer *Framer) {
+	c.conn = conn
+	c.framer = framer
+	go c.readLoop(conn, framer)
+}
+
 // readLoop demultiplexes replies on one connection until it fails.
-func (c *Client) readLoop(conn net.Conn) {
+func (c *Client) readLoop(conn net.Conn, framer *Framer) {
 	for {
-		env, err := ReadFrame(conn)
+		env, err := framer.ReadFrame(conn)
 		if err != nil {
 			c.connFailed(conn, err)
 			return
@@ -214,16 +345,61 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
-// connFailed retires a broken connection and fails the calls in flight on
-// it. The next call redials.
+// connFailed retires a broken connection, fails the calls in flight on it,
+// and starts the proactive redial loop. The next call also redials on
+// demand, whichever comes first.
 func (c *Client) connFailed(conn net.Conn, err error) {
 	c.mu.Lock()
 	if c.conn == conn {
 		c.conn = nil
-		c.failPendingLocked(fmt.Errorf("wire: connection lost: %w", err))
+		c.framer = nil
+		c.failPendingLocked(fmt.Errorf("%w: %v", ErrConnLost, err))
+		if !c.closed && !c.reconnecting {
+			c.reconnecting = true
+			go c.reconnectLoop()
+		}
 	}
 	c.mu.Unlock()
 	_ = conn.Close()
+}
+
+// reconnectLoop proactively redials a lost connection with exponential
+// backoff, so heartbeating clients regain a connection without waiting for
+// their next call to pay the dial. It stops as soon as a connection exists
+// (its own or one a call-path dial installed) or the client closes.
+func (c *Client) reconnectLoop() {
+	backoff := 10 * time.Millisecond
+	const maxBackoff = time.Second
+	for {
+		time.Sleep(backoff)
+		c.mu.Lock()
+		if c.closed || c.conn != nil {
+			c.reconnecting = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		conn, framer, err := c.dialAndNegotiate()
+		if err == nil {
+			// reconnecting must clear in the same critical section that
+			// installs the connection: the new readLoop may fail
+			// immediately, and its connFailed must see reconnecting=false
+			// so it starts the next loop instead of assuming this one is
+			// still alive.
+			c.mu.Lock()
+			stale := c.closed || c.conn != nil
+			if !stale {
+				c.installConnLocked(conn, framer)
+			}
+			c.reconnecting = false
+			c.mu.Unlock()
+			if stale {
+				_ = conn.Close()
+			}
+			return
+		}
+		backoff = min(backoff*2, maxBackoff)
+	}
 }
 
 func (c *Client) failPendingLocked(err error) {

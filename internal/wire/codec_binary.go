@@ -1,0 +1,555 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"actyp/internal/pool"
+	"actyp/internal/shadow"
+)
+
+// Binary frame body layout:
+//
+//	magic 0xAC | version 0x01 | type uvarint | id uvarint | payload...
+//
+// A type of 0 is followed by a length-prefixed type string (private
+// protocol extensions such as the proxy and stage messages); nonzero
+// types index the fixed table below. The payload region is empty for
+// bare envelopes, or one tag byte plus data:
+//
+//	0x00  generic fallback: the data is a JSON document
+//	0x01  typed fast path: uvarint payload-type id, then fixed fields
+//
+// Fast-path fields are length-prefixed strings (uvarint length + bytes),
+// varints for integers, and a presence byte + UnixNano varint for times.
+// The magic byte distinguishes binary bodies from JSON ones (which open
+// with '{'), which is what lets the negotiation ack be sniffed.
+const (
+	binMagic   = 0xAC
+	binVersion = 0x01
+)
+
+// Envelope type table. 0 is reserved for the inline-string escape.
+var binTypeIDs = map[string]uint64{
+	TypeQuery:     1,
+	TypeRelease:   2,
+	TypeRenew:     3,
+	TypePing:      4,
+	TypeSpawnPool: 5,
+	TypeError:     6,
+	TypeHello:     7,
+	TypeHelloAck:  8,
+}
+
+var binTypeNames = func() map[uint64]string {
+	m := make(map[uint64]string, len(binTypeIDs))
+	for name, id := range binTypeIDs {
+		m[id] = name
+	}
+	return m
+}()
+
+// Payload tag bytes and fast-path payload-type ids.
+const (
+	binPayloadJSON  = 0x00
+	binPayloadTyped = 0x01
+)
+
+const (
+	pidQueryRequest = iota + 1
+	pidQueryReply
+	pidReleaseRequest
+	pidReleaseReply
+	pidRenewRequest
+	pidRenewReply
+	pidErrorReply
+	pidSpawnPoolRequest
+	pidSpawnPoolReply
+	pidHello
+	pidHelloAck
+)
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return "binary" }
+
+func (binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
+	dst = append(dst, binMagic, binVersion)
+	if id, ok := binTypeIDs[env.Type]; ok {
+		dst = binary.AppendUvarint(dst, id)
+	} else {
+		dst = binary.AppendUvarint(dst, 0)
+		dst = appendBinString(dst, env.Type)
+	}
+	dst = binary.AppendUvarint(dst, env.ID)
+	switch {
+	case len(env.Payload) > 0:
+		if env.codec == Binary {
+			return append(dst, env.Payload...), nil // already tagged
+		}
+		if env.codec == nil || env.codec == JSON {
+			// Raw JSON payload (hand-built envelope or one decoded from a
+			// JSON peer): carry it under the generic fallback tag.
+			dst = append(dst, binPayloadJSON)
+			return append(dst, env.Payload...), nil
+		}
+		return dst, fmt.Errorf("cannot re-frame %s payload decoded by %q as binary", env.Type, env.codec.Name())
+	case env.Msg != nil:
+		return appendBinPayload(dst, env.Type, env.Msg)
+	}
+	return dst, nil
+}
+
+func (binaryCodec) DecodeEnvelope(body []byte) (*Envelope, error) {
+	if len(body) < 2 || body[0] != binMagic {
+		return nil, errors.New("not a binary frame")
+	}
+	if body[1] != binVersion {
+		return nil, fmt.Errorf("unsupported binary frame version %d", body[1])
+	}
+	cur := binCursor{b: body[2:]}
+	typ := ""
+	if tid := cur.uvarint(); tid == 0 {
+		typ = cur.string()
+	} else {
+		typ = binTypeNames[tid]
+		if typ == "" {
+			cur.fail("unknown envelope type id %d", tid)
+		}
+	}
+	id := cur.uvarint()
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if typ == "" {
+		return nil, errors.New("envelope without type")
+	}
+	env := &Envelope{Type: typ, ID: id, codec: Binary}
+	if len(cur.b) > 0 {
+		// Copy the payload out of the pooled read buffer.
+		env.Payload = append([]byte(nil), cur.b...)
+	}
+	return env, nil
+}
+
+func (binaryCodec) DecodePayload(payload []byte, out any) error {
+	if len(payload) == 0 {
+		return errors.New("empty payload")
+	}
+	tag, rest := payload[0], payload[1:]
+	switch tag {
+	case binPayloadJSON:
+		return json.Unmarshal(rest, out)
+	case binPayloadTyped:
+		return decodeBinTyped(rest, out)
+	}
+	return fmt.Errorf("unknown payload tag 0x%02x", tag)
+}
+
+// appendBinPayload encodes a typed payload: hot message types get the
+// hand-rolled fast path, everything else (private protocol extensions,
+// test payloads) falls back to JSON under the generic tag.
+func appendBinPayload(dst []byte, typ string, msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case QueryRequest:
+		return appendBinQueryRequest(dst, &m), nil
+	case *QueryRequest:
+		return appendBinQueryRequest(dst, m), nil
+	case QueryReply:
+		return appendBinQueryReply(dst, &m), nil
+	case *QueryReply:
+		return appendBinQueryReply(dst, m), nil
+	case ReleaseRequest:
+		return appendBinReleaseRequest(dst, &m), nil
+	case *ReleaseRequest:
+		return appendBinReleaseRequest(dst, m), nil
+	case ReleaseReply, *ReleaseReply:
+		return appendBinEmpty(dst, pidReleaseReply), nil
+	case RenewRequest:
+		return appendBinRenewRequest(dst, &m), nil
+	case *RenewRequest:
+		return appendBinRenewRequest(dst, m), nil
+	case RenewReply, *RenewReply:
+		return appendBinEmpty(dst, pidRenewReply), nil
+	case ErrorReply:
+		return appendBinErrorReply(dst, &m), nil
+	case *ErrorReply:
+		return appendBinErrorReply(dst, m), nil
+	case SpawnPoolRequest:
+		return appendBinSpawnPoolRequest(dst, &m), nil
+	case *SpawnPoolRequest:
+		return appendBinSpawnPoolRequest(dst, m), nil
+	case SpawnPoolReply:
+		return appendBinSpawnPoolReply(dst, &m), nil
+	case *SpawnPoolReply:
+		return appendBinSpawnPoolReply(dst, m), nil
+	case Hello:
+		return appendBinHello(dst, &m), nil
+	case *Hello:
+		return appendBinHello(dst, m), nil
+	case HelloAck:
+		return appendBinHelloAck(dst, &m), nil
+	case *HelloAck:
+		return appendBinHelloAck(dst, m), nil
+	}
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return dst, fmt.Errorf("marshal %s payload: %w", typ, err)
+	}
+	dst = append(dst, binPayloadJSON)
+	return append(dst, raw...), nil
+}
+
+func decodeBinTyped(b []byte, out any) error {
+	cur := binCursor{b: b}
+	pid := cur.uvarint()
+	if cur.err != nil {
+		return cur.err
+	}
+	check := func(want uint64) bool {
+		if pid != want {
+			cur.fail("payload type id %d does not decode into %T", pid, out)
+			return false
+		}
+		return true
+	}
+	switch v := out.(type) {
+	case *QueryRequest:
+		if check(pidQueryRequest) {
+			readBinQueryRequest(&cur, v)
+		}
+	case *QueryReply:
+		if check(pidQueryReply) {
+			readBinQueryReply(&cur, v)
+		}
+	case *ReleaseRequest:
+		if check(pidReleaseRequest) {
+			readBinReleaseRequest(&cur, v)
+		}
+	case *ReleaseReply:
+		check(pidReleaseReply)
+	case *RenewRequest:
+		if check(pidRenewRequest) {
+			v.Lease = readBinLease(&cur)
+		}
+	case *RenewReply:
+		check(pidRenewReply)
+	case *ErrorReply:
+		if check(pidErrorReply) {
+			v.Message = cur.string()
+		}
+	case *SpawnPoolRequest:
+		if check(pidSpawnPoolRequest) {
+			v.Signature = cur.string()
+			v.Identifier = cur.string()
+			v.Instance = int(cur.varint())
+			v.Objective = cur.string()
+		}
+	case *SpawnPoolReply:
+		if check(pidSpawnPoolReply) {
+			v.Instance = cur.string()
+			v.Addr = cur.string()
+		}
+	case *Hello:
+		if check(pidHello) {
+			v.Codecs = cur.strings()
+		}
+	case *HelloAck:
+		if check(pidHelloAck) {
+			v.Codec = cur.string()
+		}
+	default:
+		return fmt.Errorf("no binary decoder for %T", out)
+	}
+	return cur.done()
+}
+
+func appendBinQueryRequest(dst []byte, m *QueryRequest) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidQueryRequest)
+	dst = appendBinString(dst, m.Lang)
+	dst = appendBinString(dst, m.Text)
+	dst = binary.AppendVarint(dst, int64(m.TTL))
+	return appendBinStrings(dst, m.Visited)
+}
+
+func readBinQueryRequest(cur *binCursor, m *QueryRequest) {
+	m.Lang = cur.string()
+	m.Text = cur.string()
+	m.TTL = int(cur.varint())
+	m.Visited = cur.strings()
+}
+
+func appendBinQueryReply(dst []byte, m *QueryReply) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidQueryReply)
+	var flags byte
+	if m.Lease != nil {
+		flags |= 1
+	}
+	if m.Shadow != nil {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	if m.Lease != nil {
+		dst = appendBinLease(dst, *m.Lease)
+	}
+	if m.Shadow != nil {
+		dst = appendBinAccount(dst, *m.Shadow)
+	}
+	dst = binary.AppendVarint(dst, int64(m.Fragments))
+	dst = binary.AppendVarint(dst, int64(m.Succeeded))
+	return binary.AppendVarint(dst, m.ElapsedNS)
+}
+
+func readBinQueryReply(cur *binCursor, m *QueryReply) {
+	flags := cur.byte()
+	if flags&1 != 0 {
+		lease := readBinLease(cur)
+		m.Lease = &lease
+	}
+	if flags&2 != 0 {
+		acct := readBinAccount(cur)
+		m.Shadow = &acct
+	}
+	m.Fragments = int(cur.varint())
+	m.Succeeded = int(cur.varint())
+	m.ElapsedNS = cur.varint()
+}
+
+func appendBinReleaseRequest(dst []byte, m *ReleaseRequest) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidReleaseRequest)
+	dst = appendBinLease(dst, m.Lease)
+	if m.Shadow == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return appendBinAccount(dst, *m.Shadow)
+}
+
+func readBinReleaseRequest(cur *binCursor, m *ReleaseRequest) {
+	m.Lease = readBinLease(cur)
+	if cur.byte() != 0 {
+		acct := readBinAccount(cur)
+		m.Shadow = &acct
+	}
+}
+
+func appendBinRenewRequest(dst []byte, m *RenewRequest) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidRenewRequest)
+	return appendBinLease(dst, m.Lease)
+}
+
+func appendBinErrorReply(dst []byte, m *ErrorReply) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidErrorReply)
+	return appendBinString(dst, m.Message)
+}
+
+func appendBinSpawnPoolRequest(dst []byte, m *SpawnPoolRequest) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidSpawnPoolRequest)
+	dst = appendBinString(dst, m.Signature)
+	dst = appendBinString(dst, m.Identifier)
+	dst = binary.AppendVarint(dst, int64(m.Instance))
+	return appendBinString(dst, m.Objective)
+}
+
+func appendBinSpawnPoolReply(dst []byte, m *SpawnPoolReply) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidSpawnPoolReply)
+	dst = appendBinString(dst, m.Instance)
+	return appendBinString(dst, m.Addr)
+}
+
+func appendBinHello(dst []byte, m *Hello) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidHello)
+	return appendBinStrings(dst, m.Codecs)
+}
+
+func appendBinHelloAck(dst []byte, m *HelloAck) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidHelloAck)
+	return appendBinString(dst, m.Codec)
+}
+
+func appendBinEmpty(dst []byte, pid uint64) []byte {
+	dst = append(dst, binPayloadTyped)
+	return binary.AppendUvarint(dst, pid)
+}
+
+func appendBinLease(dst []byte, l pool.Lease) []byte {
+	dst = appendBinString(dst, l.ID)
+	dst = appendBinString(dst, l.Machine)
+	dst = appendBinString(dst, l.Addr)
+	dst = binary.AppendVarint(dst, int64(l.ExecUnitPort))
+	dst = binary.AppendVarint(dst, int64(l.MountMgrPort))
+	dst = appendBinString(dst, l.AccessKey)
+	dst = appendBinString(dst, l.Pool)
+	return appendBinTime(dst, l.Granted)
+}
+
+func readBinLease(cur *binCursor) pool.Lease {
+	var l pool.Lease
+	l.ID = cur.string()
+	l.Machine = cur.string()
+	l.Addr = cur.string()
+	l.ExecUnitPort = int(cur.varint())
+	l.MountMgrPort = int(cur.varint())
+	l.AccessKey = cur.string()
+	l.Pool = cur.string()
+	l.Granted = cur.time()
+	return l
+}
+
+func appendBinAccount(dst []byte, a shadow.Account) []byte {
+	dst = appendBinString(dst, a.Machine)
+	dst = appendBinString(dst, a.User)
+	return binary.AppendVarint(dst, int64(a.UID))
+}
+
+func readBinAccount(cur *binCursor) shadow.Account {
+	var a shadow.Account
+	a.Machine = cur.string()
+	a.User = cur.string()
+	a.UID = int(cur.varint())
+	return a
+}
+
+func appendBinString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBinStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendBinString(dst, s)
+	}
+	return dst
+}
+
+// appendBinTime encodes a presence byte plus UnixNano; the zero time has
+// no defined UnixNano, so it travels as the absent marker.
+func appendBinTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.AppendVarint(dst, t.UnixNano())
+}
+
+// binCursor walks a binary payload with latched errors and hard bounds
+// checks, so corrupt or hostile frames fail cleanly instead of panicking
+// or over-allocating.
+type binCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *binCursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *binCursor) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) == 0 {
+		c.fail("truncated payload: missing byte")
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *binCursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail("truncated payload: bad uvarint")
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *binCursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail("truncated payload: bad varint")
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *binCursor) string() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(len(c.b)) {
+		c.fail("truncated payload: string of %d bytes with %d left", n, len(c.b))
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *binCursor) strings() []string {
+	n := c.uvarint()
+	if c.err != nil {
+		return nil
+	}
+	// Every element costs at least one length byte, so a count past the
+	// remaining bytes is corrupt — reject before allocating.
+	if n > uint64(len(c.b)) {
+		c.fail("truncated payload: %d strings with %d bytes left", n, len(c.b))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n && c.err == nil; i++ {
+		out = append(out, c.string())
+	}
+	return out
+}
+
+func (c *binCursor) time() time.Time {
+	if c.byte() == 0 {
+		return time.Time{}
+	}
+	ns := c.varint()
+	if c.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func (c *binCursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("payload has %d trailing bytes", len(c.b))
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"net"
 	"sync"
 )
@@ -14,11 +15,43 @@ const DefaultWindow = 32
 // envelope; nil means the request produces no reply.
 type Handler func(*Envelope) *Envelope
 
-// ServeConn multiplexes one connection: a reader loop decodes frames and
-// hands each to a pool of `window` workers, and a single writer goroutine
-// drains the reply channel, so replies interleave out of order (the
-// envelope id correlates them) and a slow request never blocks service of
-// the requests queued behind it.
+// ServeOptions configures one connection's server side.
+type ServeOptions struct {
+	// Window is the in-flight request window; values below 1 serialize
+	// the connection (the pre-multiplexing behaviour).
+	Window int
+	// Codecs is the negotiation preference, best first (nil means
+	// DefaultCodecs). Offering only JSON pins every connection to JSON.
+	Codecs []Codec
+	// DisableNegotiation serves plain JSON and dispatches hellos to the
+	// handler like any other request — exactly how a pre-codec server
+	// behaves. Tests use it to prove new clients fall back cleanly.
+	DisableNegotiation bool
+}
+
+// ServeConn multiplexes one connection with the default codec preference;
+// see ServeConnOpts.
+func ServeConn(conn net.Conn, window int, handle Handler) error {
+	return ServeConnOpts(conn, ServeOptions{Window: window}, handle)
+}
+
+// outbound is one frame queued for the writer. switchTo, when set, is the
+// negotiated codec: the writer switches to it before encoding this frame
+// (the hello-ack itself travels in the chosen codec).
+type outbound struct {
+	env      *Envelope
+	switchTo Codec
+}
+
+// ServeConnOpts multiplexes one connection: a reader loop decodes frames
+// and hands each to a pool of `window` workers, and a single writer
+// goroutine drains the reply channel, so replies interleave out of order
+// (the envelope id correlates them) and a slow request never blocks
+// service of the requests queued behind it.
+//
+// If the first frame is a hello, the server answers with the best mutual
+// codec and both directions switch to it; any other first frame leaves the
+// connection on JSON, which is how pre-codec clients keep working.
 //
 // Backpressure is structural: when all workers are busy the reader blocks
 // handing off the next frame, so at most `window` requests execute
@@ -26,23 +59,28 @@ type Handler func(*Envelope) *Envelope
 // that, frames accumulate in the kernel socket buffer and TCP flow control
 // pushes back on the client.
 //
-// ServeConn returns when the connection fails or the peer closes it, after
-// all in-flight handlers finish; the returned error is the terminal read
-// or write failure (io.EOF for a clean peer close). It does not close
+// ServeConnOpts returns when the connection fails or the peer closes it,
+// after all in-flight handlers finish; the returned error is the terminal
+// read or write failure (io.EOF for a clean peer close). It does not close
 // conn; the caller owns its lifecycle.
-func ServeConn(conn net.Conn, window int, handle Handler) error {
+func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
+	window := opts.Window
 	if window < 1 {
 		window = 1
 	}
+	codecs := opts.Codecs
+	if codecs == nil {
+		codecs = DefaultCodecs()
+	}
 	work := make(chan *Envelope)
-	replies := make(chan *Envelope, window)
+	replies := make(chan outbound, window)
 	var workers sync.WaitGroup
 	spawned := 0
 	worker := func() {
 		defer workers.Done()
 		for env := range work {
 			if reply := handle(env); reply != nil {
-				replies <- reply
+				replies <- outbound{env: reply}
 			}
 		}
 	}
@@ -66,8 +104,19 @@ func ServeConn(conn net.Conn, window int, handle Handler) error {
 	var writeErr error
 	go func() {
 		defer close(writerDone)
-		for reply := range replies {
-			if err := WriteFrame(conn, reply); err != nil {
+		framer := NewFramer(JSON)
+		for out := range replies {
+			if out.switchTo != nil {
+				framer = NewFramer(out.switchTo)
+			}
+			err := framer.WriteFrame(conn, out.env)
+			if err != nil && preWire(err) && out.env.Type != TypeError {
+				// The reply failed to encode before any byte hit the wire:
+				// the connection is healthy, so degrade to an error reply
+				// for the same id instead of losing the correlation.
+				err = framer.WriteFrame(conn, ErrorEnvelope(out.env.ID, err))
+			}
+			if err != nil && !preWire(err) {
 				// The write side failed: close the connection so the
 				// reader unblocks, then keep draining so no worker ever
 				// blocks on the reply channel.
@@ -80,11 +129,29 @@ func ServeConn(conn net.Conn, window int, handle Handler) error {
 		}
 	}()
 	var readErr error
+	framer := NewFramer(JSON)
+	first := true
 	for {
-		env, err := ReadFrame(conn)
+		env, err := framer.ReadFrame(conn)
 		if err != nil {
 			readErr = err // peer went away or sent garbage
 			break
+		}
+		if first {
+			first = false
+			if !opts.DisableNegotiation && env.Type == TypeHello {
+				chosen := JSON
+				var h Hello
+				if env.Decode(&h) == nil {
+					chosen = pickCodec(codecs, h.Codecs)
+				}
+				// The ack is queued before any request is dispatched, so it
+				// is necessarily the first frame the writer sends.
+				ack := &Envelope{Type: TypeHelloAck, ID: env.ID, Msg: HelloAck{Codec: chosen.Name()}}
+				replies <- outbound{env: ack, switchTo: chosen}
+				framer = NewFramer(chosen)
+				continue
+			}
 		}
 		dispatch(env)
 	}
@@ -98,13 +165,15 @@ func ServeConn(conn net.Conn, window int, handle Handler) error {
 	return readErr
 }
 
+// preWire reports whether a write failure happened before any byte reached
+// the connection (encode failures, oversized frames): the connection is
+// still healthy and only the one message is lost.
+func preWire(err error) bool {
+	return errors.Is(err, ErrEncode) || errors.Is(err, ErrFrameTooLarge)
+}
+
 // ErrorEnvelope wraps a failure in an error-reply envelope correlated to
-// the failed request. A payload marshal failure degrades to a bare error
-// envelope rather than silencing the reply.
+// the failed request.
 func ErrorEnvelope(id uint64, err error) *Envelope {
-	env, marshalErr := NewEnvelope(TypeError, id, ErrorReply{Message: err.Error()})
-	if marshalErr != nil {
-		return &Envelope{Type: TypeError, ID: id}
-	}
-	return env
+	return &Envelope{Type: TypeError, ID: id, Msg: ErrorReply{Message: err.Error()}}
 }

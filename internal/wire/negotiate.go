@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// Codec negotiation is one round trip, spent once per connection:
+//
+//	client                                server
+//	  | -- hello {codecs: [binary,json]} -->|   (always JSON)
+//	  |<-- hello-ack {codec: binary} ------ |   (encoded in the chosen codec)
+//	  | ==== all further frames in the chosen codec ====
+//
+// The server picks the first codec of its own preference list the client
+// also offered, falling back to JSON. Either side that does not negotiate
+// keeps the whole connection on JSON: an old client's first frame is a
+// regular request (the server serves it and stays on JSON), and an old
+// server answers the hello with an unknown-type error envelope (the client
+// reads it as "no negotiation here" and stays on JSON). Mixed-version
+// fleets therefore interoperate, at worst on the JSON floor.
+
+// pickCodec returns the first of the server's preference list the client
+// also offers, falling back to JSON (always implicitly supported).
+func pickCodec(server []Codec, client []string) Codec {
+	for _, c := range server {
+		for _, name := range client {
+			if c.Name() == name {
+				return c
+			}
+		}
+	}
+	return JSON
+}
+
+// readFrameDetect reads one frame and decodes it by sniffing the codec
+// from the body's first byte: binary bodies open with a magic byte no JSON
+// document can start with. Only the handshake needs this — after it, each
+// side knows its connection's codec.
+func readFrameDetect(r io.Reader) (*Envelope, error) {
+	bp, body, err := readFrameBody(r)
+	if err != nil {
+		return nil, err
+	}
+	defer putReadBuf(bp)
+	codec := JSON
+	if body[0] == binMagic {
+		codec = Binary
+	}
+	env, err := codec.DecodeEnvelope(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	return env, nil
+}
+
+// negotiateClient advertises codecs on a fresh connection and returns the
+// codec the server picked. A server that predates negotiation answers the
+// hello with an error envelope; that downgrades the connection to JSON
+// rather than failing it.
+func negotiateClient(conn net.Conn, codecs []Codec) (Codec, error) {
+	hello := &Envelope{Type: TypeHello, Msg: Hello{Codecs: codecNames(codecs)}}
+	if err := jsonFramer.WriteFrame(conn, hello); err != nil {
+		return nil, err
+	}
+	reply, err := readFrameDetect(conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != TypeHelloAck {
+		return JSON, nil // old server: the hello bounced as an app-level reply
+	}
+	// From here the server HAS negotiated and already switched its side to
+	// the acked codec — silently "falling back" to JSON would desync the
+	// two ends, so a bad ack fails the connection instead.
+	var ack HelloAck
+	if err := reply.Decode(&ack); err != nil {
+		return nil, fmt.Errorf("bad hello-ack: %w", err)
+	}
+	for _, c := range codecs {
+		if c.Name() == ack.Codec {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("server picked codec %q, which was not offered", ack.Codec)
+}

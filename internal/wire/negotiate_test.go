@@ -1,0 +1,286 @@
+package wire
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// -wire-default-codec forces the package-default negotiation preference
+// for a whole test run, so CI can run the entire wire suite once per
+// codec:
+//
+//	go test -race ./internal/wire -wire-default-codec=binary
+//	go test -race ./internal/wire -wire-default-codec=json
+var defaultCodecFlag = flag.String("wire-default-codec", "",
+	"force the default codec preference for this test run: json or binary")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	switch *defaultCodecFlag {
+	case "":
+	case "json":
+		defaultCodecs = []Codec{JSON}
+	case "binary":
+		defaultCodecs = []Codec{Binary, JSON}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -wire-default-codec %q\n", *defaultCodecFlag)
+		os.Exit(2)
+	}
+	os.Exit(m.Run())
+}
+
+// startEchoServerOpts is startEchoServer with explicit serve options.
+func startEchoServerOpts(t *testing.T, opts ServeOptions) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var conns []net.Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				ServeConnOpts(conn, opts, func(env *Envelope) *Envelope {
+					var p echoPayload
+					if err := env.Decode(&p); err != nil {
+						return ErrorEnvelope(env.ID, err)
+					}
+					if p.Sleep > 0 {
+						time.Sleep(time.Duration(p.Sleep) * time.Millisecond)
+					}
+					reply, _ := NewEnvelope("echo", env.ID, p)
+					return reply
+				})
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	}
+}
+
+// echoDialer builds a client dial function for an echo server address.
+func echoDialer(addr string) DialFunc {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// checkEcho round-trips one uniquely-tokened call.
+func checkEcho(t *testing.T, c *Client, token string) {
+	t.Helper()
+	reply, err := c.Call("echo", echoPayload{Token: token})
+	if err != nil {
+		t.Fatalf("%s: %v", token, err)
+	}
+	var p echoPayload
+	if err := reply.Decode(&p); err != nil {
+		t.Fatalf("%s: %v", token, err)
+	}
+	if p.Token != token {
+		t.Fatalf("token = %q, want %q", p.Token, token)
+	}
+}
+
+// TestNegotiateBinary: both ends prefer binary, the connection lands on
+// binary, traffic flows.
+func TestNegotiateBinary(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{Binary, JSON}})
+	defer stop()
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, Codecs: []Codec{Binary, JSON}})
+	defer c.Close()
+	checkEcho(t, c, "hello-binary")
+	if got := c.CodecName(); got != "binary" {
+		t.Errorf("negotiated %q, want binary", got)
+	}
+}
+
+// TestNegotiateJSONOnlyServer: a server offering only JSON pulls a
+// binary-preferring client down to the floor.
+func TestNegotiateJSONOnlyServer(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{JSON}})
+	defer stop()
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, Codecs: []Codec{Binary, JSON}})
+	defer c.Close()
+	checkEcho(t, c, "hello-floor")
+	if got := c.CodecName(); got != "json" {
+		t.Errorf("negotiated %q, want json", got)
+	}
+}
+
+// TestNegotiateJSONOnlyClient: a JSON-only client gets JSON from a
+// binary-preferring server.
+func TestNegotiateJSONOnlyClient(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{Binary, JSON}})
+	defer stop()
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, Codecs: []Codec{JSON}})
+	defer c.Close()
+	checkEcho(t, c, "hello-json-client")
+	if got := c.CodecName(); got != "json" {
+		t.Errorf("negotiated %q, want json", got)
+	}
+}
+
+// TestFallbackOldServer is the mixed-fleet acceptance case: a negotiating
+// client against a server that predates codecs (simulated by disabling
+// negotiation, so the hello bounces as an unknown-type error). The client
+// must settle on JSON and every concurrent call must still correlate —
+// this runs under -race in CI.
+func TestFallbackOldServer(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 8, DisableNegotiation: true})
+	defer stop()
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, Codecs: []Codec{Binary, JSON}})
+	defer c.Close()
+
+	checkEcho(t, c, "fallback-first")
+	if got := c.CodecName(); got != "json" {
+		t.Fatalf("negotiated %q against an old server, want json", got)
+	}
+	const callers, calls = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				token := fmt.Sprintf("old-server-%d-%d", g, i)
+				reply, err := c.Call("echo", echoPayload{Token: token})
+				if err != nil {
+					t.Errorf("%s: %v", token, err)
+					return
+				}
+				var p echoPayload
+				if err := reply.Decode(&p); err != nil {
+					t.Errorf("%s: %v", token, err)
+					return
+				}
+				if p.Token != token {
+					t.Errorf("got %q, want %q", p.Token, token)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFallbackOldClient is the converse: a client that predates codecs
+// (no hello, plain JSON) against a negotiating server. Its first frame is
+// a regular request, which must be served, leaving the connection on
+// JSON.
+func TestFallbackOldClient(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{Binary, JSON}})
+	defer stop()
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, DisableNegotiation: true})
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		checkEcho(t, c, fmt.Sprintf("old-client-%d", i))
+	}
+	if got := c.CodecName(); got != "json" {
+		t.Errorf("old client speaks %q, want json", got)
+	}
+}
+
+// TestNegotiationSurvivesReconnect: the handshake reruns on every redial,
+// so a client that lost its binary connection negotiates binary again on
+// the next one.
+func TestNegotiationSurvivesReconnect(t *testing.T) {
+	addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{Binary, JSON}})
+	c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 2 * time.Second, Codecs: []Codec{Binary, JSON}})
+	defer c.Close()
+	checkEcho(t, c, "before-restart")
+	stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten %s: %v", addr, err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				ServeConnOpts(conn, ServeOptions{Window: 4, Codecs: []Codec{Binary, JSON}}, func(env *Envelope) *Envelope {
+					var p echoPayload
+					_ = env.Decode(&p)
+					reply, _ := NewEnvelope("echo", env.ID, p)
+					return reply
+				})
+			}()
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Call("echo", echoPayload{Token: "after"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := c.CodecName(); got != "binary" {
+		t.Errorf("reconnected on %q, want binary", got)
+	}
+}
+
+// TestOversizedCallIsolationPerCodec re-proves the oversized-call
+// isolation property on a negotiated connection for each codec: the
+// rejection precedes the wire, so sibling calls and the connection
+// survive.
+func TestOversizedCallIsolationPerCodec(t *testing.T) {
+	for _, name := range []string{"json", "binary"} {
+		t.Run(name, func(t *testing.T) {
+			codec, err := CodecByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr, stop := startEchoServerOpts(t, ServeOptions{Window: 4, Codecs: []Codec{codec}})
+			defer stop()
+			c := NewClientOpts(echoDialer(addr), ClientOptions{Timeout: 5 * time.Second, Codecs: []Codec{codec}})
+			defer c.Close()
+
+			checkEcho(t, c, "warm")
+			if got := c.CodecName(); got != name {
+				t.Fatalf("negotiated %q, want %q", got, name)
+			}
+			big := make([]byte, MaxFrame+1)
+			for i := range big {
+				big[i] = 'x'
+			}
+			_, err = c.Call("echo", echoPayload{Token: string(big)})
+			if err == nil || !preWire(err) {
+				t.Fatalf("oversized call err = %v, want a pre-wire rejection", err)
+			}
+			checkEcho(t, c, "after")
+		})
+	}
+}

@@ -1,18 +1,17 @@
 // Package wire defines the message protocol the pipeline stages use when
 // they are distributed across machines ("queries propagate from one stage
 // to the next via TCP or UDP", Section 6). Frames are 4-byte big-endian
-// length-prefixed JSON envelopes; each envelope carries a message type, a
-// correlation id, and a typed payload.
+// length-prefixed envelope bodies; each envelope carries a message type, a
+// correlation id, and a typed payload. The body encoding is pluggable: a
+// Codec (JSON or the compact binary format) is negotiated per connection
+// by the hello/hello-ack handshake, and peers that never negotiate — old
+// builds, UDP datagrams — speak JSON, the compatibility floor.
 package wire
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"sync"
 
 	"actyp/internal/pool"
 	"actyp/internal/shadow"
@@ -22,9 +21,10 @@ import (
 // corrupt or hostile.
 const MaxFrame = 1 << 20
 
-// ErrFrameTooLarge is wrapped by WriteFrame when a frame exceeds MaxFrame.
-// The error precedes any bytes reaching the wire, so the connection is
-// still healthy — Client keeps it open and fails only the oversized call.
+// ErrFrameTooLarge is wrapped by a framer's WriteFrame when a frame
+// exceeds MaxFrame. The error precedes any bytes reaching the wire, so the
+// connection is still healthy — Client keeps it open and fails only the
+// oversized call.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 
 // Message types.
@@ -35,13 +35,39 @@ const (
 	TypePing      = "ping"       // empty -> empty (liveness)
 	TypeSpawnPool = "spawn-pool" // SpawnPoolRequest -> SpawnPoolReply (proxy server)
 	TypeError     = "error"      // ErrorReply (any request can fail)
+	TypeHello     = "hello"      // Hello -> HelloAck (codec negotiation, first frame only)
+	TypeHelloAck  = "hello-ack"  // negotiation answer, encoded in the chosen codec
 )
 
-// Envelope is the frame body.
+// Envelope is the frame body. On the write side the typed payload rides in
+// Msg and is encoded by the connection's codec when the frame is written;
+// on the read side Payload holds the raw payload bytes in the codec that
+// framed them, and Decode routes through that codec.
 type Envelope struct {
 	Type    string          `json:"type"`
 	ID      uint64          `json:"id"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// Msg is the typed payload awaiting encode. It is set by NewEnvelope
+	// and consumed by the framing codec; it never travels as-is.
+	Msg any `json:"-"`
+
+	// codec is the codec that produced Payload (nil for hand-built
+	// envelopes, which default to JSON).
+	codec Codec
+}
+
+// Hello is the client's codec advertisement, always sent as the first
+// frame of a connection and always encoded in JSON so any server can read
+// it. Codecs are listed in preference order.
+type Hello struct {
+	Codecs []string `json:"codecs"`
+}
+
+// HelloAck is the server's answer: the codec it picked, encoded in that
+// codec (the client sniffs the body's first byte to read it).
+type HelloAck struct {
+	Codec string `json:"codec"`
 }
 
 // QueryRequest submits a (possibly composite) query in a named language.
@@ -101,106 +127,26 @@ type ErrorReply struct {
 	Message string `json:"message"`
 }
 
-// pooledBuf bounds how large a pooled codec buffer may grow before it is
-// dropped instead of recycled, so one oversized frame cannot pin memory.
-const pooledBuf = 64 << 10
-
-// frameEncoder pairs a reusable buffer with a JSON encoder targeting it,
-// so the frame hot path re-serializes without per-call allocations.
-type frameEncoder struct {
-	buf bytes.Buffer
-	enc *json.Encoder
-}
-
-var encPool = sync.Pool{New: func() any {
-	fe := &frameEncoder{}
-	fe.enc = json.NewEncoder(&fe.buf)
-	return fe
-}}
-
-var readPool = sync.Pool{New: func() any {
-	b := make([]byte, 4096)
-	return &b
-}}
-
-// WriteFrame marshals the envelope and writes one length-prefixed frame.
-// Header and body go out in a single Write from a pooled buffer, so frames
-// from interleaved writers stay atomic per call and the hot path does not
-// allocate.
-func WriteFrame(w io.Writer, env *Envelope) error {
-	fe := encPool.Get().(*frameEncoder)
-	defer func() {
-		if fe.buf.Cap() <= pooledBuf {
-			encPool.Put(fe)
-		}
-	}()
-	fe.buf.Reset()
-	fe.buf.Write([]byte{0, 0, 0, 0}) // length prefix, patched below
-	if err := fe.enc.Encode(env); err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
-	}
-	frame := fe.buf.Bytes()
-	body := len(frame) - 4 // includes the encoder's trailing newline (JSON whitespace)
-	if body > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes: %w", body, ErrFrameTooLarge)
-	}
-	binary.BigEndian.PutUint32(frame[:4], uint32(body))
-	if _, err := w.Write(frame); err != nil {
-		return fmt.Errorf("wire: write frame: %w", err)
-	}
-	return nil
-}
-
-// ReadFrame reads one length-prefixed frame and unmarshals the envelope.
-// The body is read into a pooled buffer; json.RawMessage copies the
-// payload out during unmarshal, so recycling the buffer is safe.
-func ReadFrame(r io.Reader) (*Envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF signals a clean close
-	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n == 0 || n > MaxFrame {
-		return nil, fmt.Errorf("wire: bad frame length %d", n)
-	}
-	bp := readPool.Get().(*[]byte)
-	if cap(*bp) < n {
-		*bp = make([]byte, n)
-	}
-	body := (*bp)[:n]
-	defer func() {
-		if cap(*bp) <= pooledBuf {
-			readPool.Put(bp)
-		}
-	}()
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("wire: read body: %w", err)
-	}
-	var env Envelope
-	if err := json.Unmarshal(body, &env); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal: %w", err)
-	}
-	if env.Type == "" {
-		return nil, fmt.Errorf("wire: envelope without type")
-	}
-	return &env, nil
-}
-
-// NewEnvelope marshals a payload into a typed envelope.
+// NewEnvelope wraps a payload in a typed envelope. The payload is encoded
+// lazily, by the codec of the connection that frames the envelope, so
+// marshal failures surface from the framer's write (wrapped in ErrEncode)
+// rather than here; the error return is kept for call-site compatibility
+// and is always nil.
 func NewEnvelope(typ string, id uint64, payload any) (*Envelope, error) {
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		return nil, fmt.Errorf("wire: marshal %s payload: %w", typ, err)
-	}
-	return &Envelope{Type: typ, ID: id, Payload: raw}, nil
+	return &Envelope{Type: typ, ID: id, Msg: payload}, nil
 }
 
-// Decode unmarshals the envelope payload into out.
+// Decode unmarshals the envelope payload into out, using the codec that
+// framed the envelope (JSON for hand-built or datagram envelopes).
 func (e *Envelope) Decode(out any) error {
 	if len(e.Payload) == 0 {
 		return fmt.Errorf("wire: %s envelope has no payload", e.Type)
 	}
-	if err := json.Unmarshal(e.Payload, out); err != nil {
+	c := e.codec
+	if c == nil {
+		c = JSON
+	}
+	if err := c.DecodePayload(e.Payload, out); err != nil {
 		return fmt.Errorf("wire: decode %s payload: %w", e.Type, err)
 	}
 	return nil
