@@ -31,11 +31,12 @@ import (
 var jsonDir string
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
 	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	poolEngine := flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; ScanCost figures stay on oracle)")
+	refreshMode := flag.String("refresh-mode", "", "pool freshness mode for the figure experiments: events or poll (the refresh figure sweeps both regardless)")
 	wireCodec := flag.String("wire-codec", "", "wire codec preference for the transport figure: auto, binary or json (the codec figure sweeps both regardless)")
 	jsonOut := flag.String("json", "", "also write BENCH_<figure>.json files into this directory")
 	flag.Parse()
@@ -44,6 +45,9 @@ func main() {
 		log.Fatalf("actyp-bench: %v", err)
 	}
 	if err := experiments.UsePoolEngine(*poolEngine); err != nil {
+		log.Fatalf("actyp-bench: %v", err)
+	}
+	if err := experiments.UseRefreshMode(*refreshMode); err != nil {
 		log.Fatalf("actyp-bench: %v", err)
 	}
 	if err := experiments.UseWireCodec(*wireCodec); err != nil {
@@ -73,6 +77,7 @@ func main() {
 	run("pipeline", figPipeline)
 	run("transport", figTransport)
 	run("codec", figCodec)
+	run("refresh", figRefresh)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -169,6 +174,23 @@ func figCodec(quick bool) error {
 	}
 	return emit("codec_frames", "Codec: encode+decode round trips vs request payload size, per wire codec",
 		"payload pad (bytes)", "frames/s", frames)
+}
+
+// figRefresh sweeps allocate-latency p99 under sustained monitor sweeps
+// across fleet sizes, comparing poll-mode full cache rebuilds against the
+// event-driven incremental refresh.
+func figRefresh(quick bool) error {
+	cfg := experiments.DefaultRefreshScale()
+	if quick {
+		cfg.Sizes = []int{1000, 5000}
+		cfg.OpsPerClient = 25
+	}
+	series, err := experiments.RefreshScale(cfg)
+	if err != nil {
+		return err
+	}
+	return emit("refresh", "Refresh: allocate p99 under sustained monitor sweeps, per freshness mode",
+		"machines", "p99 op (s)", series)
 }
 
 func fig4(quick bool) error {

@@ -37,28 +37,30 @@ import (
 
 // daemonConfig carries every flag into run.
 type daemonConfig struct {
-	addr       string
-	machines   int
-	dbPath     string
-	profile    string
-	scanCost   time.Duration
-	qms, pms   int
-	objective  string
-	monitor    time.Duration
-	warm       int
-	firstMatch bool
-	leaseTTL   time.Duration
-	regBackend string
-	regShards  int
-	poolEngine string
-	connWindow int
-	wireCodec  string
-	udpAddr    string
-	udpWindow  int
-	stageAddr  string
-	stageWin   int
-	proxyAddr  string
-	proxyWin   int
+	addr        string
+	machines    int
+	dbPath      string
+	profile     string
+	scanCost    time.Duration
+	qms, pms    int
+	objective   string
+	monitor     time.Duration
+	warm        int
+	firstMatch  bool
+	leaseTTL    time.Duration
+	regBackend  string
+	regShards   int
+	poolEngine  string
+	refreshMode string
+	connWindow  int
+	wireCodec   string
+	udpAddr     string
+	udpWindow   int
+	udpSockets  int
+	stageAddr   string
+	stageWin    int
+	proxyAddr   string
+	proxyWin    int
 }
 
 func main() {
@@ -78,10 +80,12 @@ func main() {
 	flag.StringVar(&cfg.regBackend, "registry-backend", registry.BackendSharded, "white-pages storage engine: sharded or locked")
 	flag.IntVar(&cfg.regShards, "registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	flag.StringVar(&cfg.poolEngine, "pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
+	flag.StringVar(&cfg.refreshMode, "refresh-mode", "", "pool freshness mode: events (registry change stream, default) or poll (timer-driven full refresh)")
 	flag.IntVar(&cfg.connWindow, "conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
 	flag.StringVar(&cfg.wireCodec, "wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, or a comma list")
 	flag.StringVar(&cfg.udpAddr, "udp-addr", "", "also serve the service over UDP on this address")
 	flag.IntVar(&cfg.udpWindow, "udp-window", wire.DefaultWindow, "UDP in-flight dispatch window (bounds datagram fan-out)")
+	flag.IntVar(&cfg.udpSockets, "udp-sockets", 0, "UDP reply socket pool size (0: GOMAXPROCS, capped at 16; 1: single shared socket)")
 	flag.StringVar(&cfg.stageAddr, "stage-addr", "", "also expose the first pool manager as a stage endpoint on this address")
 	flag.IntVar(&cfg.stageWin, "stage-window", wire.DefaultWindow, "stage endpoint per-connection in-flight window")
 	flag.StringVar(&cfg.proxyAddr, "proxy-addr", "", "also run a pool-spawning proxy server on this address")
@@ -127,6 +131,9 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 
+	if err := core.ValidateRefreshMode(cfg.refreshMode); err != nil {
+		return err
+	}
 	opts := core.Options{
 		DB:              db,
 		QueryManagers:   cfg.qms,
@@ -136,6 +143,7 @@ func run(cfg daemonConfig) error {
 		MonitorInterval: cfg.monitor,
 		LeaseTTL:        cfg.leaseTTL,
 		PoolEngine:      cfg.poolEngine,
+		RefreshMode:     cfg.refreshMode,
 	}
 	if cfg.firstMatch {
 		opts.Mode = querymgr.FirstMatch
@@ -145,6 +153,7 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	defer svc.Close()
+	log.Printf("actypd: pool freshness in %s mode", svc.RefreshMode())
 
 	if cfg.warm > 0 {
 		if err := svc.StripePools(cfg.warm); err != nil {
@@ -169,12 +178,15 @@ func run(cfg daemonConfig) error {
 		srv.Addr(), cfg.profile, cfg.connWindow, cfg.wireCodec)
 
 	if cfg.udpAddr != "" {
-		udp, err := core.ServeUDPWindow(svc, cfg.udpAddr, cfg.udpWindow)
+		if cfg.udpWindow < 1 {
+			cfg.udpWindow = -1 // any sub-1 flag value means serial, as it always did
+		}
+		udp, err := core.ServeUDPOpts(svc, cfg.udpAddr, core.UDPOptions{Window: cfg.udpWindow, Sockets: cfg.udpSockets})
 		if err != nil {
 			return err
 		}
 		defer udp.Close()
-		log.Printf("actypd: UDP endpoint on %s (window %d)", udp.Addr(), cfg.udpWindow)
+		log.Printf("actypd: UDP endpoint on %s (window %d, %d reply sockets)", udp.Addr(), cfg.udpWindow, udp.Sockets())
 	}
 	if cfg.stageAddr != "" {
 		pms := svc.PoolManagers()

@@ -76,6 +76,7 @@ func (s *Service) SplitPool(criteria string, k int) error {
 			Members:   members,
 			ScanCost:  s.opts.ScanCost,
 			Engine:    s.opts.PoolEngine,
+			Events:    s.events, // children subscribe; the parent's Close unsubscribes it
 		})
 		if err != nil {
 			for _, c := range children {
@@ -136,6 +137,7 @@ func (s *Service) ReplicatePool(criteria string, replicas int) error {
 			Members:   members,
 			ScanCost:  s.opts.ScanCost,
 			Engine:    s.opts.PoolEngine,
+			Events:    s.events, // replicas subscribe; the parent's Close unsubscribes it
 		})
 		if err != nil {
 			for _, r := range made {

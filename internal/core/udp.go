@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"actyp/internal/wire"
@@ -16,28 +18,55 @@ import (
 // datagrams carry no per-connection negotiation state, so they stay on the
 // codec floor). Requests larger than a datagram or replies lost in flight
 // are the client's problem, exactly as with the paper's UDP stages.
+//
+// Replies are sharded round-robin across a small pool of sockets: the Go
+// runtime serializes writes per file descriptor, so under a flood of
+// concurrent handlers one reply socket becomes the write-side bottleneck.
+// Clients must therefore correlate replies by envelope id, not by source
+// port (UDPClient does; see its doc for the NAT caveat).
 type UDPServer struct {
-	svc  *Service
-	conn *net.UDPConn
-	sem  chan struct{} // in-flight dispatch window
-	wg   sync.WaitGroup
+	svc     *Service
+	conn    *net.UDPConn   // request socket, also replies[0]
+	replies []*net.UDPConn // reply socket pool, round-robin
+	next    atomic.Uint64
+	sem     chan struct{} // in-flight dispatch window
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0")
-// with the default in-flight dispatch window.
-func ServeUDP(svc *Service, addr string) (*UDPServer, error) {
-	return ServeUDPWindow(svc, addr, wire.DefaultWindow)
+// UDPOptions tunes a UDP endpoint.
+type UDPOptions struct {
+	// Window is the in-flight dispatch window: at most this many datagrams
+	// are served concurrently. Beyond it the read loop stops draining the
+	// socket, so a flood backs up into the kernel buffer and drops there.
+	// Zero means wire.DefaultWindow; negative (or explicit 1) serializes
+	// dispatch.
+	Window int
+	// Sockets sizes the reply socket pool (the request socket is member
+	// zero). Zero picks GOMAXPROCS, capped at 16; one restores the single
+	// shared-socket behaviour.
+	Sockets int
 }
 
-// ServeUDPWindow is ServeUDP with an explicit in-flight dispatch window:
-// at most `window` datagrams are being served concurrently (values below 1
-// serialize dispatch). Beyond it the read loop stops draining the socket,
-// so a datagram flood backs up into the kernel buffer and drops there —
-// the endpoint no longer spawns one goroutine per datagram without bound.
+// ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0")
+// with the default options.
+func ServeUDP(svc *Service, addr string) (*UDPServer, error) {
+	return ServeUDPOpts(svc, addr, UDPOptions{})
+}
+
+// ServeUDPWindow is ServeUDP with an explicit in-flight dispatch window
+// (values below 1 serialize dispatch, as they always did here).
 func ServeUDPWindow(svc *Service, addr string, window int) (*UDPServer, error) {
+	if window < 1 {
+		window = -1 // sub-1 means serial; UDPOptions treats 0 as the default
+	}
+	return ServeUDPOpts(svc, addr, UDPOptions{Window: window})
+}
+
+// ServeUDPOpts is ServeUDP with explicit options.
+func ServeUDPOpts(svc *Service, addr string, opts UDPOptions) (*UDPServer, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: resolve %s: %w", addr, err)
@@ -46,14 +75,37 @@ func ServeUDPWindow(svc *Service, addr string, window int) (*UDPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: listen udp %s: %w", addr, err)
 	}
-	if window < 1 {
-		window = 1
+	if opts.Window == 0 {
+		opts.Window = wire.DefaultWindow
 	}
-	s := &UDPServer{svc: svc, conn: conn, sem: make(chan struct{}, window)}
+	if opts.Window < 1 {
+		opts.Window = 1
+	}
+	if opts.Sockets <= 0 {
+		opts.Sockets = min(runtime.GOMAXPROCS(0), 16)
+	}
+	s := &UDPServer{svc: svc, conn: conn, sem: make(chan struct{}, opts.Window)}
+	s.replies = append(s.replies, conn)
+	for len(s.replies) < opts.Sockets {
+		// Extra reply sockets bind the same interface on ephemeral ports;
+		// replies from them carry a different source port, which is why
+		// clients correlate by envelope id.
+		rc, err := net.ListenUDP("udp", &net.UDPAddr{IP: udpAddr.IP})
+		if err != nil {
+			for _, c := range s.replies {
+				_ = c.Close()
+			}
+			return nil, fmt.Errorf("core: udp reply socket: %w", err)
+		}
+		s.replies = append(s.replies, rc)
+	}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
 }
+
+// Sockets reports the reply socket pool size (observability and tests).
+func (s *UDPServer) Sockets() int { return len(s.replies) }
 
 // Addr returns the endpoint address.
 func (s *UDPServer) Addr() string { return s.conn.LocalAddr().String() }
@@ -67,7 +119,9 @@ func (s *UDPServer) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	_ = s.conn.Close()
+	for _, c := range s.replies {
+		_ = c.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -103,15 +157,26 @@ func (s *UDPServer) loop() {
 			if err != nil {
 				return
 			}
-			_, _ = s.conn.WriteToUDP(raw, from)
+			// Round-robin across the reply pool: per-fd write locks stop
+			// being the choke point under concurrent handlers.
+			sock := s.replies[s.next.Add(1)%uint64(len(s.replies))]
+			_, _ = sock.WriteToUDP(raw, from)
 		}(env, from)
 	}
 }
 
 // UDPClient is the datagram counterpart of Client. Lost datagrams surface
 // as timeouts; the caller retries (queries are idempotent until granted).
+//
+// The socket is deliberately unconnected: the server shards replies across
+// a socket pool, so a reply's source port need not match the port the
+// request went to, and a connected socket's kernel filter would drop it.
+// Replies are correlated by envelope id instead. (A NAT that keys on the
+// full 4-tuple would also drop such replies — the paper's UDP stages, like
+// this one, assume LAN-grade reachability.)
 type UDPClient struct {
 	conn    *net.UDPConn
+	server  *net.UDPAddr
 	timeout time.Duration
 	nextID  uint64
 }
@@ -122,14 +187,14 @@ func DialUDP(addr string, timeout time.Duration) (*UDPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialUDP("udp", nil, udpAddr)
+	conn, err := net.ListenUDP("udp", nil)
 	if err != nil {
 		return nil, err
 	}
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	return &UDPClient{conn: conn, timeout: timeout}, nil
+	return &UDPClient{conn: conn, server: udpAddr, timeout: timeout}, nil
 }
 
 // Close drops the socket.
@@ -205,7 +270,7 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.conn.Write(raw); err != nil {
+	if _, err := c.conn.WriteToUDP(raw, c.server); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 64*1024)
@@ -214,7 +279,7 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return nil, err
 		}
-		n, err := c.conn.Read(buf)
+		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: udp read: %w", err)
 		}

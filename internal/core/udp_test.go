@@ -1,11 +1,13 @@
 package core
 
 import (
+	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"actyp/internal/registry"
+	"actyp/internal/wire"
 )
 
 func startUDP(t *testing.T, n int) (*UDPServer, *UDPClient) {
@@ -180,6 +182,82 @@ func TestUDPCompositeQuery(t *testing.T) {
 	}
 	if g.Fragments != 2 {
 		t.Errorf("fragments = %d", g.Fragments)
+	}
+	if err := client.Release(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPReplySocketPool: with a sharded reply pool, sequential pings
+// round-robin across sockets, so replies arrive from more than one source
+// port — which the unconnected, id-correlating client must accept.
+func TestUDPReplySocketPool(t *testing.T) {
+	db := registry.NewDB()
+	if err := registry.DefaultFleetSpec(8).Populate(db, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv, err := ServeUDPOpts(svc, "127.0.0.1:0", UDPOptions{Sockets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Sockets() != 4 {
+		t.Fatalf("Sockets() = %d, want 4", srv.Sockets())
+	}
+
+	serverAddr, err := net.ResolveUDPAddr("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ports := map[int]bool{}
+	buf := make([]byte, 64*1024)
+	for i := 1; i <= 8; i++ {
+		raw, err := wire.EncodeDatagram(&wire.Envelope{Type: wire.TypePing, ID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.WriteToUDP(raw, serverAddr); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := wire.DecodeDatagram(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Type != wire.TypePing || reply.ID != uint64(i) {
+			t.Fatalf("reply %d = %s/%d", i, reply.Type, reply.ID)
+		}
+		ports[from.Port] = true
+	}
+	if len(ports) < 2 {
+		t.Errorf("8 replies all came from %d source port(s); the pool is not sharding", len(ports))
+	}
+
+	// The stock client flow keeps working against a sharded server.
+	client, err := DialUDP(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	g, err := client.Request("punch.rsrc.arch = sun")
+	if err != nil {
+		t.Fatal(err)
 	}
 	if err := client.Release(g); err != nil {
 		t.Fatal(err)

@@ -22,12 +22,12 @@ import (
 // through each codec's encode+decode round trip at the same payload
 // sizes.
 type CodecConfig struct {
-	Machines     int    // fleet size behind the service
+	Machines     int      // fleet size behind the service
 	Codecs       []string // codec names to sweep (x series)
-	PayloadBytes []int  // request padding sizes (x axis)
-	Clients      int    // concurrent callers sharing ONE connection
-	OpsPerClient int    // measured Request+Release cycles per caller per point
-	FrameIters   int    // encode/decode round trips per point in the frames sweep
+	PayloadBytes []int    // request padding sizes (x axis)
+	Clients      int      // concurrent callers sharing ONE connection
+	OpsPerClient int      // measured Request+Release cycles per caller per point
+	FrameIters   int      // encode/decode round trips per point in the frames sweep
 	Profile      netsim.Profile
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/core"
+)
+
+// TestRefreshScaleSmoke runs a miniature sweep through the full driver:
+// both modes, two sizes, real monitor sweeps underneath.
+func TestRefreshScaleSmoke(t *testing.T) {
+	cfg := RefreshScaleConfig{
+		Sizes:        []int{200, 400},
+		Modes:        []string{core.RefreshPoll, core.RefreshEvents},
+		Clients:      4,
+		OpsPerClient: 5,
+		PollInterval: time.Millisecond,
+	}
+	series, err := RefreshScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(cfg.Sizes) {
+			t.Errorf("series %s has %d points, want %d", s.Label, len(s.Points), len(cfg.Sizes))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("series %s point %v has non-positive p99", s.Label, p)
+			}
+		}
+	}
+}
+
+func TestUseRefreshModeValidates(t *testing.T) {
+	if err := UseRefreshMode("bogus"); err == nil {
+		t.Fatal("bogus refresh mode accepted")
+	}
+	if err := UseRefreshMode(core.RefreshEvents); err != nil {
+		t.Fatal(err)
+	}
+	if got := RefreshMode(); got != core.RefreshEvents {
+		t.Fatalf("RefreshMode() = %q", got)
+	}
+	t.Cleanup(func() {
+		if err := UseRefreshMode(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

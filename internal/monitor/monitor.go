@@ -109,6 +109,7 @@ type Monitor struct {
 	done   chan struct{}
 	mu     sync.Mutex
 	sweeps int
+	batch  []registry.DynamicUpdate // recycled across sweeps
 }
 
 // New creates a Monitor. DB and Sampler are required.
@@ -124,11 +125,20 @@ func New(cfg Config) *Monitor {
 
 // Sweep performs one monitoring pass synchronously and returns the number
 // of machines refreshed. Machines that are down stay down; the staleness
-// policy can newly mark machines down.
+// policy can newly mark machines down. The samples are written through
+// UpdateDynamicBatch in one call, so a fleet-wide sweep costs the store
+// O(shards) lock acquisitions instead of one per machine — and the
+// registry change stream carries one coalesced event per machine either
+// way.
 func (m *Monitor) Sweep() int {
 	now := m.cfg.Now()
-	n := 0
 	var stale []string
+	// The update buffer is recycled across sweeps; a concurrent Sweep
+	// (tests drive them directly) simply allocates its own.
+	m.mu.Lock()
+	batch := m.batch[:0]
+	m.batch = nil
+	m.mu.Unlock()
 	m.cfg.DB.Walk(func(rec *registry.Machine) bool {
 		name := rec.Static.Name
 		if m.cfg.Staleness > 0 && rec.State == registry.StateUp &&
@@ -136,19 +146,21 @@ func (m *Monitor) Sweep() int {
 			stale = append(stale, name)
 			return true
 		}
-		next := m.cfg.Sampler.Sample(name, rec.Dynamic, now)
-		if err := m.cfg.DB.UpdateDynamic(name, next); err == nil {
-			n++
-		}
+		batch = append(batch, registry.DynamicUpdate{
+			Name:    name,
+			Dynamic: m.cfg.Sampler.Sample(name, rec.Dynamic, now),
+		})
 		return true
 	})
+	// Machines removed between the walk and the write are skipped by the
+	// batch (and by SetState below); that is not a failure of the sweep.
+	n := m.cfg.DB.UpdateDynamicBatch(batch)
 	for _, name := range stale {
-		// Ignore the error: the machine may have been removed between
-		// the walk and this write, which is not a failure of the sweep.
 		_ = m.cfg.DB.SetState(name, registry.StateDown)
 	}
 	m.mu.Lock()
 	m.sweeps++
+	m.batch = batch[:0]
 	m.mu.Unlock()
 	return n
 }

@@ -33,17 +33,20 @@ import (
 //
 // Lock order: the engine RWMutex is held in read mode for every lease
 // operation and in write mode only by Refresh (which rebuilds buckets
-// when monitor updates change gate attributes). Bucket mutexes and the
-// lease-table mutex are leaves: never is one taken while holding another.
+// wholesale, the resync fallback) and Apply (which folds registry change
+// events in bounded chunks, repositioning or re-bucketing only the
+// entries the events name). Bucket mutexes and the lease-table mutex are
+// leaves: never is one taken while holding another.
 // Entries mutate their candidate view only while exclusively held —
 // popped from a heap but not yet in the lease table, or removed from the
 // lease table but not yet pushed back.
 type indexedAlloc struct {
 	cfg engineConfig
 
-	rw      sync.RWMutex // write: Refresh rebuilds buckets; read: everything else
-	entries []*ientry    // cache order, immutable after construction
-	groups  []*igroup    // bucket list, rebuilt by Refresh, stable key order
+	rw      sync.RWMutex       // write: Refresh/Apply restructure buckets; read: everything else
+	entries []*ientry          // cache order, immutable after construction
+	byName  map[string]*ientry // name -> entry, immutable after construction
+	groups  []*igroup          // bucket list, rebuilt by Refresh, sorted key order
 
 	leaseMu sync.Mutex
 	leases  map[string]*ientry
@@ -61,6 +64,7 @@ type indexedAlloc struct {
 type ientry struct {
 	idx     int  // cache position: the oracle's scan order, used for tie-breaks
 	pref    bool // on this replica's preferred stride (idx%replicas == instance%replicas)
+	pos     int  // index in its bucket heap; -1 while leased or mid-claim
 	machine *registry.Machine
 	cand    schedule.Candidate
 	lease   string
@@ -109,15 +113,21 @@ func groupKey(m *registry.Machine) string {
 }
 
 func newIndexedAlloc(machines []*registry.Machine, cfg engineConfig) *indexedAlloc {
-	x := &indexedAlloc{cfg: cfg, leases: make(map[string]*ientry)}
+	x := &indexedAlloc{
+		cfg:    cfg,
+		leases: make(map[string]*ientry),
+		byName: make(map[string]*ientry, len(machines)),
+	}
 	for i, m := range machines {
 		e := &ientry{
 			idx:     i,
+			pos:     -1,
 			machine: m,
 			cand:    candidateOf(m),
 		}
 		e.pref = cfg.replicas <= 1 || i%cfg.replicas == cfg.instance%cfg.replicas
 		x.entries = append(x.entries, e)
+		x.byName[m.Static.Name] = e
 	}
 	x.free.Store(int64(len(x.entries)))
 	x.rebuildGroups()
@@ -142,6 +152,7 @@ func (x *indexedAlloc) rebuildGroups() {
 		}
 		e.grp = g
 		if e.lease != "" {
+			e.pos = -1
 			continue // leased entries rejoin a heap on release
 		}
 		if e.pref {
@@ -406,7 +417,9 @@ func (x *indexedAlloc) Reap(now time.Time) []string {
 }
 
 // Refresh implements Allocator. It runs exclusively: gate attributes may
-// have changed, so the bucket partition is rebuilt wholesale.
+// have changed, so the bucket partition is rebuilt wholesale. This is the
+// resync fallback of the event path; steady-state freshness flows through
+// Apply instead.
 func (x *indexedAlloc) Refresh(get func(name string) (*registry.Machine, error)) {
 	x.rw.Lock()
 	defer x.rw.Unlock()
@@ -421,6 +434,136 @@ func (x *indexedAlloc) Refresh(get func(name string) (*registry.Machine, error))
 	x.rebuildGroups()
 }
 
+// applyChunk bounds how many events one exclusive critical section folds:
+// a sustained event stream interleaves with allocations in short windows
+// instead of recreating the stop-the-world rebuild Apply exists to remove.
+const applyChunk = 256
+
+// Apply implements Allocator: the incremental counterpart of Refresh. Only
+// machines named by events are touched — a DynamicUpdated event carries its
+// new snapshot and costs one heap reposition (O(log bucket)); every other
+// kind re-reads the record through get and re-buckets the entry only when
+// its gate key actually changed. Events for machines outside the cache are
+// ignored, and a failing get keeps the last view, exactly as Refresh does.
+func (x *indexedAlloc) Apply(events []registry.Event, get func(name string) (*registry.Machine, error)) {
+	// Membership pre-filter, outside any lock: byName is immutable after
+	// construction, so a pool holding few of the fleet's machines pays
+	// exclusive-lock time for its own changes, not for every sweep event
+	// the dispatcher fans out. The shared batch is never mutated (other
+	// pools receive the same slice).
+	mine := 0
+	for _, ev := range events {
+		if _, ok := x.byName[ev.Name]; ok {
+			mine++
+		}
+	}
+	if mine == 0 {
+		return
+	}
+	if mine < len(events) {
+		filtered := make([]registry.Event, 0, mine)
+		for _, ev := range events {
+			if _, ok := x.byName[ev.Name]; ok {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+	}
+	for len(events) > 0 {
+		n := min(applyChunk, len(events))
+		x.applyBatch(events[:n], get)
+		events = events[n:]
+	}
+}
+
+func (x *indexedAlloc) applyBatch(events []registry.Event, get func(name string) (*registry.Machine, error)) {
+	x.rw.Lock()
+	defer x.rw.Unlock()
+	// Under the exclusive lock no claim is in flight, so every entry is
+	// either in its bucket heap (pos >= 0) or in the lease table.
+	for _, ev := range events {
+		e, ok := x.byName[ev.Name]
+		if !ok {
+			continue // not a member of this pool
+		}
+		if ev.Kind == registry.EventDynamicUpdated {
+			// The event carries the whole update: no database read. The old
+			// record may still be held by a caller that just allocated it,
+			// so it is never mutated in place — clone-and-swap, shallowly
+			// (Policy slices are immutable once loaded).
+			m := *e.machine
+			m.Dynamic = ev.Dynamic
+			e.machine = &m
+			x.reposition(e)
+			continue
+		}
+		m, err := get(ev.Name)
+		if err != nil {
+			continue // machine unregistered; keep last view
+		}
+		e.machine = m
+		x.rebucket(e, m)
+	}
+}
+
+// reposition folds the entry's refreshed record into its candidate view
+// and restores heap order around it (leased entries re-sort on release).
+func (x *indexedAlloc) reposition(e *ientry) {
+	refreshCandidate(&e.cand, e.machine)
+	if e.pos >= 0 {
+		x.heapOf(e).fix(x, e.pos)
+	}
+}
+
+// rebucket is reposition plus gate maintenance: when the refreshed record's
+// gate key changed, the entry moves to its new bucket (created and inserted
+// in key order if unseen; buckets emptied this way linger harmlessly until
+// the next full Refresh sweeps them).
+func (x *indexedAlloc) rebucket(e *ientry, m *registry.Machine) {
+	refreshCandidate(&e.cand, m)
+	key := groupKey(m)
+	if key == e.grp.key {
+		if e.pos >= 0 {
+			x.heapOf(e).fix(x, e.pos)
+		}
+		return
+	}
+	if e.pos >= 0 {
+		x.heapOf(e).remove(x, e.pos)
+	}
+	e.grp = x.groupFor(key, m)
+	if e.lease == "" {
+		x.heapOf(e).push(x, e)
+	}
+}
+
+// heapOf returns the heap the entry belongs to inside its bucket.
+func (x *indexedAlloc) heapOf(e *ientry) *iheap {
+	if e.pref {
+		return &e.grp.pref
+	}
+	return &e.grp.other
+}
+
+// groupFor finds (or creates, preserving sorted key order) the bucket for
+// a gate key. The caller holds rw exclusively.
+func (x *indexedAlloc) groupFor(key string, m *registry.Machine) *igroup {
+	i := sort.Search(len(x.groups), func(i int) bool { return x.groups[i].key >= key })
+	if i < len(x.groups) && x.groups[i].key == key {
+		return x.groups[i]
+	}
+	g := &igroup{
+		key:        key,
+		userGroups: m.Policy.UserGroups,
+		toolGroups: m.Policy.ToolGroups,
+		policyRef:  m.Policy.UsagePolicy,
+	}
+	x.groups = append(x.groups, nil)
+	copy(x.groups[i+1:], x.groups[i:])
+	x.groups[i] = g
+	return g
+}
+
 // Stats implements Allocator. Scanned counts heap pops, not full-cache
 // passes: with every machine eligible it stays near one per allocation,
 // which is the point.
@@ -429,8 +572,9 @@ func (x *indexedAlloc) Stats() (allocs, misses int, scanned int64) {
 }
 
 // iheap is a binary min-heap of free entries under the engine's total
-// order. Entries leave only via pop (claims take the minimum), so no
-// arbitrary removal or position tracking is needed.
+// order. Each resident entry tracks its index (ientry.pos), so Apply can
+// reposition or remove an arbitrary entry in O(log n) when a change event
+// reorders or re-buckets it; entries outside any heap carry pos == -1.
 type iheap struct {
 	items []*ientry
 }
@@ -439,34 +583,76 @@ func (h *iheap) len() int { return len(h.items) }
 
 // init heapifies items in place.
 func (h *iheap) init(x *indexedAlloc) {
+	for i, e := range h.items {
+		e.pos = i
+	}
 	for i := len(h.items)/2 - 1; i >= 0; i-- {
 		h.siftDown(x, i)
 	}
 }
 
+func (h *iheap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].pos = i
+	h.items[j].pos = j
+}
+
 func (h *iheap) push(x *indexedAlloc, e *ientry) {
 	h.items = append(h.items, e)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !x.entryLess(h.items[i], h.items[parent]) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
+	e.pos = len(h.items) - 1
+	h.siftUp(x, e.pos)
 }
 
 func (h *iheap) pop(x *indexedAlloc) *ientry {
 	n := len(h.items)
 	top := h.items[0]
+	top.pos = -1
 	h.items[0] = h.items[n-1]
 	h.items[n-1] = nil
 	h.items = h.items[:n-1]
 	if len(h.items) > 0 {
+		h.items[0].pos = 0
 		h.siftDown(x, 0)
 	}
 	return top
+}
+
+// remove detaches the entry at index i, preserving heap order.
+func (h *iheap) remove(x *indexedAlloc, i int) *ientry {
+	e := h.items[i]
+	n := len(h.items) - 1
+	if i != n {
+		h.items[i] = h.items[n]
+		h.items[i].pos = i
+	}
+	h.items[n] = nil
+	h.items = h.items[:n]
+	e.pos = -1
+	if i < n {
+		h.fix(x, i)
+	}
+	return e
+}
+
+// fix restores heap order around index i after items[i]'s key changed in
+// place.
+func (h *iheap) fix(x *indexedAlloc, i int) {
+	e := h.items[i]
+	h.siftDown(x, i)
+	if e.pos == i {
+		h.siftUp(x, i)
+	}
+}
+
+func (h *iheap) siftUp(x *indexedAlloc, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.entryLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
 func (h *iheap) siftDown(x *indexedAlloc, i int) {
@@ -483,7 +669,7 @@ func (h *iheap) siftDown(x *indexedAlloc, i int) {
 		if smallest == i {
 			return
 		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		h.swap(i, smallest)
 		i = smallest
 	}
 }

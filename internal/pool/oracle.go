@@ -202,6 +202,17 @@ func (o *oracleAlloc) Refresh(get func(name string) (*registry.Machine, error)) 
 	}
 }
 
+// Apply implements Allocator as a full Refresh: the oracle stays
+// poll-based by design — its whole value is full-scan reference semantics
+// — so an event batch simply triggers the complete re-read the events are
+// guaranteed to be a subset of.
+func (o *oracleAlloc) Apply(events []registry.Event, get func(name string) (*registry.Machine, error)) {
+	if len(events) == 0 {
+		return
+	}
+	o.Refresh(get)
+}
+
 // Stats implements Allocator.
 func (o *oracleAlloc) Stats() (allocs, misses int, scanned int64) {
 	return int(o.allocs.Load()), int(o.misses.Load()), o.scanned.Load()

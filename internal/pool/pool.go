@@ -91,6 +91,11 @@ type Config struct {
 	// EngineIndexed. Empty picks the indexed engine unless ScanCost is
 	// set (see ScanCost).
 	Engine string
+	// Events, when non-nil, subscribes the new pool to the registry change
+	// stream the dispatcher drains: monitor updates then fold into the
+	// cache incrementally (Apply) instead of through timed full Refreshes.
+	// The pool unsubscribes itself on Close.
+	Events *Dispatcher
 }
 
 // Pool is a resource pool instance. The allocation state lives in the
@@ -106,6 +111,7 @@ type Pool struct {
 	excl     bool
 	clock    func() time.Time
 	engine   Allocator
+	events   *Dispatcher // non-nil: subscribed to the registry change stream
 	nextSeq  atomic.Int64
 
 	// life guards lifecycle and TTL policy only — never the allocation
@@ -195,6 +201,17 @@ func New(cfg Config) (*Pool, error) {
 		scanCost: cfg.ScanCost,
 		policies: cfg.Policies,
 	})
+	if cfg.Events != nil {
+		p.events = cfg.Events
+		p.events.Subscribe(p)
+		// The member snapshot above predates the subscription, so events
+		// dispatched in between never reached this pool — and unlike load
+		// updates, a state flap or param change in that window is one-shot
+		// and would stay stale forever. One full re-read after subscribing
+		// closes the gap: everything earlier lands here, everything later
+		// arrives as events.
+		p.engine.Refresh(cfg.DB.Get)
+	}
 	return p, nil
 }
 
@@ -301,11 +318,28 @@ func (p *Pool) Release(leaseID string) error {
 }
 
 // Refresh re-reads the dynamic fields of every cached machine from the
-// white pages. This is the scheduling process's periodic resorting input:
-// monitor updates land in the database and Refresh folds them into the
-// cache, preserving locally-accounted jobs.
+// white pages. This is the scheduling process's periodic resorting input
+// in poll mode — and the resync fallback of the event path: monitor
+// updates land in the database and Refresh folds them into the cache,
+// preserving locally-accounted jobs.
 func (p *Pool) Refresh() {
 	p.engine.Refresh(p.db.Get)
+}
+
+// Apply folds registry change events into the cache incrementally — the
+// event-driven counterpart of Refresh, driven by a Dispatcher. Only the
+// machines the events name are touched; events for non-members are
+// ignored.
+func (p *Pool) Apply(events []registry.Event) {
+	p.engine.Apply(events, p.db.Get)
+}
+
+// Closed reports whether the pool has shut down (dispatchers drop closed
+// pools lazily).
+func (p *Pool) Closed() bool {
+	p.life.RLock()
+	defer p.life.RUnlock()
+	return p.closed
 }
 
 // Split partitions the pool's members into k contiguous, nearly equal
@@ -347,6 +381,9 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.life.Unlock()
+	if p.events != nil {
+		p.events.Unsubscribe(p)
+	}
 	if p.excl {
 		p.db.Release(p.id, p.Members()...)
 	}

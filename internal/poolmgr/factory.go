@@ -40,6 +40,12 @@ type LocalFactory struct {
 	// Engine selects the allocation engine of created pools; see
 	// pool.Config.Engine.
 	Engine string
+	// Events, when non-nil, subscribes every created pool to the registry
+	// change stream for incremental refresh; pools unsubscribe themselves
+	// on Close, so the subscription follows the pool across the manager's
+	// whole create/close lifecycle (including race-loser closes). See
+	// pool.Config.Events.
+	Events *pool.Dispatcher
 
 	mu      sync.Mutex
 	created []*pool.Pool
@@ -66,6 +72,7 @@ func (f *LocalFactory) Create(name query.PoolName, instance int) (directory.Pool
 		Policies:    f.Policies,
 		LeaseTTL:    f.LeaseTTL,
 		Engine:      f.Engine,
+		Events:      f.Events,
 	})
 	if err != nil {
 		return directory.PoolRef{}, err

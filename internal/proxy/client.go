@@ -13,32 +13,27 @@ import (
 
 // Spawn asks the proxy server at addr to create a pool instance and
 // returns the new instance's id and allocation address. A spawn is a rare
-// one-shot exchange on a throwaway connection, so it skips codec
-// negotiation and speaks the JSON floor directly.
+// one-shot exchange on a throwaway connection; it piggybacks the request
+// on the codec hello, so the exchange negotiates properly and still costs
+// a single round trip (against a pre-negotiation server the call falls
+// back to the JSON floor automatically).
 func Spawn(addr string, req wire.SpawnPoolRequest, profile netsim.Profile) (*wire.SpawnPoolReply, error) {
 	conn, err := (netsim.Dialer{Profile: profile}).Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	framer := wire.NewFramer(wire.JSON)
 	env, err := wire.NewEnvelope(wire.TypeSpawnPool, 1, req)
 	if err != nil {
 		return nil, err
 	}
-	if err := framer.WriteFrame(conn, env); err != nil {
-		return nil, err
-	}
-	reply, err := framer.ReadFrame(conn)
+	reply, err := wire.CallPiggyback(conn, nil, env)
 	if err != nil {
-		return nil, err
-	}
-	if reply.Type == wire.TypeError {
-		var e wire.ErrorReply
-		if err := reply.Decode(&e); err != nil {
-			return nil, err
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return nil, fmt.Errorf("proxy: spawn: %s", remote.Message)
 		}
-		return nil, fmt.Errorf("proxy: spawn: %s", e.Message)
+		return nil, err
 	}
 	var sp wire.SpawnPoolReply
 	if err := reply.Decode(&sp); err != nil {

@@ -36,6 +36,11 @@ type Backend interface {
 	SetState(name string, s State) error
 	// UpdateDynamic overwrites the monitor-maintained fields 2–7 as a unit.
 	UpdateDynamic(name string, d Dynamic) error
+	// UpdateDynamicBatch applies many dynamic updates in one call,
+	// amortizing lock acquisitions (the sharded engine locks each shard
+	// once per batch instead of once per machine). Unknown machines are
+	// skipped; it returns how many records were updated.
+	UpdateDynamicBatch(updates []DynamicUpdate) int
 	// SetParam sets one administrator-defined parameter (field 20).
 	SetParam(name, key string, attr query.Attr) error
 	// Walk calls fn for every machine in name order, stopping early if fn
@@ -62,6 +67,11 @@ type Backend interface {
 	// Load replaces the database contents with the JSON snapshot read
 	// from r.
 	Load(r io.Reader) error
+	// Watch subscribes to the change stream: every mutation the backend
+	// commits is published as a typed Event through a bounded, coalescing
+	// per-subscriber ring that degrades to a resync marker on overflow
+	// instead of ever blocking a writer. See watch.go for the contract.
+	Watch(buffer int) *Subscription
 }
 
 // Backend kind names accepted by OpenBackend and the daemons' flags.

@@ -19,6 +19,10 @@ import (
 type Locked struct {
 	mu       sync.RWMutex
 	machines map[string]*Machine
+
+	// watchHub implements Watch; mutators emit change events under the
+	// engine lock, exactly as the sharded engine does per shard.
+	watchHub
 }
 
 // NewLocked returns an empty single-lock backend.
@@ -39,6 +43,7 @@ func (db *Locked) Add(m *Machine) error {
 		return fmt.Errorf("registry: machine %q already registered", name)
 	}
 	db.machines[name] = m.Clone()
+	db.emit(Event{Kind: EventAdded, Name: name})
 	return nil
 }
 
@@ -50,6 +55,7 @@ func (db *Locked) Remove(name string) error {
 		return fmt.Errorf("registry: machine %q not registered", name)
 	}
 	delete(db.machines, name)
+	db.emit(Event{Kind: EventRemoved, Name: name})
 	return nil
 }
 
@@ -92,6 +98,7 @@ func (db *Locked) SetState(name string, s State) error {
 		return fmt.Errorf("registry: machine %q not registered", name)
 	}
 	m.State = s
+	db.emit(Event{Kind: EventStateSet, Name: name})
 	return nil
 }
 
@@ -105,7 +112,30 @@ func (db *Locked) UpdateDynamic(name string, d Dynamic) error {
 		return fmt.Errorf("registry: machine %q not registered", name)
 	}
 	m.Dynamic = d
+	db.emit(Event{Kind: EventDynamicUpdated, Name: name, Dynamic: d})
 	return nil
+}
+
+// UpdateDynamicBatch applies many dynamic updates under one lock
+// acquisition. Unknown machines are skipped; it returns how many records
+// were updated.
+func (db *Locked) UpdateDynamicBatch(updates []DynamicUpdate) int {
+	if len(updates) == 0 {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, u := range updates {
+		m, ok := db.machines[u.Name]
+		if !ok {
+			continue
+		}
+		m.Dynamic = u.Dynamic
+		db.emit(Event{Kind: EventDynamicUpdated, Name: u.Name, Dynamic: u.Dynamic})
+		n++
+	}
+	return n
 }
 
 // SetParam sets one administrator-defined parameter (field 20).
@@ -120,6 +150,7 @@ func (db *Locked) SetParam(name, key string, attr query.Attr) error {
 		m.Policy.Params = make(query.AttrSet)
 	}
 	m.Policy.Params[key] = attr
+	db.emit(Event{Kind: EventParamSet, Name: name})
 	return nil
 }
 
@@ -186,6 +217,7 @@ func (db *Locked) Take(q *query.Query, poolInstance string, limit int) []*Machin
 		}
 		m.TakenBy = poolInstance
 		out = append(out, m.Clone())
+		db.emit(Event{Kind: EventTaken, Name: n})
 	}
 	return out
 }
@@ -204,6 +236,7 @@ func (db *Locked) Release(poolInstance string, names ...string) int {
 		if m.TakenBy == poolInstance {
 			m.TakenBy = ""
 			n++
+			db.emit(Event{Kind: EventReleased, Name: name})
 		}
 	}
 	return n
@@ -215,10 +248,11 @@ func (db *Locked) ReleaseAll(poolInstance string) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	n := 0
-	for _, m := range db.machines {
+	for name, m := range db.machines {
 		if m.TakenBy == poolInstance {
 			m.TakenBy = ""
 			n++
+			db.emit(Event{Kind: EventReleased, Name: name})
 		}
 	}
 	return n
@@ -266,5 +300,8 @@ func (db *Locked) Load(r io.Reader) error {
 	db.mu.Lock()
 	db.machines = fresh
 	db.mu.Unlock()
+	// A wholesale replacement has no incremental description: subscribers
+	// get the resync marker and re-read.
+	db.emitResync()
 	return nil
 }

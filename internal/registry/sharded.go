@@ -32,6 +32,11 @@ import (
 type Sharded struct {
 	shards  []*shard
 	indexed map[string]bool
+
+	// watchHub implements Watch; mutators emit change events while holding
+	// the record's shard lock, so each machine's events are totally
+	// ordered. Subscriber rings never block a writer (see watch.go).
+	watchHub
 }
 
 type shard struct {
@@ -98,14 +103,18 @@ func newShard() *shard {
 // ShardCount reports the number of shards (observability and tests).
 func (s *Sharded) ShardCount() int { return len(s.shards) }
 
-// shardFor hashes a machine name to its shard (FNV-1a).
-func (s *Sharded) shardFor(name string) *shard {
+// shardIndex hashes a machine name to its shard index (FNV-1a).
+func (s *Sharded) shardIndex(name string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(name); i++ {
 		h ^= uint32(name[i])
 		h *= 16777619
 	}
-	return s.shards[h&uint32(len(s.shards)-1)]
+	return int(h & uint32(len(s.shards)-1))
+}
+
+func (s *Sharded) shardFor(name string) *shard {
+	return s.shards[s.shardIndex(name)]
 }
 
 // Add inserts a machine record. It fails if the record is invalid or a
@@ -122,6 +131,7 @@ func (s *Sharded) Add(m *Machine) error {
 		return fmt.Errorf("registry: machine %q already registered", name)
 	}
 	sh.insert(s.indexed, m.Clone())
+	s.emit(Event{Kind: EventAdded, Name: name})
 	return nil
 }
 
@@ -156,6 +166,7 @@ func (s *Sharded) Remove(name string) error {
 			sh.idx.remove(k, v, name)
 		}
 	}
+	s.emit(Event{Kind: EventRemoved, Name: name})
 	return nil
 }
 
@@ -206,6 +217,7 @@ func (s *Sharded) SetState(name string, st State) error {
 		return fmt.Errorf("registry: machine %q not registered", name)
 	}
 	m.State = st
+	s.emit(Event{Kind: EventStateSet, Name: name})
 	return nil
 }
 
@@ -221,7 +233,43 @@ func (s *Sharded) UpdateDynamic(name string, d Dynamic) error {
 		return fmt.Errorf("registry: machine %q not registered", name)
 	}
 	m.Dynamic = d
+	s.emit(Event{Kind: EventDynamicUpdated, Name: name, Dynamic: d})
 	return nil
+}
+
+// UpdateDynamicBatch applies many dynamic updates in one call, the
+// monitor's per-sweep entry point: updates are grouped by shard and each
+// shard's lock is taken once per batch, so a fleet-wide sweep costs
+// O(shards) lock acquisitions instead of O(machines). Unknown machines are
+// skipped; it returns how many records were updated.
+func (s *Sharded) UpdateDynamicBatch(updates []DynamicUpdate) int {
+	if len(updates) == 0 {
+		return 0
+	}
+	byShard := make([][]DynamicUpdate, len(s.shards))
+	for _, u := range updates {
+		i := s.shardIndex(u.Name)
+		byShard[i] = append(byShard[i], u)
+	}
+	n := 0
+	for i, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		for _, u := range batch {
+			m, ok := sh.machines[u.Name]
+			if !ok {
+				continue
+			}
+			m.Dynamic = u.Dynamic
+			s.emit(Event{Kind: EventDynamicUpdated, Name: u.Name, Dynamic: u.Dynamic})
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SetParam sets one administrator-defined parameter (field 20), keeping
@@ -244,6 +292,7 @@ func (s *Sharded) SetParam(name, key string, attr query.Attr) error {
 		sh.idx.add(key, attr, name)
 	}
 	m.Policy.Params[key] = attr
+	s.emit(Event{Kind: EventParamSet, Name: name})
 	return nil
 }
 
@@ -411,6 +460,7 @@ func (s *Sharded) Take(q *query.Query, poolInstance string, limit int) []*Machin
 			m.TakenBy = poolInstance
 			sh.free = removeSorted(sh.free, name)
 			out = append(out, m.Clone())
+			s.emit(Event{Kind: EventTaken, Name: name})
 		}
 		sh.mu.Unlock()
 	}
@@ -428,6 +478,7 @@ func (s *Sharded) Release(poolInstance string, names ...string) int {
 			m.TakenBy = ""
 			sh.free = insertSorted(sh.free, name)
 			n++
+			s.emit(Event{Kind: EventReleased, Name: name})
 		}
 		sh.mu.Unlock()
 	}
@@ -445,6 +496,7 @@ func (s *Sharded) ReleaseAll(poolInstance string) int {
 				m.TakenBy = ""
 				sh.free = insertSorted(sh.free, name)
 				n++
+				s.emit(Event{Kind: EventReleased, Name: name})
 			}
 		}
 		sh.mu.Unlock()
@@ -513,6 +565,9 @@ func (s *Sharded) Load(r io.Reader) error {
 	for _, sh := range s.shards {
 		sh.mu.Unlock()
 	}
+	// A wholesale replacement has no incremental description: subscribers
+	// get the resync marker and re-read.
+	s.emitResync()
 	return nil
 }
 

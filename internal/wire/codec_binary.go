@@ -256,10 +256,24 @@ func decodeBinTyped(b []byte, out any) error {
 	case *Hello:
 		if check(pidHello) {
 			v.Codecs = cur.strings()
+			if cur.byte() != 0 {
+				first := &HelloFirst{}
+				first.Type = cur.string()
+				first.ID = cur.uvarint()
+				first.Payload = cur.bytes()
+				if cur.err == nil {
+					v.First = first
+				}
+			}
 		}
 	case *HelloAck:
 		if check(pidHelloAck) {
 			v.Codec = cur.string()
+			// Optional trailing echo byte (see appendBinHelloAck): its
+			// absence means a pre-Hello.First peer.
+			if len(cur.b) > 0 {
+				v.First = cur.byte() != 0
+			}
 		}
 	default:
 		return fmt.Errorf("no binary decoder for %T", out)
@@ -370,13 +384,27 @@ func appendBinSpawnPoolReply(dst []byte, m *SpawnPoolReply) []byte {
 func appendBinHello(dst []byte, m *Hello) []byte {
 	dst = append(dst, binPayloadTyped)
 	dst = binary.AppendUvarint(dst, pidHello)
-	return appendBinStrings(dst, m.Codecs)
+	dst = appendBinStrings(dst, m.Codecs)
+	if m.First == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendBinString(dst, m.First.Type)
+	dst = binary.AppendUvarint(dst, m.First.ID)
+	return appendBinBytes(dst, m.First.Payload)
 }
 
 func appendBinHelloAck(dst []byte, m *HelloAck) []byte {
 	dst = append(dst, binPayloadTyped)
 	dst = binary.AppendUvarint(dst, pidHelloAck)
-	return appendBinString(dst, m.Codec)
+	dst = appendBinString(dst, m.Codec)
+	if m.First {
+		// Emitted only when echoing a piggybacked request — clients that
+		// never send Hello.First (all older builds) never see this byte,
+		// so their fixed-shape decoders keep working.
+		dst = append(dst, 1)
+	}
+	return dst
 }
 
 func appendBinEmpty(dst []byte, pid uint64) []byte {
@@ -425,6 +453,11 @@ func readBinAccount(cur *binCursor) shadow.Account {
 func appendBinString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+func appendBinBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
 }
 
 func appendBinStrings(dst []byte, ss []string) []byte {
@@ -510,6 +543,25 @@ func (c *binCursor) string() string {
 	s := string(c.b[:n])
 	c.b = c.b[n:]
 	return s
+}
+
+// bytes reads a length-prefixed byte string, copying it out of the pooled
+// read buffer. An empty string decodes as nil.
+func (c *binCursor) bytes() []byte {
+	n := c.uvarint()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.b)) {
+		c.fail("truncated payload: byte string of %d bytes with %d left", n, len(c.b))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := append([]byte(nil), c.b[:n]...)
+	c.b = c.b[n:]
+	return out
 }
 
 func (c *binCursor) strings() []string {

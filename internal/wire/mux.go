@@ -147,9 +147,18 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 				}
 				// The ack is queued before any request is dispatched, so it
 				// is necessarily the first frame the writer sends.
-				ack := &Envelope{Type: TypeHelloAck, ID: env.ID, Msg: HelloAck{Codec: chosen.Name()}}
+				hasFirst := h.First != nil && h.First.Type != ""
+				ack := &Envelope{Type: TypeHelloAck, ID: env.ID, Msg: HelloAck{Codec: chosen.Name(), First: hasFirst}}
 				replies <- outbound{env: ack, switchTo: chosen}
 				framer = NewFramer(chosen)
+				if hasFirst {
+					// The piggybacked first request dispatches like any
+					// other frame; its reply (in the chosen codec) follows
+					// the ack through the writer.
+					piggy := &Envelope{Type: h.First.Type, ID: h.First.ID, Payload: h.First.Payload}
+					piggy.codec = JSON
+					dispatch(piggy)
+				}
 				continue
 			}
 		}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -74,14 +75,116 @@ func negotiateClient(conn net.Conn, codecs []Codec) (Codec, error) {
 	// From here the server HAS negotiated and already switched its side to
 	// the acked codec — silently "falling back" to JSON would desync the
 	// two ends, so a bad ack fails the connection instead.
+	chosen, _, err := resolveAck(reply, codecs)
+	return chosen, err
+}
+
+// resolveAck decodes a hello-ack and maps the server's pick back to one
+// of the offered codecs. Shared by the normal handshake and the
+// piggybacked one-shot path so negotiation semantics cannot fork.
+func resolveAck(reply *Envelope, codecs []Codec) (Codec, HelloAck, error) {
 	var ack HelloAck
 	if err := reply.Decode(&ack); err != nil {
-		return nil, fmt.Errorf("bad hello-ack: %w", err)
+		return nil, ack, fmt.Errorf("bad hello-ack: %w", err)
 	}
 	for _, c := range codecs {
 		if c.Name() == ack.Codec {
-			return c, nil
+			return c, ack, nil
 		}
 	}
-	return nil, fmt.Errorf("server picked codec %q, which was not offered", ack.Codec)
+	return nil, ack, fmt.Errorf("server picked codec %q, which was not offered", ack.Codec)
+}
+
+// CallPiggyback performs a one-shot exchange on a fresh connection: the
+// hello advertises codecs AND carries the first request, so the exchange
+// costs a single round trip — the reply, in the negotiated codec, arrives
+// right behind the hello-ack. This is the path for rare throwaway
+// connections (proxy pool spawns) that previously had to choose between
+// negotiating (an extra round trip) and pinning themselves to the JSON
+// floor.
+//
+// Against a server that does not negotiate (a pre-codec build), the hello
+// bounces as an application-level reply and the embedded request was
+// never seen, so the call transparently re-sends it as a plain JSON frame
+// on the same connection — one extra round trip, exactly the old
+// behaviour. Failures the server reports come back as *RemoteError; the
+// caller owns the connection's lifecycle.
+func CallPiggyback(conn net.Conn, codecs []Codec, req *Envelope) (*Envelope, error) {
+	if codecs == nil {
+		codecs = DefaultCodecs()
+	}
+	if req.ID == 0 {
+		// The hello itself travels with id 0; the request needs its own id
+		// so the fallback path can tell their replies apart.
+		req.ID = 1
+	}
+	first := &HelloFirst{Type: req.Type, ID: req.ID, Payload: json.RawMessage(req.Payload)}
+	if len(first.Payload) == 0 && req.Msg != nil {
+		raw, err := json.Marshal(req.Msg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: marshal %s payload: %v", ErrEncode, req.Type, err)
+		}
+		first.Payload = raw
+	}
+	hello := &Envelope{Type: TypeHello, Msg: Hello{Codecs: codecNames(codecs), First: first}}
+	if err := jsonFramer.WriteFrame(conn, hello); err != nil {
+		return nil, err
+	}
+	reply, err := readFrameDetect(conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != TypeHelloAck {
+		// Old server: the hello bounced (usually as an error envelope for
+		// the hello's own id) and the piggybacked request was never
+		// dispatched. Fall back to the JSON floor on the same connection.
+		if reply.ID == req.ID {
+			return finishPiggyback(reply)
+		}
+		if err := jsonFramer.WriteFrame(conn, req); err != nil {
+			return nil, err
+		}
+		return awaitPiggyback(jsonFramer, conn, req.ID)
+	}
+	chosen, ack, err := resolveAck(reply, codecs)
+	if err != nil {
+		return nil, err
+	}
+	f := NewFramer(chosen)
+	if !ack.First {
+		// The server negotiates but predates Hello.First: its decoder
+		// dropped the embedded request without a trace, so waiting for its
+		// reply would hang forever. Re-send as an ordinary frame in the
+		// codec just negotiated.
+		if err := f.WriteFrame(conn, req); err != nil {
+			return nil, err
+		}
+	}
+	return awaitPiggyback(f, conn, req.ID)
+}
+
+// awaitPiggyback reads frames until the one correlated to the piggybacked
+// request arrives.
+func awaitPiggyback(f *Framer, conn net.Conn, id uint64) (*Envelope, error) {
+	for {
+		reply, err := f.ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		if reply.ID != id {
+			continue // e.g. the old server's error bounce for the hello
+		}
+		return finishPiggyback(reply)
+	}
+}
+
+func finishPiggyback(reply *Envelope) (*Envelope, error) {
+	if reply.Type == TypeError {
+		var e ErrorReply
+		if err := reply.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Message: e.Message}
+	}
+	return reply, nil
 }

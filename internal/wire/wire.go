@@ -59,15 +59,35 @@ type Envelope struct {
 
 // Hello is the client's codec advertisement, always sent as the first
 // frame of a connection and always encoded in JSON so any server can read
-// it. Codecs are listed in preference order.
+// it. Codecs are listed in preference order. First, when present,
+// piggybacks the connection's first request on the handshake: the server
+// dispatches it immediately after picking the codec, and the reply (in
+// the chosen codec) follows the hello-ack — a one-shot exchange costs one
+// round trip instead of two. See CallPiggyback.
 type Hello struct {
-	Codecs []string `json:"codecs"`
+	Codecs []string    `json:"codecs"`
+	First  *HelloFirst `json:"first,omitempty"`
+}
+
+// HelloFirst is the request embedded in a hello frame. The payload is
+// JSON regardless of the advertised codecs — the hello itself must stay
+// on the floor every server can read.
+type HelloFirst struct {
+	Type    string          `json:"type"`
+	ID      uint64          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // HelloAck is the server's answer: the codec it picked, encoded in that
-// codec (the client sniffs the body's first byte to read it).
+// codec (the client sniffs the body's first byte to read it). First
+// echoes that a piggybacked first request was accepted for dispatch; a
+// First-carrying client that gets an ack without it is talking to a
+// server that negotiates but predates Hello.First (whose JSON decoder
+// silently dropped the field), and must re-send the request as an
+// ordinary frame instead of waiting for a reply that will never come.
 type HelloAck struct {
 	Codec string `json:"codec"`
+	First bool   `json:"first,omitempty"`
 }
 
 // QueryRequest submits a (possibly composite) query in a named language.
