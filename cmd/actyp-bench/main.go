@@ -24,15 +24,20 @@ import (
 	"actyp/internal/experiments"
 	"actyp/internal/metrics"
 	"actyp/internal/netsim"
+	"actyp/internal/schedule"
 )
 
 // jsonDir, when non-empty, receives one BENCH_<figure>.json per figure
 // whose driver emits machine-readable series (the perf trajectory shape).
 var jsonDir string
 
+// laneWeights is the -lane-weights spec applied to the overload figure.
+var laneWeights schedule.LaneWeights
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	laneSpec := flag.String("lane-weights", "", "lane weight spec for the overload figure, e.g. lease=4,bulk=1 (default from schedule)")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
 	regShards := flag.Int("registry-shards", 0, "shard count for the sharded backend (0: GOMAXPROCS-scaled)")
 	poolEngine := flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; ScanCost figures stay on oracle)")
@@ -53,6 +58,11 @@ func main() {
 	if err := experiments.UseWireCodec(*wireCodec); err != nil {
 		log.Fatalf("actyp-bench: %v", err)
 	}
+	weights, err := schedule.ParseLaneWeights(*laneSpec)
+	if err != nil {
+		log.Fatalf("actyp-bench: %v", err)
+	}
+	laneWeights = weights
 	jsonDir = *jsonOut
 
 	run := func(name string, fn func(bool) error) {
@@ -78,6 +88,7 @@ func main() {
 	run("transport", figTransport)
 	run("codec", figCodec)
 	run("refresh", figRefresh)
+	run("overload", figOverload)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -191,6 +202,55 @@ func figRefresh(quick bool) error {
 	}
 	return emit("refresh", "Refresh: allocate p99 under sustained monitor sweeps, per freshness mode",
 		"machines", "p99 op (s)", series)
+}
+
+// figOverload drives one shared connection with control pings plus a
+// growing bulk-query flood, comparing FIFO dispatch against the overload
+// control path (priority lanes + deadline-aware shedding). The result's
+// Check() is the regression bar — control-lane p99 at the highest load
+// must stay within a small multiple of its 1x value — so a CI smoke run
+// of this figure is the overload regression gate.
+func figOverload(quick bool) error {
+	cfg := experiments.DefaultOverload()
+	cfg.Weights = laneWeights
+	if quick {
+		cfg.Machines = 2000
+		cfg.Loads = []int{1, 4}
+		cfg.BulkPerLoad = 4
+		cfg.ControlClients = 2
+		cfg.Window = 2
+		cfg.QueueCap = 8
+		cfg.Duration = 500 * time.Millisecond
+	}
+	res, err := experiments.OverloadScale(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit("overload", "Overload: control-plane ping p99 vs offered load, per dispatch mode",
+		"load multiplier", "control p99 (ms)", res.ControlP99); err != nil {
+		return err
+	}
+	goodput := append(relabel("goodput, ", res.Goodput), relabel("shed, ", res.Shed)...)
+	if err := emit("overload_goodput", "Overload: bulk goodput and client-observed sheds vs offered load, per dispatch mode",
+		"load multiplier", "bulk ops/s", goodput); err != nil {
+		return err
+	}
+	for i, c := range res.BulkCounts {
+		fmt.Printf("# lanes bulk counters at %gx: admitted=%d shed=%d expired=%d done=%d\n",
+			res.ControlP99[0].Points[i].X, c.Admitted, c.Shed, c.Expired, c.Done)
+	}
+	return res.Check()
+}
+
+// relabel prefixes each series label, so two result groups can share one
+// table without colliding.
+func relabel(prefix string, series []metrics.Series) []metrics.Series {
+	out := make([]metrics.Series, len(series))
+	for i, s := range series {
+		out[i] = s
+		out[i].Label = prefix + s.Label
+	}
+	return out
 }
 
 func fig4(quick bool) error {

@@ -27,10 +27,13 @@ import (
 	"time"
 
 	"actyp/internal/core"
+	"actyp/internal/metrics"
 	"actyp/internal/netsim"
+	"actyp/internal/policy"
 	"actyp/internal/proxy"
 	"actyp/internal/querymgr"
 	"actyp/internal/registry"
+	"actyp/internal/schedule"
 	"actyp/internal/stage"
 	"actyp/internal/wire"
 )
@@ -54,6 +57,10 @@ type daemonConfig struct {
 	refreshMode string
 	connWindow  int
 	wireCodec   string
+	laneWeights string
+	admitRate   float64
+	admitBurst  float64
+	admitKeys   string
 	udpAddr     string
 	udpWindow   int
 	udpSockets  int
@@ -83,6 +90,10 @@ func main() {
 	flag.StringVar(&cfg.refreshMode, "refresh-mode", "", "pool freshness mode: events (registry change stream, default) or poll (timer-driven full refresh)")
 	flag.IntVar(&cfg.connWindow, "conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
 	flag.StringVar(&cfg.wireCodec, "wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, or a comma list")
+	flag.StringVar(&cfg.laneWeights, "lane-weights", "lease=4,bulk=1", "priority-lane round-robin weights for overloaded dispatch, e.g. lease=4,bulk=1 (control is always first); \"off\" restores plain FIFO dispatch")
+	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "default per-account admission rate in requests/s; over-limit requests are shed with Busy (0 disables admission)")
+	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "default admission burst capacity in tokens (0: same as -admit-rate)")
+	flag.StringVar(&cfg.admitKeys, "admit-keys", "", "per-account admission overrides as key=rate[:burst] pairs, e.g. alice=100:200,batch=10")
 	flag.StringVar(&cfg.udpAddr, "udp-addr", "", "also serve the service over UDP on this address")
 	flag.IntVar(&cfg.udpWindow, "udp-window", wire.DefaultWindow, "UDP in-flight dispatch window (bounds datagram fan-out)")
 	flag.IntVar(&cfg.udpSockets, "udp-sockets", 0, "UDP reply socket pool size (0: GOMAXPROCS, capped at 16; 1: single shared socket)")
@@ -91,6 +102,16 @@ func main() {
 	flag.StringVar(&cfg.proxyAddr, "proxy-addr", "", "also run a pool-spawning proxy server on this address")
 	flag.IntVar(&cfg.proxyWin, "proxy-window", wire.DefaultWindow, "proxy endpoint per-connection in-flight window")
 	flag.Parse()
+
+	// A negative window was historically folded into "serial" silently,
+	// which hid sign bugs in wrapper scripts; reject it outright (0 or 1
+	// still mean serial dispatch, as they always did).
+	if cfg.connWindow < 0 {
+		log.Fatalf("actypd: -conn-window %d: want 0 or a positive window (1 serializes each connection)", cfg.connWindow)
+	}
+	if cfg.udpWindow < 0 {
+		log.Fatalf("actypd: -udp-window %d: want 0 or a positive window (1 serializes dispatch)", cfg.udpWindow)
+	}
 
 	if err := run(cfg); err != nil {
 		log.Fatalf("actypd: %v", err)
@@ -165,10 +186,15 @@ func run(cfg daemonConfig) error {
 		log.Printf("actypd: pre-created %d striped pools", cfg.warm)
 	}
 
-	if cfg.connWindow < 1 {
-		cfg.connWindow = -1 // any sub-1 flag value means serial, as it always did
+	overload, stats, err := overloadPolicy(cfg)
+	if err != nil {
+		return err
 	}
-	srv, err := core.ServeOpts(svc, cfg.addr, profile, core.ServeConfig{Window: cfg.connWindow, Codecs: codecs})
+
+	if cfg.connWindow < 1 {
+		cfg.connWindow = -1 // 0 means serial, as it always did (negatives are rejected in main)
+	}
+	srv, err := core.ServeOpts(svc, cfg.addr, profile, core.ServeConfig{Window: cfg.connWindow, Codecs: codecs, Overload: overload})
 	if err != nil {
 		return err
 	}
@@ -179,9 +205,9 @@ func run(cfg daemonConfig) error {
 
 	if cfg.udpAddr != "" {
 		if cfg.udpWindow < 1 {
-			cfg.udpWindow = -1 // any sub-1 flag value means serial, as it always did
+			cfg.udpWindow = -1 // 0 means serial, as it always did (negatives are rejected in main)
 		}
-		udp, err := core.ServeUDPOpts(svc, cfg.udpAddr, core.UDPOptions{Window: cfg.udpWindow, Sockets: cfg.udpSockets})
+		udp, err := core.ServeUDPOpts(svc, cfg.udpAddr, core.UDPOptions{Window: cfg.udpWindow, Sockets: cfg.udpSockets, Overload: overload})
 		if err != nil {
 			return err
 		}
@@ -213,7 +239,58 @@ func run(cfg daemonConfig) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("actypd: shutting down")
+	if stats != nil {
+		for class, c := range stats.Snapshot() {
+			if c.Admitted+c.Shed+c.Expired == 0 {
+				continue
+			}
+			log.Printf("actypd: overload lane %s: admitted=%d shed=%d expired=%d done=%d",
+				metrics.ClassNames[class], c.Admitted, c.Shed, c.Expired, c.Done)
+		}
+	}
 	return nil
+}
+
+// overloadPolicy builds the daemon's overload-control configuration from
+// the -lane-weights and -admit-* flags. The returned policy is shared by
+// the TCP and UDP endpoints, so admission buckets and lane counters span
+// both; each endpoint still queues independently.
+func overloadPolicy(cfg daemonConfig) (*wire.OverloadPolicy, *metrics.OverloadStats, error) {
+	if cfg.laneWeights == "off" {
+		if cfg.admitRate > 0 || cfg.admitKeys != "" {
+			return nil, nil, fmt.Errorf("-admit-rate/-admit-keys need lane dispatch; drop \"-lane-weights off\"")
+		}
+		return nil, nil, nil
+	}
+	weights, err := schedule.ParseLaneWeights(cfg.laneWeights)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := metrics.NewOverloadStats()
+	overload := &wire.OverloadPolicy{
+		LeaseWeight: weights.Lease,
+		BulkWeight:  weights.Bulk,
+		Stats:       stats,
+	}
+	if cfg.admitRate > 0 {
+		overrides, err := policy.ParseAdmitOverrides(cfg.admitKeys)
+		if err != nil {
+			return nil, nil, err
+		}
+		burst := cfg.admitBurst
+		if burst <= 0 {
+			burst = cfg.admitRate
+		}
+		overload.Admit = core.AdmitFrom(policy.NewAdmitter(policy.AdmitLimit{Rate: cfg.admitRate, Burst: burst}, overrides))
+		log.Printf("actypd: overload control: lanes lease=%d bulk=%d, admission %.0f req/s (burst %.0f) per account",
+			weights.Lease, weights.Bulk, cfg.admitRate, burst)
+	} else {
+		if cfg.admitKeys != "" {
+			return nil, nil, fmt.Errorf("-admit-keys without -admit-rate: set a default rate (use a huge one to only limit the listed keys)")
+		}
+		log.Printf("actypd: overload control: lanes lease=%d bulk=%d, admission off", weights.Lease, weights.Bulk)
+	}
+	return overload, stats, nil
 }
 
 func profileByName(name string) (netsim.Profile, error) {

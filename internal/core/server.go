@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"actyp/internal/netsim"
+	"actyp/internal/policy"
 	"actyp/internal/wire"
 )
 
@@ -30,6 +31,10 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 
+	// clampOnce makes the window-clamp diagnostic fire once per listener,
+	// not once per connection.
+	clampOnce sync.Once
+
 	// Logf, when set, receives connection-level errors (default: drop).
 	Logf func(format string, args ...any)
 }
@@ -48,6 +53,20 @@ type ServeConfig struct {
 	// DisableNegotiation makes the server behave like a pre-codec build:
 	// plain JSON, hellos dispatched (and rejected) as unknown requests.
 	DisableNegotiation bool
+	// Overload, when set, enables overload control on every connection:
+	// priority-lane dispatch, admission, and deadline-aware shedding.
+	// See wire.OverloadPolicy.
+	Overload *wire.OverloadPolicy
+}
+
+// AdmitFrom adapts a policy.Admitter into the wire-layer admission hook:
+// each lease or bulk request spends a token from the bucket keyed by the
+// envelope's From identity (requests from peers that stamp no identity
+// share the anonymous bucket). Control frames never reach the hook.
+func AdmitFrom(a *policy.Admitter) wire.AdmitFunc {
+	return func(env *wire.Envelope) (ok bool, retryAfter time.Duration) {
+		return a.Admit(env.From)
+	}
 }
 
 // Serve starts a server for svc on addr (for example "127.0.0.1:0") with
@@ -143,6 +162,12 @@ func (s *Server) handle(conn net.Conn) {
 		Window:             s.cfg.Window,
 		Codecs:             s.cfg.Codecs,
 		DisableNegotiation: s.cfg.DisableNegotiation,
+		Overload:           s.cfg.Overload,
+		Logf: func(format string, args ...any) {
+			// A negative window is a misconfiguration the wire layer
+			// clamps; surface it once per listener, not per connection.
+			s.clampOnce.Do(func() { s.logf(format, args...) })
+		},
 	}, func(env *wire.Envelope) *wire.Envelope {
 		return serveEnvelope(s.svc, env)
 	})
@@ -229,6 +254,9 @@ type DialConfig struct {
 	DisableNegotiation bool
 	// Timeout bounds each call without its own context deadline.
 	Timeout time.Duration
+	// From names the requesting account or group; servers running
+	// admission control key their token buckets off it.
+	From string
 }
 
 // Dial connects a client to a server with the given network profile and
@@ -245,6 +273,7 @@ func DialOpts(addr string, profile netsim.Profile, cfg DialConfig) (*Client, err
 		Timeout:            cfg.Timeout,
 		Codecs:             cfg.Codecs,
 		DisableNegotiation: cfg.DisableNegotiation,
+		From:               cfg.From,
 	})
 	if err := c.Connect(); err != nil {
 		return nil, fmt.Errorf("core: dial %s: %w", addr, err)

@@ -29,7 +29,8 @@ type UDPServer struct {
 	conn    *net.UDPConn   // request socket, also replies[0]
 	replies []*net.UDPConn // reply socket pool, round-robin
 	next    atomic.Uint64
-	sem     chan struct{} // in-flight dispatch window
+	sem     chan struct{} // in-flight dispatch window (FIFO path)
+	lanes   *wire.Lanes   // overload path: per-lane queues, nil = FIFO
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -48,6 +49,11 @@ type UDPOptions struct {
 	// zero). Zero picks GOMAXPROCS, capped at 16; one restores the single
 	// shared-socket behaviour.
 	Sockets int
+	// Overload, when set, enables overload control on the datagram path:
+	// decoded requests route through priority lanes served by a fixed
+	// pool of Window workers, with admission and deadline-aware shedding
+	// answered by Busy datagrams. Nil keeps the FIFO semaphore path.
+	Overload *wire.OverloadPolicy
 }
 
 // ServeUDP starts a UDP endpoint for svc on addr (e.g. "127.0.0.1:0")
@@ -99,6 +105,15 @@ func ServeUDPOpts(svc *Service, addr string, opts UDPOptions) (*UDPServer, error
 		}
 		s.replies = append(s.replies, rc)
 	}
+	if opts.Overload != nil {
+		s.lanes = wire.NewLanes(opts.Overload, func(env *wire.Envelope, meta any, busy *wire.BusyReply) {
+			s.sendReply(wire.BusyEnvelope(env.ID, busy), meta.(*net.UDPAddr))
+		})
+		for i := 0; i < opts.Window; i++ {
+			s.wg.Add(1)
+			go s.laneWorker()
+		}
+	}
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
@@ -122,6 +137,9 @@ func (s *UDPServer) Close() {
 	for _, c := range s.replies {
 		_ = c.Close()
 	}
+	if s.lanes != nil {
+		s.lanes.Close() // wakes the lane workers; queued items drain
+	}
 	s.wg.Wait()
 }
 
@@ -136,6 +154,14 @@ func (s *UDPServer) loop() {
 		env, err := wire.DecodeDatagram(buf[:n])
 		if err != nil {
 			continue // drop malformed datagrams, as UDP services do
+		}
+		if s.lanes != nil {
+			// Overload path: classify into a priority lane (shedding
+			// over-limit or expired requests with a Busy datagram); the
+			// fixed worker pool pops control-first. ReadFromUDP returns a
+			// fresh addr each call, so handing it off is safe.
+			s.lanes.Offer(env, from)
+			continue
 		}
 		// Handle each datagram concurrently up to the window; replies
 		// race, which is fine because the client correlates by envelope
@@ -153,16 +179,38 @@ func (s *UDPServer) loop() {
 			if reply == nil {
 				return
 			}
-			raw, err := wire.EncodeDatagram(reply)
-			if err != nil {
-				return
-			}
-			// Round-robin across the reply pool: per-fd write locks stop
-			// being the choke point under concurrent handlers.
-			sock := s.replies[s.next.Add(1)%uint64(len(s.replies))]
-			_, _ = sock.WriteToUDP(raw, from)
+			s.sendReply(reply, from)
 		}(env, from)
 	}
+}
+
+// laneWorker serves the overload path: pop the next request in priority
+// order, dispatch it, reply. One such worker per window slot.
+func (s *UDPServer) laneWorker() {
+	defer s.wg.Done()
+	for {
+		env, meta, lane, ok := s.lanes.Pop()
+		if !ok {
+			return // closed and drained
+		}
+		reply := serveEnvelope(s.svc, env)
+		s.lanes.Done(lane)
+		if reply != nil {
+			s.sendReply(reply, meta.(*net.UDPAddr))
+		}
+	}
+}
+
+// sendReply encodes one reply datagram and writes it from the next
+// round-robin reply socket: per-fd write locks stop being the choke
+// point under concurrent handlers.
+func (s *UDPServer) sendReply(reply *wire.Envelope, to *net.UDPAddr) {
+	raw, err := wire.EncodeDatagram(reply)
+	if err != nil {
+		return
+	}
+	sock := s.replies[s.next.Add(1)%uint64(len(s.replies))]
+	_, _ = sock.WriteToUDP(raw, to)
 }
 
 // UDPClient is the datagram counterpart of Client. Lost datagrams surface
@@ -266,6 +314,11 @@ func (c *UDPClient) id() uint64 {
 }
 
 func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
+	deadline := time.Now().Add(c.timeout)
+	// Datagrams are JSON, so the deadline always propagates: a server
+	// running overload control sheds this request once it cannot be
+	// answered in time instead of occupying a worker.
+	env.SetDeadline(deadline)
 	raw, err := wire.EncodeDatagram(env)
 	if err != nil {
 		return nil, err
@@ -274,7 +327,6 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 		return nil, err
 	}
 	buf := make([]byte, 64*1024)
-	deadline := time.Now().Add(c.timeout)
 	for {
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return nil, err
@@ -296,6 +348,13 @@ func (c *UDPClient) roundTrip(env *wire.Envelope) (*wire.Envelope, error) {
 				return nil, err
 			}
 			return nil, fmt.Errorf("core: server: %s", e.Message)
+		}
+		if reply.Type == wire.TypeBusy {
+			var b wire.BusyReply
+			if err := reply.Decode(&b); err != nil {
+				return nil, err
+			}
+			return nil, &wire.BusyError{RetryAfter: time.Duration(b.RetryAfterMS) * time.Millisecond, Reason: b.Reason}
 		}
 		return reply, nil
 	}

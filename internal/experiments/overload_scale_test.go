@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"actyp/internal/metrics"
+	"actyp/internal/netsim"
+	"actyp/internal/schedule"
+)
+
+// seriesOf builds a two-point series: y0 at 1x load and y1 at 10x.
+func seriesOf(label string, y0, y1 float64) metrics.Series {
+	s := metrics.Series{Label: label}
+	s.Add(1, y0)
+	s.Add(10, y1)
+	return s
+}
+
+// TestOverloadScaleBar runs a reduced overload sweep and asserts the
+// regression bar the full figure enforces in CI: with priority lanes the
+// control-plane p99 at the highest offered load stays within a small
+// multiple of its 1x value, and the server actually sheds bulk work with
+// Busy at that load.
+func TestOverloadScaleBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep needs wall time")
+	}
+	cfg := OverloadConfig{
+		Machines:       500,
+		Loads:          []int{1, 4},
+		BulkPerLoad:    4,
+		ControlClients: 2,
+		Window:         2,
+		QueueCap:       4,
+		ScanCost:       10 * time.Microsecond, // 5ms per query: saturates with a handful of flooders
+		Duration:       400 * time.Millisecond,
+		Profile:        netsim.Local(),
+		Weights:        schedule.DefaultLaneWeights(),
+		Seed:           1,
+	}
+	res, err := OverloadScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ControlP99) != 2 || len(res.Goodput) != 2 || len(res.Shed) != 2 {
+		t.Fatalf("want one series per mode, got p99=%d goodput=%d shed=%d",
+			len(res.ControlP99), len(res.Goodput), len(res.Shed))
+	}
+	for _, s := range res.ControlP99 {
+		if len(s.Points) != len(cfg.Loads) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), len(cfg.Loads))
+		}
+	}
+	if len(res.BulkCounts) != len(cfg.Loads) {
+		t.Fatalf("lanes bulk counters: %d entries, want %d", len(res.BulkCounts), len(cfg.Loads))
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("regression bar: %v", err)
+	}
+	// Every point must have seen real traffic on both sides of the split.
+	for _, c := range res.BulkCounts {
+		if c.Done == 0 {
+			t.Errorf("a lanes point completed no bulk work: %+v", res.BulkCounts)
+		}
+	}
+}
+
+// TestOverloadCheckRejectsBadSeries pins the bar itself: a lanes series
+// whose high-load p99 blows past 5x of the floor must fail Check.
+func TestOverloadCheckRejectsBadSeries(t *testing.T) {
+	res := OverloadResult{QueryCost: 10 * time.Millisecond}
+	res.ControlP99 = append(res.ControlP99, seriesOf("lanes", 10, 2000))
+	if err := res.Check(); err == nil {
+		t.Fatal("Check passed a 200x degradation")
+	}
+	// Within the bound (and with sheds recorded) it passes.
+	ok := OverloadResult{QueryCost: 10 * time.Millisecond}
+	ok.ControlP99 = append(ok.ControlP99, seriesOf("lanes", 10, 40))
+	if err := ok.Check(); err != nil {
+		t.Fatalf("Check rejected a healthy series: %v", err)
+	}
+	// A missing lanes series is an error, not a silent pass.
+	var empty OverloadResult
+	if err := empty.Check(); err == nil {
+		t.Fatal("Check passed an empty result")
+	}
+}

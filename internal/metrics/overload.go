@@ -1,0 +1,92 @@
+package metrics
+
+import "sync/atomic"
+
+// Priority classes for overload accounting, aligned with the wire
+// package's lane values (control=0, lease=1, bulk=2) so a lane can be
+// used as a class index directly.
+const (
+	ClassControl = iota
+	ClassLease
+	ClassBulk
+	NumClasses
+)
+
+// ClassNames maps a class index to its display name.
+var ClassNames = [NumClasses]string{"control", "lease", "bulk"}
+
+// overloadClass is one class's counter block, padded so neighbouring
+// classes do not share a cache line under concurrent updates.
+type overloadClass struct {
+	admitted atomic.Int64
+	shed     atomic.Int64
+	expired  atomic.Int64
+	done     atomic.Int64
+	depth    atomic.Int64
+	_        [24]byte // pad past a 64-byte line (5 × 8 bytes above)
+}
+
+// OverloadStats accumulates per-class overload-control counters: how many
+// requests each priority class admitted, shed (admission or queue-full),
+// expired (deadline passed before dispatch), and completed (goodput), plus
+// a live queue-depth gauge per lane. All methods are safe for concurrent
+// use and lock-free.
+type OverloadStats struct {
+	classes [NumClasses]overloadClass
+}
+
+// NewOverloadStats returns a zeroed stats block.
+func NewOverloadStats() *OverloadStats { return &OverloadStats{} }
+
+func (s *OverloadStats) class(c int) *overloadClass {
+	if c < 0 || c >= NumClasses {
+		c = ClassBulk
+	}
+	return &s.classes[c]
+}
+
+// Admitted counts one request of class c entering a lane queue.
+func (s *OverloadStats) Admitted(c int) { s.class(c).admitted.Add(1) }
+
+// Shed counts one request of class c rejected with Busy before occupying
+// a worker (admission bucket empty or lane queue full).
+func (s *OverloadStats) Shed(c int) { s.class(c).shed.Add(1) }
+
+// Expired counts one request of class c dropped because its deadline
+// passed before dispatch.
+func (s *OverloadStats) Expired(c int) { s.class(c).expired.Add(1) }
+
+// Done counts one request of class c whose handler completed: the
+// goodput counter.
+func (s *OverloadStats) Done(c int) { s.class(c).done.Add(1) }
+
+// DepthAdd moves class c's live queue-depth gauge by delta (+1 on
+// enqueue, -1 on dequeue).
+func (s *OverloadStats) DepthAdd(c int, delta int64) { s.class(c).depth.Add(delta) }
+
+// OverloadCounts is one class's counter snapshot.
+type OverloadCounts struct {
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Expired  int64 `json:"expired"`
+	Done     int64 `json:"done"`
+	Depth    int64 `json:"depth"`
+}
+
+// Snapshot returns a consistent-enough copy of every class's counters
+// (each counter is read atomically; the set is not a single atomic cut,
+// which accounting dashboards do not need).
+func (s *OverloadStats) Snapshot() [NumClasses]OverloadCounts {
+	var out [NumClasses]OverloadCounts
+	for i := range s.classes {
+		c := &s.classes[i]
+		out[i] = OverloadCounts{
+			Admitted: c.admitted.Load(),
+			Shed:     c.shed.Load(),
+			Expired:  c.expired.Load(),
+			Done:     c.done.Load(),
+			Depth:    c.depth.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package schedule
+
+// Lane weights are scheduling configuration for the wire dispatch window:
+// when no control frame is waiting, the overloaded endpoint round-robins
+// between the lease and bulk lanes in these proportions. They live here —
+// not in wire — because they are policy the daemon's operator sets, like
+// the pool objectives above, and the wire layer must stay free of
+// configuration parsing.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LaneWeights is the weighted round-robin share between the lease and
+// bulk dispatch lanes (control is strictly first and has no weight).
+type LaneWeights struct {
+	Lease int
+	Bulk  int
+}
+
+// DefaultLaneWeights favours lease acquisition four to one over bulk
+// queries: leases are the paper's unit of useful work, and a query that
+// cannot turn into a lease is the first thing to delay under pressure.
+func DefaultLaneWeights() LaneWeights { return LaneWeights{Lease: 4, Bulk: 1} }
+
+// ParseLaneWeights parses a flag-style lane weight spec:
+//
+//	"lease=4,bulk=1"
+//
+// Unmentioned lanes keep their default weight; weights must be positive.
+// An empty spec returns the defaults.
+func ParseLaneWeights(spec string) (LaneWeights, error) {
+	w := DefaultLaneWeights()
+	if strings.TrimSpace(spec) == "" {
+		return w, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, found := strings.Cut(entry, "=")
+		if !found {
+			return w, fmt.Errorf("schedule: lane weight %q: want lane=weight", entry)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 1 {
+			return w, fmt.Errorf("schedule: lane weight %q: want a positive integer", entry)
+		}
+		switch strings.TrimSpace(key) {
+		case "lease":
+			w.Lease = n
+		case "bulk":
+			w.Bulk = n
+		default:
+			return w, fmt.Errorf("schedule: unknown lane %q (want lease or bulk)", key)
+		}
+	}
+	return w, nil
+}

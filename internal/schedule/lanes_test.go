@@ -1,0 +1,32 @@
+package schedule
+
+import "testing"
+
+func TestParseLaneWeights(t *testing.T) {
+	cases := []struct {
+		spec string
+		want LaneWeights
+	}{
+		{"", DefaultLaneWeights()},
+		{"  ", DefaultLaneWeights()},
+		{"lease=4,bulk=1", LaneWeights{Lease: 4, Bulk: 1}},
+		{"bulk=3", LaneWeights{Lease: 4, Bulk: 3}}, // unmentioned lane keeps its default
+		{" lease = 7 , bulk = 2 ", LaneWeights{Lease: 7, Bulk: 2}},
+		{"lease=1,,bulk=1", LaneWeights{Lease: 1, Bulk: 1}}, // empty entries skipped
+	}
+	for _, c := range cases {
+		got, err := ParseLaneWeights(c.spec)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"lease", "lease=0", "lease=-2", "lease=x", "control=5", "ctl=1"} {
+		if _, err := ParseLaneWeights(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

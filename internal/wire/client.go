@@ -35,6 +35,25 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return e.Message }
 
+// BusyError is a Busy reply: the server shed the request before any
+// worker touched it (admission limit, full lane queue, or expired
+// deadline). The connection is healthy. Busy is deliberately NOT
+// Retryable — hammering an overloaded server defeats the shedding — but
+// CallIdempotent retries it after honouring RetryAfter (plus jitter).
+type BusyError struct {
+	// RetryAfter is the server's hint for when capacity should exist
+	// again (zero when it offered none).
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *BusyError) Error() string {
+	if e.Reason != "" {
+		return "wire: server busy: " + e.Reason
+	}
+	return "wire: server busy"
+}
+
 // ClientOptions configures a Client beyond its dial function.
 type ClientOptions struct {
 	// Timeout bounds each call that arrives without its own context
@@ -47,6 +66,10 @@ type ClientOptions struct {
 	// pre-codec client behaves. Tests use it to prove old clients keep
 	// working against new servers.
 	DisableNegotiation bool
+	// From names the requesting account or group. It is stamped on every
+	// outgoing envelope as the server's admission-bucket key; codecs
+	// without envelope identity (binary v1) drop it silently.
+	From string
 }
 
 // Client multiplexes concurrent requests over one connection: every call
@@ -68,6 +91,7 @@ type Client struct {
 	timeout     time.Duration
 	codecs      []Codec
 	noNegotiate bool
+	from        string
 
 	writeMu sync.Mutex // serializes frame writes on the live connection
 
@@ -103,6 +127,7 @@ func NewClientOpts(dial DialFunc, opts ClientOptions) *Client {
 		timeout:     opts.Timeout,
 		codecs:      codecs,
 		noNegotiate: opts.DisableNegotiation,
+		from:        opts.From,
 		pending:     make(map[uint64]chan callResult),
 	}
 }
@@ -160,7 +185,7 @@ func (c *Client) Call(typ string, payload any) (*Envelope, error) {
 // abandons the call (a late reply is discarded); it does not disturb other
 // calls in flight on the same connection.
 func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Envelope, error) {
-	env := &Envelope{Type: typ, Msg: payload}
+	env := &Envelope{Type: typ, Msg: payload, From: c.from}
 
 	if c.timeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -168,6 +193,13 @@ func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Env
 			ctx, cancel = context.WithTimeout(ctx, c.timeout)
 			defer cancel()
 		}
+	}
+	// The caller's deadline travels in the envelope so the server can
+	// shed work that cannot finish in time. Codecs without the field
+	// (binary v1, old JSON peers) drop it, which degrades to the old
+	// no-deadline behaviour.
+	if dl, ok := ctx.Deadline(); ok {
+		env.SetDeadline(dl)
 	}
 
 	// Register the call: id assignment, pending entry, and the connection
@@ -218,6 +250,13 @@ func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Env
 			}
 			return nil, &RemoteError{Message: e.Message}
 		}
+		if res.env.Type == TypeBusy {
+			var b BusyReply
+			if err := res.env.Decode(&b); err != nil {
+				return nil, err
+			}
+			return nil, &BusyError{RetryAfter: time.Duration(b.RetryAfterMS) * time.Millisecond, Reason: b.Reason}
+		}
 		return res.env, nil
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -229,11 +268,14 @@ func (c *Client) CallContext(ctx context.Context, typ string, payload any) (*Env
 
 // CallIdempotent is CallContext for requests that are safe to re-send
 // (Ping, Renew): a call that dies with its connection, or cannot dial, is
-// retried with exponential backoff until the context — or the client's
-// default timeout — expires, so a short server outage is invisible to the
-// caller. Failures the server reports (RemoteError), encode failures, and
-// a closed client are not retried. The caller owns the idempotency claim:
-// a retried request may execute twice on the server.
+// retried with jittered exponential backoff until the context — or the
+// client's default timeout — expires, so a short server outage is
+// invisible to the caller. A Busy shed is retried too, but only after the
+// server's retry-after hint has elapsed (plus jittered backoff) — shed
+// clients back off instead of hammering an overloaded server. Failures
+// the server reports (RemoteError), encode failures, and a closed client
+// are not retried. The caller owns the idempotency claim: a retried
+// request may execute twice on the server.
 func (c *Client) CallIdempotent(ctx context.Context, typ string, payload any) (*Envelope, error) {
 	if c.timeout > 0 {
 		if _, has := ctx.Deadline(); !has {
@@ -252,13 +294,25 @@ func (c *Client) CallIdempotent(ctx context.Context, typ string, payload any) (*
 	const maxBackoff = 250 * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		reply, err := c.CallContext(ctx, typ, payload)
-		if err == nil || !Retryable(err) || attempt >= maxAttempts {
+		if err == nil || attempt >= maxAttempts {
+			return reply, err
+		}
+		// Full jitter on every wait: synchronized heartbeaters must not
+		// retry in lockstep (see jitter.go).
+		var wait time.Duration
+		var busy *BusyError
+		switch {
+		case errors.As(err, &busy):
+			wait = busy.RetryAfter + fullJitter(backoff)
+		case Retryable(err):
+			wait = fullJitter(backoff)
+		default:
 			return reply, err
 		}
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("wire: call %s: %w", typ, ctx.Err())
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		backoff = min(backoff*2, maxBackoff)
 	}
@@ -266,7 +320,10 @@ func (c *Client) CallIdempotent(ctx context.Context, typ string, payload any) (*
 
 // Retryable reports whether a call failure is a transport-level loss (the
 // connection died or could not be established) that an idempotent request
-// may safely retry.
+// may safely retry immediately. A BusyError is deliberately NOT retryable:
+// the server shed that request to survive overload, and an immediate
+// retry re-applies the load it just rejected. CallIdempotent handles Busy
+// separately, waiting out the server's retry-after hint first.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrConnLost) || errors.Is(err, ErrDial)
 }
@@ -363,15 +420,18 @@ func (c *Client) connFailed(conn net.Conn, err error) {
 	_ = conn.Close()
 }
 
-// reconnectLoop proactively redials a lost connection with exponential
-// backoff, so heartbeating clients regain a connection without waiting for
-// their next call to pay the dial. It stops as soon as a connection exists
-// (its own or one a call-path dial installed) or the client closes.
+// reconnectLoop proactively redials a lost connection with jittered
+// exponential backoff, so heartbeating clients regain a connection without
+// waiting for their next call to pay the dial — and without the whole
+// fleet redialing a restarted server in lockstep (each sleep is drawn
+// uniformly from [0, backoff), see jitter.go). It stops as soon as a
+// connection exists (its own or one a call-path dial installed) or the
+// client closes.
 func (c *Client) reconnectLoop() {
 	backoff := 10 * time.Millisecond
 	const maxBackoff = time.Second
 	for {
-		time.Sleep(backoff)
+		time.Sleep(fullJitter(backoff))
 		c.mu.Lock()
 		if c.closed || c.conn != nil {
 			c.reconnecting = false

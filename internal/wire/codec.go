@@ -47,25 +47,34 @@ var JSON Codec = jsonCodec{}
 // the hot payloads and a JSON fallback for everything else.
 var Binary Codec = binaryCodec{}
 
+// Binary2 extends Binary with the overload-control envelope fields (From,
+// Deadline) behind a flags byte. Payload encodings are identical to
+// Binary; only the envelope header differs. Peers that predate it simply
+// never pick it during negotiation and the connection degrades to Binary
+// — which is exactly the "absent = no deadline" behaviour old peers need.
+var Binary2 Codec = binaryCodec{v2: true}
+
 // defaultCodecs is the negotiation preference used when a client or server
 // is not configured with an explicit list. Tests may override it to force
 // a whole run onto one codec.
-var defaultCodecs = []Codec{Binary, JSON}
+var defaultCodecs = []Codec{Binary2, Binary, JSON}
 
 // DefaultCodecs returns the default negotiation preference, best first.
 func DefaultCodecs() []Codec {
 	return append([]Codec(nil), defaultCodecs...)
 }
 
-// CodecByName resolves a codec name ("json", "binary").
+// CodecByName resolves a codec name ("json", "binary", "binary2").
 func CodecByName(name string) (Codec, error) {
 	switch name {
 	case "json":
 		return JSON, nil
 	case "binary":
 		return Binary, nil
+	case "binary2":
+		return Binary2, nil
 	}
-	return nil, fmt.Errorf("wire: unknown codec %q (want json or binary)", name)
+	return nil, fmt.Errorf("wire: unknown codec %q (want json, binary, or binary2)", name)
 }
 
 // ParseCodecs resolves a flag-style codec spec into a preference list:
@@ -108,11 +117,16 @@ type jsonCodec struct{}
 func (jsonCodec) Name() string { return "json" }
 
 // jsonEnvelope is the marshalled shape; Envelope itself carries extra
-// bookkeeping (Msg, codec) that must not leak onto the wire.
+// bookkeeping (Msg, codec) that must not leak onto the wire. From and
+// Deadline are omitted when unset, so frames without them stay
+// byte-identical to the pre-overload protocol (and old decoders ignore
+// them when present).
 type jsonEnvelope struct {
-	Type    string          `json:"type"`
-	ID      uint64          `json:"id"`
-	Payload json.RawMessage `json:"payload,omitempty"`
+	Type     string          `json:"type"`
+	ID       uint64          `json:"id"`
+	From     string          `json:"from,omitempty"`
+	Deadline int64           `json:"deadline,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
 }
 
 func (jsonCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
@@ -129,7 +143,7 @@ func (jsonCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
 		}
 		payload = raw
 	}
-	raw, err := json.Marshal(jsonEnvelope{Type: env.Type, ID: env.ID, Payload: payload})
+	raw, err := json.Marshal(jsonEnvelope{Type: env.Type, ID: env.ID, From: env.From, Deadline: env.Deadline, Payload: payload})
 	if err != nil {
 		return dst, fmt.Errorf("marshal %s envelope: %w", env.Type, err)
 	}

@@ -27,9 +27,27 @@ import (
 // varints for integers, and a presence byte + UnixNano varint for times.
 // The magic byte distinguishes binary bodies from JSON ones (which open
 // with '{'), which is what lets the negotiation ack be sniffed.
+//
+// Version 0x02 ("binary2") inserts one flags byte between the id and the
+// payload, carrying the overload-control envelope fields:
+//
+//	bit0  deadline present: varint UnixNano follows
+//	bit1  from present: length-prefixed string follows
+//
+// Payload encodings are identical across versions. Old builds reject
+// version 0x02, which is why binary2 is a separately negotiated codec
+// name rather than a silent upgrade: peers that do not know it never
+// receive it. New builds decode both versions on any binary connection.
 const (
-	binMagic   = 0xAC
-	binVersion = 0x01
+	binMagic    = 0xAC
+	binVersion  = 0x01
+	binVersion2 = 0x02
+)
+
+// binary2 envelope flag bits.
+const (
+	binFlagDeadline = 1 << 0
+	binFlagFrom     = 1 << 1
 )
 
 // Envelope type table. 0 is reserved for the inline-string escape.
@@ -70,14 +88,36 @@ const (
 	pidSpawnPoolReply
 	pidHello
 	pidHelloAck
+	pidBusyReply
 )
 
-type binaryCodec struct{}
+type binaryCodec struct {
+	// v2 frames carry the flags byte (From, Deadline). Both variants
+	// decode both frame versions; v2 only governs what gets written.
+	v2 bool
+}
 
-func (binaryCodec) Name() string { return "binary" }
+func (c binaryCodec) Name() string {
+	if c.v2 {
+		return "binary2"
+	}
+	return "binary"
+}
 
-func (binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
-	dst = append(dst, binMagic, binVersion)
+// isBinaryFamily reports whether a payload decoded by c can be re-framed
+// by any binary codec: v1 and v2 share payload encodings, so payloads
+// move freely between them.
+func isBinaryFamily(c Codec) bool {
+	_, ok := c.(binaryCodec)
+	return ok
+}
+
+func (c binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
+	version := byte(binVersion)
+	if c.v2 {
+		version = binVersion2
+	}
+	dst = append(dst, binMagic, version)
 	if id, ok := binTypeIDs[env.Type]; ok {
 		dst = binary.AppendUvarint(dst, id)
 	} else {
@@ -85,9 +125,25 @@ func (binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
 		dst = appendBinString(dst, env.Type)
 	}
 	dst = binary.AppendUvarint(dst, env.ID)
+	if c.v2 {
+		var flags byte
+		if env.Deadline != 0 {
+			flags |= binFlagDeadline
+		}
+		if env.From != "" {
+			flags |= binFlagFrom
+		}
+		dst = append(dst, flags)
+		if env.Deadline != 0 {
+			dst = binary.AppendVarint(dst, env.Deadline)
+		}
+		if env.From != "" {
+			dst = appendBinString(dst, env.From)
+		}
+	}
 	switch {
 	case len(env.Payload) > 0:
-		if env.codec == Binary {
+		if isBinaryFamily(env.codec) {
 			return append(dst, env.Payload...), nil // already tagged
 		}
 		if env.codec == nil || env.codec == JSON {
@@ -96,7 +152,7 @@ func (binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
 			dst = append(dst, binPayloadJSON)
 			return append(dst, env.Payload...), nil
 		}
-		return dst, fmt.Errorf("cannot re-frame %s payload decoded by %q as binary", env.Type, env.codec.Name())
+		return dst, fmt.Errorf("cannot re-frame %s payload decoded by %q as %s", env.Type, env.codec.Name(), c.Name())
 	case env.Msg != nil:
 		return appendBinPayload(dst, env.Type, env.Msg)
 	}
@@ -107,8 +163,9 @@ func (binaryCodec) DecodeEnvelope(body []byte) (*Envelope, error) {
 	if len(body) < 2 || body[0] != binMagic {
 		return nil, errors.New("not a binary frame")
 	}
-	if body[1] != binVersion {
-		return nil, fmt.Errorf("unsupported binary frame version %d", body[1])
+	version := body[1]
+	if version != binVersion && version != binVersion2 {
+		return nil, fmt.Errorf("unsupported binary frame version %d", version)
 	}
 	cur := binCursor{b: body[2:]}
 	typ := ""
@@ -121,13 +178,23 @@ func (binaryCodec) DecodeEnvelope(body []byte) (*Envelope, error) {
 		}
 	}
 	id := cur.uvarint()
+	env := &Envelope{Type: typ, ID: id, codec: Binary}
+	if version == binVersion2 {
+		env.codec = Binary2
+		flags := cur.byte()
+		if flags&binFlagDeadline != 0 {
+			env.Deadline = cur.varint()
+		}
+		if flags&binFlagFrom != 0 {
+			env.From = cur.string()
+		}
+	}
 	if cur.err != nil {
 		return nil, cur.err
 	}
 	if typ == "" {
 		return nil, errors.New("envelope without type")
 	}
-	env := &Envelope{Type: typ, ID: id, codec: Binary}
 	if len(cur.b) > 0 {
 		// Copy the payload out of the pooled read buffer.
 		env.Payload = append([]byte(nil), cur.b...)
@@ -194,6 +261,10 @@ func appendBinPayload(dst []byte, typ string, msg any) ([]byte, error) {
 		return appendBinHelloAck(dst, &m), nil
 	case *HelloAck:
 		return appendBinHelloAck(dst, m), nil
+	case BusyReply:
+		return appendBinBusyReply(dst, &m), nil
+	case *BusyReply:
+		return appendBinBusyReply(dst, m), nil
 	}
 	raw, err := json.Marshal(msg)
 	if err != nil {
@@ -274,6 +345,11 @@ func decodeBinTyped(b []byte, out any) error {
 			if len(cur.b) > 0 {
 				v.First = cur.byte() != 0
 			}
+		}
+	case *BusyReply:
+		if check(pidBusyReply) {
+			v.RetryAfterMS = cur.varint()
+			v.Reason = cur.string()
 		}
 	default:
 		return fmt.Errorf("no binary decoder for %T", out)
@@ -392,6 +468,16 @@ func appendBinHello(dst []byte, m *Hello) []byte {
 	dst = appendBinString(dst, m.First.Type)
 	dst = binary.AppendUvarint(dst, m.First.ID)
 	return appendBinBytes(dst, m.First.Payload)
+}
+
+// appendBinBusyReply is a typed fast path even though "busy" travels via
+// the inline-string envelope escape: only overload-aware builds ever
+// encode or decode a busy payload, so there is no old decoder to protect.
+func appendBinBusyReply(dst []byte, m *BusyReply) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidBusyReply)
+	dst = binary.AppendVarint(dst, m.RetryAfterMS)
+	return appendBinString(dst, m.Reason)
 }
 
 func appendBinHelloAck(dst []byte, m *HelloAck) []byte {

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Backoff jitter. After a server restart every heartbeating client
+// observes the connection loss at the same instant; pure exponential
+// backoff would march the whole fleet back through the redial (and
+// retry) schedule in lockstep — a self-inflicted thundering herd that
+// re-overloads the server it is waiting on. Full jitter (each sleep
+// drawn uniformly from [0, backoff)) decorrelates the fleet while
+// keeping the same mean pressure.
+
+// jitterSeed is per-process: fleets must not share a stream, or the
+// herd re-synchronizes.
+var (
+	jitterSeed = uint64(time.Now().UnixNano())
+	jitterSeq  atomic.Uint64
+)
+
+// jitterRand draws the next value of a splitmix64 stream. Lock-free and
+// allocation-free; statistically independent draws across goroutines.
+func jitterRand() uint64 {
+	x := jitterSeed + jitterSeq.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fullJitter returns a uniform duration in [0, d); non-positive d
+// returns 0.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(jitterRand() % uint64(d))
+}

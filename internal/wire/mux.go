@@ -27,6 +27,14 @@ type ServeOptions struct {
 	// handler like any other request — exactly how a pre-codec server
 	// behaves. Tests use it to prove new clients fall back cleanly.
 	DisableNegotiation bool
+	// Overload enables the overload-control dispatch path: decoded
+	// requests route through priority lanes (control > lease > bulk)
+	// with admission and deadline-aware shedding instead of the single
+	// FIFO. Nil keeps the original FIFO behaviour. See OverloadPolicy.
+	Overload *OverloadPolicy
+	// Logf receives rare serve-side diagnostics (a negative Window being
+	// clamped); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // ServeConn multiplexes one connection with the default codec preference;
@@ -41,6 +49,13 @@ func ServeConn(conn net.Conn, window int, handle Handler) error {
 type outbound struct {
 	env      *Envelope
 	switchTo Codec
+}
+
+// workItem is one request handed to a worker; lane is meaningful only on
+// the overload path (goodput accounting).
+type workItem struct {
+	env  *Envelope
+	lane Lane
 }
 
 // ServeConnOpts multiplexes one connection: a reader loop decodes frames
@@ -63,33 +78,52 @@ type outbound struct {
 // after all in-flight handlers finish; the returned error is the terminal
 // read or write failure (io.EOF for a clean peer close). It does not close
 // conn; the caller owns its lifecycle.
+//
+// With Overload set, the reader feeds per-lane queues instead of the
+// FIFO: a dispatcher goroutine pops them strict-control-first (then
+// weighted between lease and bulk) and hands to the same worker pool, so
+// a saturated window always serves control frames next; over-limit,
+// queue-full, and expired requests are answered with a cheap Busy reply
+// from the read side without ever occupying a worker.
 func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 	window := opts.Window
 	if window < 1 {
+		if window < 0 && opts.Logf != nil {
+			opts.Logf("wire: connection window %d clamped to 1 (serialized dispatch)", window)
+		}
 		window = 1
 	}
 	codecs := opts.Codecs
 	if codecs == nil {
 		codecs = DefaultCodecs()
 	}
-	work := make(chan *Envelope)
+	work := make(chan workItem)
 	replies := make(chan outbound, window)
+	var lanes *Lanes
+	if opts.Overload != nil {
+		lanes = NewLanes(opts.Overload, func(env *Envelope, _ any, busy *BusyReply) {
+			replies <- outbound{env: BusyEnvelope(env.ID, busy)}
+		})
+	}
 	var workers sync.WaitGroup
 	spawned := 0
 	worker := func() {
 		defer workers.Done()
-		for env := range work {
-			if reply := handle(env); reply != nil {
+		for item := range work {
+			if reply := handle(item.env); reply != nil {
 				replies <- outbound{env: reply}
+			}
+			if lanes != nil {
+				lanes.Done(item.lane)
 			}
 		}
 	}
 	// dispatch hands one frame to an idle worker, growing the pool on
 	// demand up to the window: a mostly-idle connection costs one parked
 	// goroutine, not `window` of them, with identical semantics.
-	dispatch := func(env *Envelope) {
+	dispatch := func(item workItem) {
 		select {
-		case work <- env:
+		case work <- item:
 			return
 		default:
 		}
@@ -98,7 +132,34 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 			workers.Add(1)
 			go worker()
 		}
-		work <- env // blocks only when all `window` workers are busy
+		work <- item // blocks only when all `window` workers are busy
+	}
+	// enqueue routes one decoded request toward the workers: straight to
+	// dispatch on the FIFO path, through the lane queues when overload
+	// control is on (the dispatcher below moves them to the workers).
+	enqueue := func(env *Envelope) {
+		if lanes != nil {
+			lanes.Offer(env, nil)
+			return
+		}
+		dispatch(workItem{env: env})
+	}
+	dispatcherDone := make(chan struct{})
+	if lanes != nil {
+		// The dispatcher serializes lane picks; `dispatch` itself is not
+		// safe for concurrent use, and priority is decided at pop time.
+		go func() {
+			defer close(dispatcherDone)
+			for {
+				env, _, lane, ok := lanes.Pop()
+				if !ok {
+					return
+				}
+				dispatch(workItem{env: env, lane: lane})
+			}
+		}()
+	} else {
+		close(dispatcherDone)
 	}
 	writerDone := make(chan struct{})
 	var writeErr error
@@ -157,13 +218,19 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 					// the ack through the writer.
 					piggy := &Envelope{Type: h.First.Type, ID: h.First.ID, Payload: h.First.Payload}
 					piggy.codec = JSON
-					dispatch(piggy)
+					enqueue(piggy)
 				}
 				continue
 			}
 		}
-		dispatch(env)
+		enqueue(env)
 	}
+	if lanes != nil {
+		// Drain: Pop keeps returning what was queued before the close,
+		// then the dispatcher closes nothing further and exits.
+		lanes.Close()
+	}
+	<-dispatcherDone
 	close(work)
 	workers.Wait()
 	close(replies)

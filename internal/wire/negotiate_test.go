@@ -17,7 +17,7 @@ import (
 //	go test -race ./internal/wire -wire-default-codec=binary
 //	go test -race ./internal/wire -wire-default-codec=json
 var defaultCodecFlag = flag.String("wire-default-codec", "",
-	"force the default codec preference for this test run: json or binary")
+	"force the default codec preference for this test run: json, binary, or binary2")
 
 func TestMain(m *testing.M) {
 	flag.Parse()
@@ -27,6 +27,8 @@ func TestMain(m *testing.M) {
 		defaultCodecs = []Codec{JSON}
 	case "binary":
 		defaultCodecs = []Codec{Binary, JSON}
+	case "binary2":
+		defaultCodecs = []Codec{Binary2, Binary, JSON}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -wire-default-codec %q\n", *defaultCodecFlag)
 		os.Exit(2)
@@ -257,7 +259,7 @@ func TestNegotiationSurvivesReconnect(t *testing.T) {
 // rejection precedes the wire, so sibling calls and the connection
 // survive.
 func TestOversizedCallIsolationPerCodec(t *testing.T) {
-	for _, name := range []string{"json", "binary"} {
+	for _, name := range []string{"json", "binary", "binary2"} {
 		t.Run(name, func(t *testing.T) {
 			codec, err := CodecByName(name)
 			if err != nil {

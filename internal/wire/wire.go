@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"actyp/internal/pool"
 	"actyp/internal/shadow"
@@ -37,16 +38,28 @@ const (
 	TypeError     = "error"      // ErrorReply (any request can fail)
 	TypeHello     = "hello"      // Hello -> HelloAck (codec negotiation, first frame only)
 	TypeHelloAck  = "hello-ack"  // negotiation answer, encoded in the chosen codec
+	TypeBusy      = "busy"       // BusyReply (request shed by overload control, never dispatched)
 )
 
 // Envelope is the frame body. On the write side the typed payload rides in
 // Msg and is encoded by the connection's codec when the frame is written;
 // on the read side Payload holds the raw payload bytes in the codec that
 // framed them, and Decode routes through that codec.
+//
+// From and Deadline are the overload-control extensions: From names the
+// requesting account or group (the admission-bucket key) and Deadline is
+// the caller's absolute deadline in UnixNano (0 = none; work whose
+// deadline has passed is shed with a Busy reply instead of dispatched).
+// Both are optional JSON fields, so old JSON peers ignore them silently;
+// the v1 binary codec has no room for them and drops both, which is why
+// deadline-aware peers negotiate the "binary2" codec and fall back to
+// no-deadline behaviour against older builds.
 type Envelope struct {
-	Type    string          `json:"type"`
-	ID      uint64          `json:"id"`
-	Payload json.RawMessage `json:"payload,omitempty"`
+	Type     string          `json:"type"`
+	ID       uint64          `json:"id"`
+	From     string          `json:"from,omitempty"`
+	Deadline int64           `json:"deadline,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
 
 	// Msg is the typed payload awaiting encode. It is set by NewEnvelope
 	// and consumed by the framing codec; it never travels as-is.
@@ -55,6 +68,22 @@ type Envelope struct {
 	// codec is the codec that produced Payload (nil for hand-built
 	// envelopes, which default to JSON).
 	codec Codec
+}
+
+// SetDeadline stamps the caller's absolute deadline on the envelope; the
+// zero time clears it.
+func (e *Envelope) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		e.Deadline = 0
+		return
+	}
+	e.Deadline = t.UnixNano()
+}
+
+// Expired reports whether the envelope carries a deadline that has already
+// passed at now. Envelopes without a deadline never expire.
+func (e *Envelope) Expired(now time.Time) bool {
+	return e.Deadline != 0 && now.UnixNano() > e.Deadline
 }
 
 // Hello is the client's codec advertisement, always sent as the first
@@ -145,6 +174,17 @@ type SpawnPoolReply struct {
 // ErrorReply carries a failure back to the requester.
 type ErrorReply struct {
 	Message string `json:"message"`
+}
+
+// BusyReply tells the requester its request was shed by overload control
+// before any worker touched it — the admission bucket was empty, the lane
+// queue was full, or the deadline had already expired. RetryAfterMS hints
+// when capacity should exist again; clients back off at least that long
+// (with jitter) before retrying. Old peers see an unknown "busy" message
+// type and surface it as an ordinary call failure.
+type BusyReply struct {
+	RetryAfterMS int64  `json:"retryAfterMs,omitempty"`
+	Reason       string `json:"reason,omitempty"`
 }
 
 // NewEnvelope wraps a payload in a typed envelope. The payload is encoded
