@@ -35,7 +35,7 @@ var jsonDir string
 var laneWeights schedule.LaneWeights
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	laneSpec := flag.String("lane-weights", "", "lane weight spec for the overload figure, e.g. lease=4,bulk=1 (default from schedule)")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
@@ -89,6 +89,7 @@ func main() {
 	run("codec", figCodec)
 	run("refresh", figRefresh)
 	run("overload", figOverload)
+	run("wan", figWan)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -238,6 +239,36 @@ func figOverload(quick bool) error {
 	for i, c := range res.BulkCounts {
 		fmt.Printf("# lanes bulk counters at %gx: admitted=%d shed=%d expired=%d done=%d\n",
 			res.ControlP99[0].Points[i].X, c.Admitted, c.Shed, c.Expired, c.Done)
+	}
+	return res.Check()
+}
+
+// figWan sweeps record-batch replies across payload size, network profile
+// (LAN vs bandwidth-modeled WAN), and wire encoding (full baseline, delta
+// batch, delta+flate). The bytes-per-op series comes from the client
+// connection's metrics.WireStats; the result's Check() is the regression
+// bar — compressed+delta must move >=5x fewer bytes (or complete >=3x the
+// ops/s) than the full baseline at the 8KiB-class WAN point — so a CI
+// smoke run of this figure is the WAN-wire regression gate.
+func figWan(quick bool) error {
+	cfg := experiments.DefaultWan()
+	if quick {
+		cfg.Machines = 128
+		cfg.Batches = []int{4, 32}
+		cfg.Clients = 4
+		cfg.OpsPerClient = 8
+	}
+	res, err := experiments.WanScale(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit("wan", "WAN wire: select throughput vs records per reply, per profile and encoding",
+		"records per reply", "throughput (ops/s)", res.Ops); err != nil {
+		return err
+	}
+	if err := emit("wan_bytes", "WAN wire: bytes on the wire per select, per profile and encoding",
+		"records per reply", "wire bytes per op", res.Bytes); err != nil {
+		return err
 	}
 	return res.Check()
 }

@@ -22,17 +22,23 @@ import (
 
 	"actyp/internal/core"
 	"actyp/internal/netsim"
+	"actyp/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7464", "actypd address")
+	wireCodec := flag.String("wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, a compressed variant like binary2+flate, or a comma list")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	client, err := core.Dial(*addr, netsim.Local())
+	codecs, err := wire.ParseCodecs(*wireCodec)
+	if err != nil {
+		log.Fatalf("actypctl: %v", err)
+	}
+	client, err := core.DialOpts(*addr, netsim.Local(), core.DialConfig{Codecs: codecs})
 	if err != nil {
 		log.Fatalf("actypctl: %v", err)
 	}
@@ -105,8 +111,8 @@ func request(client *core.Client, args []string) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  actypctl [-addr host:port] ping
-  actypctl [-addr host:port] request [-hold d] [-lang name] [-file f] ['key = value' ...]
+  actypctl [-addr host:port] [-wire-codec spec] ping
+  actypctl [-addr host:port] [-wire-codec spec] request [-hold d] [-lang name] [-file f] ['key = value' ...]
 `)
 	os.Exit(2)
 }

@@ -89,7 +89,7 @@ func main() {
 	flag.StringVar(&cfg.poolEngine, "pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; -scancost pools stay on oracle)")
 	flag.StringVar(&cfg.refreshMode, "refresh-mode", "", "pool freshness mode: events (registry change stream, default) or poll (timer-driven full refresh)")
 	flag.IntVar(&cfg.connWindow, "conn-window", wire.DefaultWindow, "per-connection in-flight request window (1 serializes each connection)")
-	flag.StringVar(&cfg.wireCodec, "wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, or a comma list")
+	flag.StringVar(&cfg.wireCodec, "wire-codec", "auto", "wire codec preference: auto (negotiate, binary preferred), binary, json, a compressed variant like binary2+flate, or a comma list")
 	flag.StringVar(&cfg.laneWeights, "lane-weights", "lease=4,bulk=1", "priority-lane round-robin weights for overloaded dispatch, e.g. lease=4,bulk=1 (control is always first); \"off\" restores plain FIFO dispatch")
 	flag.Float64Var(&cfg.admitRate, "admit-rate", 0, "default per-account admission rate in requests/s; over-limit requests are shed with Busy (0 disables admission)")
 	flag.Float64Var(&cfg.admitBurst, "admit-burst", 0, "default admission burst capacity in tokens (0: same as -admit-rate)")
@@ -194,7 +194,10 @@ func run(cfg daemonConfig) error {
 	if cfg.connWindow < 1 {
 		cfg.connWindow = -1 // 0 means serial, as it always did (negatives are rejected in main)
 	}
-	srv, err := core.ServeOpts(svc, cfg.addr, profile, core.ServeConfig{Window: cfg.connWindow, Codecs: codecs, Overload: overload})
+	// One WireStats instance spans every endpoint of the daemon, so the
+	// shutdown report is the process's whole wire footprint per codec.
+	wireStats := &metrics.WireStats{}
+	srv, err := core.ServeOpts(svc, cfg.addr, profile, core.ServeConfig{Window: cfg.connWindow, Codecs: codecs, Overload: overload, Stats: wireStats})
 	if err != nil {
 		return err
 	}
@@ -219,7 +222,7 @@ func run(cfg daemonConfig) error {
 		if len(pms) == 0 {
 			return fmt.Errorf("no pool manager to expose on -stage-addr")
 		}
-		st, err := stage.ServeOpts(pms[0], cfg.stageAddr, profile, stage.ServerOptions{Window: cfg.stageWin, Codecs: codecs})
+		st, err := stage.ServeOpts(pms[0], cfg.stageAddr, profile, stage.ServerOptions{Window: cfg.stageWin, Codecs: codecs, Stats: wireStats})
 		if err != nil {
 			return err
 		}
@@ -227,7 +230,7 @@ func run(cfg daemonConfig) error {
 		log.Printf("actypd: stage endpoint on %s (window %d)", st.Addr(), cfg.stageWin)
 	}
 	if cfg.proxyAddr != "" {
-		px, err := proxy.StartOpts(db, cfg.proxyAddr, profile, proxy.ServerOptions{Window: cfg.proxyWin, Codecs: codecs})
+		px, err := proxy.StartOpts(db, cfg.proxyAddr, profile, proxy.ServerOptions{Window: cfg.proxyWin, Codecs: codecs, Stats: wireStats})
 		if err != nil {
 			return err
 		}
@@ -247,6 +250,9 @@ func run(cfg daemonConfig) error {
 			log.Printf("actypd: overload lane %s: admitted=%d shed=%d expired=%d done=%d",
 				metrics.ClassNames[class], c.Admitted, c.Shed, c.Expired, c.Done)
 		}
+	}
+	if report := wireStats.String(); report != "" {
+		log.Printf("actypd: wire traffic per codec:\n%s", report)
 	}
 	return nil
 }

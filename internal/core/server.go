@@ -9,8 +9,10 @@ import (
 	"sync"
 	"time"
 
+	"actyp/internal/metrics"
 	"actyp/internal/netsim"
 	"actyp/internal/policy"
+	"actyp/internal/registry"
 	"actyp/internal/wire"
 )
 
@@ -57,6 +59,9 @@ type ServeConfig struct {
 	// priority-lane dispatch, admission, and deadline-aware shedding.
 	// See wire.OverloadPolicy.
 	Overload *wire.OverloadPolicy
+	// Stats, when set, accounts every frame served (bytes, frames,
+	// compressed-vs-raw) per codec. See metrics.WireStats.
+	Stats *metrics.WireStats
 }
 
 // AdmitFrom adapts a policy.Admitter into the wire-layer admission hook:
@@ -163,6 +168,7 @@ func (s *Server) handle(conn net.Conn) {
 		Codecs:             s.cfg.Codecs,
 		DisableNegotiation: s.cfg.DisableNegotiation,
 		Overload:           s.cfg.Overload,
+		Stats:              s.cfg.Stats,
 		Logf: func(format string, args ...any) {
 			// A negative window is a misconfiguration the wire layer
 			// clamps; surface it once per listener, not per connection.
@@ -230,6 +236,17 @@ func dispatchEnvelope(svc *Service, env *wire.Envelope) (*wire.Envelope, error) 
 			return nil, err
 		}
 		return wire.NewEnvelope(wire.TypeRenew, env.ID, wire.RenewReply{})
+	case wire.TypeSelect:
+		var req wire.SelectRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		ms, total, err := svc.SelectMachines(req.Text, req.Limit)
+		if err != nil {
+			return nil, err
+		}
+		reply := wire.SelectReply{Total: total, Records: wire.RecordSet{Machines: ms, Full: req.Full}}
+		return wire.NewEnvelope(wire.TypeSelect, env.ID, reply)
 	default:
 		return nil, fmt.Errorf("core: unknown message type %q", env.Type)
 	}
@@ -257,6 +274,9 @@ type DialConfig struct {
 	// From names the requesting account or group; servers running
 	// admission control key their token buckets off it.
 	From string
+	// Stats, when set, accounts every frame this client sends and
+	// receives (bytes, frames, compressed-vs-raw) per codec.
+	Stats *metrics.WireStats
 }
 
 // Dial connects a client to a server with the given network profile and
@@ -274,6 +294,7 @@ func DialOpts(addr string, profile netsim.Profile, cfg DialConfig) (*Client, err
 		Codecs:             cfg.Codecs,
 		DisableNegotiation: cfg.DisableNegotiation,
 		From:               cfg.From,
+		Stats:              cfg.Stats,
 	})
 	if err := c.Connect(); err != nil {
 		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
@@ -380,4 +401,26 @@ func (c *Client) Renew(g *Grant) error {
 	}
 	_, err := c.callIdempotent(context.Background(), wire.TypeRenew, wire.RenewRequest{Lease: *g.Lease})
 	return err
+}
+
+// Select fetches the machine records matching a basic query text (""
+// selects every record); limit caps the returned batch (0 = no cap). The
+// reply's total reports the uncapped match count. On binary connections
+// the batch travels delta-encoded; pass full=true to pin the full
+// per-record encoding (the differential oracle and benchmark baseline).
+func (c *Client) Select(text string, limit int, full bool) ([]*registry.Machine, int, error) {
+	return c.SelectContext(context.Background(), text, limit, full)
+}
+
+// SelectContext is Select with cancellation.
+func (c *Client) SelectContext(ctx context.Context, text string, limit int, full bool) ([]*registry.Machine, int, error) {
+	env, err := c.call(ctx, wire.TypeSelect, wire.SelectRequest{Text: text, Limit: limit, Full: full})
+	if err != nil {
+		return nil, 0, err
+	}
+	var reply wire.SelectReply
+	if err := env.Decode(&reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Records.Machines, reply.Total, nil
 }

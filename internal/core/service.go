@@ -401,6 +401,23 @@ func (s *Service) Directory() *directory.Service { return s.dir }
 // DB exposes the white-pages database.
 func (s *Service) DB() *registry.DB { return s.db }
 
+// SelectMachines returns the machine records matching a basic query text
+// ("" selects every record), plus the uncapped match count. A positive
+// limit truncates the returned slice; Total still reports the full count.
+// This is the record-batch read behind the wire "select" endpoint.
+func (s *Service) SelectMachines(text string, limit int) ([]*registry.Machine, int, error) {
+	q, err := query.ParseBasic(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	ms := s.db.Select(q)
+	total := len(ms)
+	if limit > 0 && len(ms) > limit {
+		ms = ms[:limit]
+	}
+	return ms, total, nil
+}
+
 // PoolManagers exposes the pool-manager stage.
 func (s *Service) PoolManagers() []*poolmgr.Manager {
 	out := make([]*poolmgr.Manager, len(s.pms))

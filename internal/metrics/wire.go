@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// wireCounter is one codec's byte/frame counter block. Wire bytes are
+// what actually crossed the connection (length prefix included); raw
+// bytes are what the same frames would have cost uncompressed, so
+// raw/wire is the compression ratio (1.0 on uncompressed codecs).
+type wireCounter struct {
+	framesOut atomic.Int64
+	framesIn  atomic.Int64
+	bytesOut  atomic.Int64
+	bytesIn   atomic.Int64
+	rawOut    atomic.Int64
+	rawIn     atomic.Int64
+}
+
+// WireStats accumulates per-codec wire accounting across every framer it
+// is handed to (typically one instance per process, shared by all
+// endpoints). All methods are safe for concurrent use.
+type WireStats struct {
+	m sync.Map // codec name -> *wireCounter
+}
+
+// NewWireStats returns an empty stats block.
+func NewWireStats() *WireStats { return &WireStats{} }
+
+func (s *WireStats) counter(codec string) *wireCounter {
+	if c, ok := s.m.Load(codec); ok {
+		return c.(*wireCounter)
+	}
+	c, _ := s.m.LoadOrStore(codec, &wireCounter{})
+	return c.(*wireCounter)
+}
+
+// Sent records one frame written under the named codec: wire is the bytes
+// that hit the connection, raw the uncompressed-equivalent size.
+func (s *WireStats) Sent(codec string, wire, raw int) {
+	c := s.counter(codec)
+	c.framesOut.Add(1)
+	c.bytesOut.Add(int64(wire))
+	c.rawOut.Add(int64(raw))
+}
+
+// Received records one frame read under the named codec.
+func (s *WireStats) Received(codec string, wire, raw int) {
+	c := s.counter(codec)
+	c.framesIn.Add(1)
+	c.bytesIn.Add(int64(wire))
+	c.rawIn.Add(int64(raw))
+}
+
+// WireCounts is one codec's snapshot.
+type WireCounts struct {
+	FramesOut int64 `json:"framesOut"`
+	FramesIn  int64 `json:"framesIn"`
+	BytesOut  int64 `json:"bytesOut"`
+	BytesIn   int64 `json:"bytesIn"`
+	RawOut    int64 `json:"rawOut"`
+	RawIn     int64 `json:"rawIn"`
+}
+
+// Ratio returns the compression ratio raw/wire across both directions
+// (1.0 when nothing traveled or the codec does not compress).
+func (c WireCounts) Ratio() float64 {
+	wire := c.BytesOut + c.BytesIn
+	if wire == 0 {
+		return 1
+	}
+	return float64(c.RawOut+c.RawIn) / float64(wire)
+}
+
+// Snapshot returns a copy of every codec's counters (each counter read
+// atomically; the set is not a single atomic cut).
+func (s *WireStats) Snapshot() map[string]WireCounts {
+	out := make(map[string]WireCounts)
+	s.m.Range(func(k, v any) bool {
+		c := v.(*wireCounter)
+		out[k.(string)] = WireCounts{
+			FramesOut: c.framesOut.Load(),
+			FramesIn:  c.framesIn.Load(),
+			BytesOut:  c.bytesOut.Load(),
+			BytesIn:   c.bytesIn.Load(),
+			RawOut:    c.rawOut.Load(),
+			RawIn:     c.rawIn.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the snapshot one codec per line, sorted by name, in the
+// shape actypd logs at shutdown.
+func (s *WireStats) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		c := snap[name]
+		fmt.Fprintf(&b, "codec %s: out %d frames / %d B, in %d frames / %d B, ratio %.2fx",
+			name, c.FramesOut, c.BytesOut, c.FramesIn, c.BytesIn, c.Ratio())
+	}
+	return b.String()
+}

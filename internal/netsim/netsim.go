@@ -13,11 +13,17 @@ import (
 )
 
 // Profile describes link behaviour: a fixed one-way latency plus uniform
-// jitter in [0, Jitter).
+// jitter in [0, Jitter), and optionally a bandwidth cap. With Bandwidth
+// set, each write additionally pays size/Bandwidth of serialization delay
+// on a per-direction transmit queue (store-and-forward: a write cannot
+// start transmitting until the previous one finished), so large frames
+// cost wall-clock time proportional to their bytes — without it a 64KiB
+// reply crosses the simulated WAN as cheaply as a ping.
 type Profile struct {
-	Latency time.Duration // one-way propagation delay
-	Jitter  time.Duration // additional uniform random delay
-	Seed    int64         // jitter stream seed (0 means 1)
+	Latency   time.Duration // one-way propagation delay
+	Jitter    time.Duration // additional uniform random delay
+	Bandwidth float64       // link bandwidth in bytes/s (0 means unlimited)
+	Seed      int64         // jitter stream seed (0 means 1)
 }
 
 // Local is a zero-delay profile (direct function calls / loopback).
@@ -30,13 +36,16 @@ func LAN() Profile {
 }
 
 // WAN models the Purdue–UPC transatlantic link of Section 7:
-// tens-of-milliseconds one-way latency with moderate jitter.
+// tens-of-milliseconds one-way latency with moderate jitter, and the
+// few-Mbit/s effective throughput of the era's academic trans-Atlantic
+// paths (256 KiB/s ≈ 2 Mbit/s). The LAN profile deliberately stays
+// unlimited: machine-room links are never the experiments' bottleneck.
 func WAN() Profile {
-	return Profile{Latency: 45 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 1}
+	return Profile{Latency: 45 * time.Millisecond, Jitter: 5 * time.Millisecond, Bandwidth: 256 << 10, Seed: 1}
 }
 
-// Zero reports whether the profile adds no delay.
-func (p Profile) Zero() bool { return p.Latency <= 0 && p.Jitter <= 0 }
+// Zero reports whether the profile adds no delay (and no bandwidth cap).
+func (p Profile) Zero() bool { return p.Latency <= 0 && p.Jitter <= 0 && p.Bandwidth <= 0 }
 
 // Delayer produces per-message delays for one flow.
 type Delayer struct {
@@ -99,9 +108,13 @@ type Conn struct {
 	pumpCond *sync.Cond // pump waits here for work
 	sendCond *sync.Cond // writers wait here for queue space
 	queue    []chunk
-	err      error // first underlying write error, returned by later Writes
-	closed   bool
-	done     chan struct{} // pump exited
+	// busyUntil is when this direction's transmitter frees up: with a
+	// bandwidth cap, a write starts serializing at max(now, busyUntil)
+	// and holds the link for size/Bandwidth (store-and-forward).
+	busyUntil time.Time
+	err       error // first underlying write error, returned by later Writes
+	closed    bool
+	done      chan struct{} // pump exited
 }
 
 // chunk is one delayed write.
@@ -127,9 +140,10 @@ func WrapConn(c net.Conn, p Profile) net.Conn {
 	return nc
 }
 
-// Write queues the data for delivery one one-way delay from now, blocking
-// only when the bounded queue is full. The copy is mandatory: callers
-// (and pooled frame encoders) reuse b immediately.
+// Write queues the data for delivery one one-way delay from now — plus,
+// under a bandwidth cap, the serialization delay of every byte queued
+// ahead of it — blocking only when the bounded queue is full. The copy is
+// mandatory: callers (and pooled frame encoders) reuse b immediately.
 func (c *Conn) Write(b []byte) (int, error) {
 	c.mu.Lock()
 	for len(c.queue) >= maxQueuedChunks && !c.closed && c.err == nil {
@@ -144,7 +158,24 @@ func (c *Conn) Write(b []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, net.ErrClosed
 	}
-	c.queue = append(c.queue, chunk{data: append([]byte(nil), b...), due: time.Now().Add(c.d.Next())})
+	// Delivery is due after propagation (latency+jitter); with a
+	// bandwidth cap, serialization happens first, on a transmitter that
+	// frees up only when the previous write's bytes are out. Propagation
+	// of consecutive writes still overlaps — only serialization is a
+	// shared resource, exactly like a real link.
+	now := time.Now()
+	due := now
+	if bw := c.d.p.Bandwidth; bw > 0 {
+		start := now
+		if c.busyUntil.After(start) {
+			start = c.busyUntil
+		}
+		txEnd := start.Add(time.Duration(float64(len(b)) / bw * float64(time.Second)))
+		c.busyUntil = txEnd
+		due = txEnd
+	}
+	due = due.Add(c.d.Next())
+	c.queue = append(c.queue, chunk{data: append([]byte(nil), b...), due: due})
 	c.pumpCond.Signal()
 	c.mu.Unlock()
 	return len(b), nil
@@ -191,13 +222,18 @@ func (c *Conn) Close() error {
 	c.closed = true
 	c.pumpCond.Signal()
 	c.sendCond.Broadcast()
+	// Every queued chunk is due at most one full propagation delay after
+	// the transmitter frees up, so (remaining serialization) + latency +
+	// jitter + grace bounds the whole flush unless the underlying write
+	// itself is stuck.
+	flush := c.d.p.Latency + c.d.p.Jitter + closeGrace
+	if tx := time.Until(c.busyUntil); tx > 0 {
+		flush += tx
+	}
 	c.mu.Unlock()
-	// Every queued chunk was stamped due at most one full delay from its
-	// Write, so latency+jitter+grace bounds the whole flush unless the
-	// underlying write itself is stuck.
 	select {
 	case <-c.done:
-	case <-time.After(c.d.p.Latency + c.d.p.Jitter + closeGrace):
+	case <-time.After(flush):
 	}
 	err := c.Conn.Close()
 	<-c.done

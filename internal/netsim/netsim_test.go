@@ -101,3 +101,67 @@ func TestDialerErrors(t *testing.T) {
 		t.Error("dial to closed port should fail")
 	}
 }
+
+func TestBandwidthProfile(t *testing.T) {
+	if WAN().Bandwidth <= 0 {
+		t.Error("WAN profile should model bandwidth")
+	}
+	if LAN().Bandwidth != 0 {
+		t.Error("LAN profile deliberately stays unlimited")
+	}
+	if (Profile{Bandwidth: 1 << 20}).Zero() {
+		t.Error("a bandwidth cap alone is not a zero profile")
+	}
+}
+
+// TestBandwidthSerializationDelay sends a large payload over a
+// zero-latency, bandwidth-capped link and checks delivery takes about
+// size/Bandwidth — and that consecutive writes serialize (store-and-
+// forward) instead of overlapping.
+func TestBandwidthSerializationDelay(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", Profile{}) // server side unshaped
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan time.Time, 1)
+	const total = 512 << 10 // 2 writes x 256KiB at 1MiB/s = ~500ms
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64<<10)
+		got := 0
+		for got < total {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			got += n
+		}
+		done <- time.Now()
+	}()
+
+	conn, err := (Dialer{Profile: Profile{Bandwidth: 1 << 20, Seed: 1}}).Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	payload := make([]byte, total/2)
+	for i := 0; i < 2; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := <-done
+	elapsed := end.Sub(start)
+	if elapsed < 450*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~500ms of serialization", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("delivery took %v, absurdly slow", elapsed)
+	}
+}

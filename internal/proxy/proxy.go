@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 
+	"actyp/internal/metrics"
 	"actyp/internal/netsim"
 	"actyp/internal/pool"
 	"actyp/internal/query"
@@ -50,6 +51,9 @@ type ServerOptions struct {
 	// Codecs is the wire-codec negotiation preference (nil means
 	// wire.DefaultCodecs).
 	Codecs []wire.Codec
+	// Stats, when set, accounts every frame served per codec, across the
+	// control port and every spawned pool endpoint.
+	Stats *metrics.WireStats
 }
 
 // Server is one machine's proxy: it spawns pools and serves them.
@@ -93,7 +97,7 @@ func StartOpts(db *registry.DB, addr string, profile netsim.Profile, opts Server
 // serveOptions is the wire-level translation of the server's transport
 // configuration, shared by the control and pool connection handlers.
 func (s *Server) serveOptions() wire.ServeOptions {
-	return wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs}
+	return wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs, Stats: s.opts.Stats}
 }
 
 // Addr returns the proxy's control address.

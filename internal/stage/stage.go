@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 
+	"actyp/internal/metrics"
 	"actyp/internal/netsim"
 	"actyp/internal/pool"
 	"actyp/internal/poolmgr"
@@ -49,6 +50,61 @@ type nameReply struct {
 	Name string `json:"name"`
 }
 
+// The stage payloads implement wire.ExtPayload, so on binary connections
+// they travel as hand-rolled field codecs instead of JSON-inside-binary.
+// Stage endpoints only ever talk to like-versioned stage processes, which
+// is what makes a private extension tag safe here; JSON connections still
+// marshal the structs as before.
+
+func (m resolveRequest) AppendExt(dst []byte) []byte {
+	dst = wire.AppendString(dst, m.Query)
+	dst = wire.AppendVarint(dst, int64(m.TTL))
+	return wire.AppendStrings(dst, m.Visited)
+}
+
+func (m *resolveRequest) DecodeExt(cur *wire.Cursor) error {
+	m.Query = cur.String()
+	m.TTL = int(cur.Varint())
+	m.Visited = cur.Strings()
+	return cur.Err()
+}
+
+func (m resolveReply) AppendExt(dst []byte) []byte {
+	if m.Lease == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return wire.AppendLease(dst, *m.Lease)
+}
+
+func (m *resolveReply) DecodeExt(cur *wire.Cursor) error {
+	if cur.Byte() == 0 {
+		m.Lease = nil
+		return cur.Err()
+	}
+	l := cur.Lease()
+	m.Lease = &l
+	return cur.Err()
+}
+
+func (m releaseRequest) AppendExt(dst []byte) []byte {
+	return wire.AppendLease(dst, m.Lease)
+}
+
+func (m *releaseRequest) DecodeExt(cur *wire.Cursor) error {
+	m.Lease = cur.Lease()
+	return cur.Err()
+}
+
+func (m nameReply) AppendExt(dst []byte) []byte {
+	return wire.AppendString(dst, m.Name)
+}
+
+func (m *nameReply) DecodeExt(cur *wire.Cursor) error {
+	m.Name = cur.String()
+	return cur.Err()
+}
+
 // ServerOptions tunes a stage server's per-connection transport.
 type ServerOptions struct {
 	// Window is the per-connection in-flight window (0 means
@@ -58,6 +114,8 @@ type ServerOptions struct {
 	// Codecs is the wire-codec negotiation preference (nil means
 	// wire.DefaultCodecs).
 	Codecs []wire.Codec
+	// Stats, when set, accounts every frame served per codec.
+	Stats *metrics.WireStats
 }
 
 // Server exposes a pool manager over TCP.
@@ -129,7 +187,7 @@ func (s *Server) handle(conn net.Conn) {
 	// The pool manager is concurrency-safe, so one connection's requests
 	// dispatch through the multiplexer and overlap; a delegated Resolve
 	// that fans out across peers no longer blocks the releases behind it.
-	wire.ServeConnOpts(conn, wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs}, s.dispatch)
+	wire.ServeConnOpts(conn, wire.ServeOptions{Window: s.opts.Window, Codecs: s.opts.Codecs, Stats: s.opts.Stats}, s.dispatch)
 }
 
 func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
@@ -138,7 +196,10 @@ func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
 	case wire.TypePing:
 		return &wire.Envelope{Type: wire.TypePing, ID: env.ID}
 	case typeName:
-		reply, err := wire.NewEnvelope(typeName, env.ID, nameReply{Name: s.pm.Name()})
+		// Payloads pass as pointers: only the pointer types carry the full
+		// wire.ExtPayload method set, which is what routes them through the
+		// binary extension tag.
+		reply, err := wire.NewEnvelope(typeName, env.ID, &nameReply{Name: s.pm.Name()})
 		if err != nil {
 			return fail(err)
 		}
@@ -156,7 +217,7 @@ func (s *Server) dispatch(env *wire.Envelope) *wire.Envelope {
 		if err != nil {
 			return fail(err)
 		}
-		reply, err := wire.NewEnvelope(typeResolve, env.ID, resolveReply{Lease: lease})
+		reply, err := wire.NewEnvelope(typeResolve, env.ID, &resolveReply{Lease: lease})
 		if err != nil {
 			return fail(err)
 		}
@@ -230,7 +291,7 @@ func (r *Remote) Resolve(q *query.Query) (*pool.Lease, error) {
 // Forward implements directory.Forwarder: the TTL and visited list travel
 // in the wire message.
 func (r *Remote) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
-	reply, err := r.call(typeResolve, resolveRequest{
+	reply, err := r.call(typeResolve, &resolveRequest{
 		Query: q.String(), TTL: ttl, Visited: visited,
 	})
 	if err != nil {
@@ -251,7 +312,7 @@ func (r *Remote) Release(lease *pool.Lease) error {
 	if lease == nil {
 		return fmt.Errorf("stage: nil lease")
 	}
-	_, err := r.call(typeRelease, releaseRequest{Lease: *lease})
+	_, err := r.call(typeRelease, &releaseRequest{Lease: *lease})
 	return err
 }
 

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"actyp/internal/metrics"
 )
 
 // DialFunc opens the transport connection a Client multiplexes. The client
@@ -70,6 +72,10 @@ type ClientOptions struct {
 	// outgoing envelope as the server's admission-bucket key; codecs
 	// without envelope identity (binary v1) drop it silently.
 	From string
+	// Stats, when set, accounts every frame the client writes and reads
+	// (bytes, frames, compressed-vs-raw) under the connection codec's
+	// name.
+	Stats *metrics.WireStats
 }
 
 // Client multiplexes concurrent requests over one connection: every call
@@ -92,6 +98,7 @@ type Client struct {
 	codecs      []Codec
 	noNegotiate bool
 	from        string
+	stats       *metrics.WireStats
 
 	writeMu sync.Mutex // serializes frame writes on the live connection
 
@@ -128,6 +135,7 @@ func NewClientOpts(dial DialFunc, opts ClientOptions) *Client {
 		codecs:      codecs,
 		noNegotiate: opts.DisableNegotiation,
 		from:        opts.From,
+		stats:       opts.Stats,
 		pending:     make(map[uint64]chan callResult),
 	}
 }
@@ -357,7 +365,7 @@ func (c *Client) dialAndNegotiate() (net.Conn, *Framer, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrDial, err)
 	}
-	framer := NewFramer(JSON)
+	framer := NewFramerStats(JSON, c.stats)
 	if !c.noNegotiate {
 		bound := negotiateTimeout
 		if c.timeout > 0 && c.timeout < bound {
@@ -370,7 +378,7 @@ func (c *Client) dialAndNegotiate() (net.Conn, *Framer, error) {
 			return nil, nil, fmt.Errorf("%w: negotiate: %v", ErrDial, err)
 		}
 		_ = conn.SetDeadline(time.Time{})
-		framer = NewFramer(chosen)
+		framer = NewFramerStats(chosen, c.stats)
 	}
 	return conn, framer, nil
 }

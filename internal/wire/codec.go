@@ -8,6 +8,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"actyp/internal/metrics"
 )
 
 // Codec is the pluggable encoding a connection's frames travel in. A codec
@@ -64,23 +66,41 @@ func DefaultCodecs() []Codec {
 	return append([]Codec(nil), defaultCodecs...)
 }
 
-// CodecByName resolves a codec name ("json", "binary", "binary2").
+// CodecByName resolves a codec name ("json", "binary", "binary2"),
+// optionally carrying a compression suffix ("binary2+flate"). Unknown
+// algorithms and misplaced suffixes get errors that name the fix.
 func CodecByName(name string) (Codec, error) {
-	switch name {
+	base, algo := splitCodecName(name)
+	var inner Codec
+	switch base {
 	case "json":
-		return JSON, nil
+		inner = JSON
 	case "binary":
-		return Binary, nil
+		inner = Binary
 	case "binary2":
-		return Binary2, nil
+		inner = Binary2
+	case AlgoFlate, "gzip", "zlib", "zstd", "lz4", "snappy":
+		// A bare algorithm name is a common misspelling of the real
+		// syntax; point at it.
+		return nil, fmt.Errorf("wire: %q is a compression algo, not a codec: append it to a base codec, e.g. %q", name, "binary2+"+AlgoFlate)
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q (want json, binary, binary2, or <codec>+%s)", name, AlgoFlate)
 	}
-	return nil, fmt.Errorf("wire: unknown codec %q (want json, binary, or binary2)", name)
+	if algo == "" {
+		return inner, nil
+	}
+	c, err := Compressed(inner, algo)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in codec spec %q)", err, name)
+	}
+	return c, nil
 }
 
 // ParseCodecs resolves a flag-style codec spec into a preference list:
 // "" or "auto" means the default preference (binary first), a single name
 // pins that codec (negotiation still lands on JSON against a peer that
 // cannot speak it), and a comma-separated list sets an explicit order.
+// Compressed codecs spell as "<codec>+<algo>" ("binary2+flate").
 func ParseCodecs(spec string) ([]Codec, error) {
 	if spec == "" || spec == "auto" {
 		return DefaultCodecs(), nil
@@ -186,14 +206,35 @@ var readPool = sync.Pool{New: func() any {
 // scratch comes from shared pools.
 type Framer struct {
 	codec Codec
+	stats *metrics.WireStats
 }
 
 // NewFramer builds a framer over c (nil means JSON).
 func NewFramer(c Codec) *Framer {
+	return NewFramerStats(c, nil)
+}
+
+// NewFramerStats builds a framer over c that additionally accounts every
+// frame it writes and reads into stats under the codec's name (nil stats
+// means no accounting). Wire bytes include the length prefix; raw bytes
+// are the uncompressed-equivalent size, so raw/wire is the connection's
+// compression ratio.
+func NewFramerStats(c Codec, stats *metrics.WireStats) *Framer {
 	if c == nil {
 		c = JSON
 	}
-	return &Framer{codec: c}
+	return &Framer{codec: c, stats: stats}
+}
+
+// rawFrameSize returns the uncompressed-equivalent size of a frame whose
+// body is encoded by c: for a binary-family frame carrying a compressed
+// payload, the size it would have had with the payload inflated;
+// otherwise the frame size as-is.
+func rawFrameSize(c Codec, body []byte) int {
+	if bc, ok := c.(binaryCodec); ok {
+		return 4 + bc.rawBodyLen(body)
+	}
+	return 4 + len(body)
 }
 
 // Codec returns the codec the framer is bound to.
@@ -215,7 +256,10 @@ func (f *Framer) WriteFrame(w io.Writer, env *Envelope) error {
 	buf, err := f.codec.AppendEnvelope(buf, env)
 	*bp = buf[:0]
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrEncode, err)
+		// Both sentinels stay in the chain: a compressing codec rejects
+		// over-cap payloads inside AppendEnvelope with ErrFrameTooLarge,
+		// and callers match on that as well as on ErrEncode.
+		return fmt.Errorf("%w: %w", ErrEncode, err)
 	}
 	body := len(buf) - 4
 	if body > MaxFrame {
@@ -224,6 +268,9 @@ func (f *Framer) WriteFrame(w io.Writer, env *Envelope) error {
 	binary.BigEndian.PutUint32(buf[:4], uint32(body))
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if f.stats != nil {
+		f.stats.Sent(f.codec.Name(), len(buf), rawFrameSize(f.codec, buf[4:]))
 	}
 	return nil
 }
@@ -237,6 +284,9 @@ func (f *Framer) ReadFrame(r io.Reader) (*Envelope, error) {
 		return nil, err
 	}
 	defer putReadBuf(bp)
+	if f.stats != nil {
+		f.stats.Received(f.codec.Name(), 4+len(body), rawFrameSize(f.codec, body))
+	}
 	env, err := f.codec.DecodeEnvelope(body)
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)

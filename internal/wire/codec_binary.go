@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"actyp/internal/pool"
+	"actyp/internal/registry"
 	"actyp/internal/shadow"
 )
 
@@ -70,10 +71,16 @@ var binTypeNames = func() map[uint64]string {
 	return m
 }()
 
-// Payload tag bytes and fast-path payload-type ids.
+// Payload tag bytes and fast-path payload-type ids. The ext tag carries
+// hand-rolled private payloads (see ExtPayload); the compressed tag
+// wraps any of the other three behind an algo byte and a raw length
+// (see compress.go). Every binary-family decoder understands all four
+// tags regardless of which codec was negotiated.
 const (
-	binPayloadJSON  = 0x00
-	binPayloadTyped = 0x01
+	binPayloadJSON       = 0x00
+	binPayloadTyped      = 0x01
+	binPayloadExt        = 0x02
+	binPayloadCompressed = 0x03
 )
 
 const (
@@ -89,19 +96,30 @@ const (
 	pidHello
 	pidHelloAck
 	pidBusyReply
+	pidSelectRequest
+	pidSelectReply
 )
 
 type binaryCodec struct {
 	// v2 frames carry the flags byte (From, Deadline). Both variants
 	// decode both frame versions; v2 only governs what gets written.
 	v2 bool
+	// algo, when set, compresses payload regions at or above
+	// compressMinSize under the named algorithm ("flate"). Like v2 it
+	// only governs what gets written: every binary codec decodes
+	// compressed payloads.
+	algo string
 }
 
 func (c binaryCodec) Name() string {
+	name := "binary"
 	if c.v2 {
-		return "binary2"
+		name = "binary2"
 	}
-	return "binary"
+	if c.algo != "" {
+		name += "+" + c.algo
+	}
+	return name
 }
 
 // isBinaryFamily reports whether a payload decoded by c can be re-framed
@@ -110,6 +128,41 @@ func (c binaryCodec) Name() string {
 func isBinaryFamily(c Codec) bool {
 	_, ok := c.(binaryCodec)
 	return ok
+}
+
+// rawBodyLen returns what the frame body would measure with a compressed
+// payload inflated — the uncompressed-equivalent size WireStats accounts
+// as "raw". Bodies without a compressed payload (and bodies this cheap
+// parse cannot make sense of) report their own length.
+func (binaryCodec) rawBodyLen(body []byte) int {
+	if len(body) < 2 || body[0] != binMagic {
+		return len(body)
+	}
+	version := body[1]
+	cur := binCursor{b: body[2:]}
+	if tid := cur.uvarint(); tid == 0 {
+		cur.string()
+	}
+	cur.uvarint() // id
+	if version == binVersion2 {
+		flags := cur.byte()
+		if flags&binFlagDeadline != 0 {
+			cur.varint()
+		}
+		if flags&binFlagFrom != 0 {
+			cur.string()
+		}
+	}
+	if cur.err != nil || len(cur.b) < 2 || cur.b[0] != binPayloadCompressed {
+		return len(body)
+	}
+	header := len(body) - len(cur.b)
+	rawLen, n := binary.Uvarint(cur.b[2:]) // skip tag and algo bytes
+	if n <= 0 {
+		return len(body)
+	}
+	// header + plain payload (tag byte included in rawLen's payload bytes)
+	return header + int(rawLen)
 }
 
 func (c binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
@@ -141,22 +194,74 @@ func (c binaryCodec) AppendEnvelope(dst []byte, env *Envelope) ([]byte, error) {
 			dst = appendBinString(dst, env.From)
 		}
 	}
+	payloadStart := len(dst)
 	switch {
 	case len(env.Payload) > 0:
-		if isBinaryFamily(env.codec) {
-			return append(dst, env.Payload...), nil // already tagged
-		}
-		if env.codec == nil || env.codec == JSON {
+		switch {
+		case isBinaryFamily(env.codec):
+			dst = append(dst, env.Payload...) // already tagged
+		case env.codec == nil || env.codec == JSON:
 			// Raw JSON payload (hand-built envelope or one decoded from a
 			// JSON peer): carry it under the generic fallback tag.
 			dst = append(dst, binPayloadJSON)
-			return append(dst, env.Payload...), nil
+			dst = append(dst, env.Payload...)
+		default:
+			return dst, fmt.Errorf("cannot re-frame %s payload decoded by %q as %s", env.Type, env.codec.Name(), c.Name())
 		}
-		return dst, fmt.Errorf("cannot re-frame %s payload decoded by %q as %s", env.Type, env.codec.Name(), c.Name())
 	case env.Msg != nil:
-		return appendBinPayload(dst, env.Type, env.Msg)
+		var err error
+		if dst, err = appendBinPayload(dst, env.Type, env.Msg); err != nil {
+			return dst, err
+		}
 	}
-	return dst, nil
+	return c.maybeCompress(dst, payloadStart)
+}
+
+// maybeCompress replaces the payload region dst[start:] with its
+// compressed form when the codec carries an algorithm, the payload is at
+// or above the threshold, and compression actually shrinks it. Payloads
+// re-framed from a compressed connection arrive already under the 0x03
+// tag and pass through untouched.
+func (c binaryCodec) maybeCompress(dst []byte, start int) ([]byte, error) {
+	if c.algo == "" {
+		return dst, nil
+	}
+	raw := len(dst) - start
+	if raw < compressMinSize || dst[start] == binPayloadCompressed {
+		return dst, nil
+	}
+	ab, ok := algoByte(c.algo)
+	if !ok {
+		return dst, fmt.Errorf("unknown compression algo %q", c.algo)
+	}
+	// Never ship a payload the peer's decompressed-size cap is guaranteed
+	// to reject, however well it deflates: fail it here, before the wire,
+	// so an oversized call costs one call rather than a server round trip.
+	if raw > MaxFrame {
+		return dst, fmt.Errorf("wire: payload of %d bytes: %w", raw, ErrFrameTooLarge)
+	}
+	comp, err := deflate(nil, dst[start:])
+	if err != nil {
+		return dst, fmt.Errorf("compress payload: %w", err)
+	}
+	// tag + algo byte + uvarint raw length
+	overhead := 2 + uvarintLen(uint64(raw))
+	if len(comp)+overhead >= raw {
+		return dst, nil // incompressible: ship the plain tag
+	}
+	dst = dst[:start]
+	dst = append(dst, binPayloadCompressed, ab)
+	dst = binary.AppendUvarint(dst, uint64(raw))
+	return append(dst, comp...), nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 func (binaryCodec) DecodeEnvelope(body []byte) (*Envelope, error) {
@@ -202,7 +307,7 @@ func (binaryCodec) DecodeEnvelope(body []byte) (*Envelope, error) {
 	return env, nil
 }
 
-func (binaryCodec) DecodePayload(payload []byte, out any) error {
+func (c binaryCodec) DecodePayload(payload []byte, out any) error {
 	if len(payload) == 0 {
 		return errors.New("empty payload")
 	}
@@ -212,14 +317,40 @@ func (binaryCodec) DecodePayload(payload []byte, out any) error {
 		return json.Unmarshal(rest, out)
 	case binPayloadTyped:
 		return decodeBinTyped(rest, out)
+	case binPayloadExt:
+		ep, ok := out.(ExtPayload)
+		if !ok {
+			return fmt.Errorf("no ext decoder for %T", out)
+		}
+		cur := &Cursor{c: binCursor{b: rest}}
+		if err := ep.DecodeExt(cur); err != nil {
+			return err
+		}
+		return cur.c.done()
+	case binPayloadCompressed:
+		raw, err := inflatePayload(rest)
+		if err != nil {
+			return err
+		}
+		if len(raw) == 0 || raw[0] == binPayloadCompressed {
+			// A nested compressed payload is only ever an amplification
+			// attempt; no encoder produces one.
+			return errors.New("corrupt compressed payload body")
+		}
+		return c.DecodePayload(raw, out)
 	}
 	return fmt.Errorf("unknown payload tag 0x%02x", tag)
 }
 
 // appendBinPayload encodes a typed payload: hot message types get the
-// hand-rolled fast path, everything else (private protocol extensions,
-// test payloads) falls back to JSON under the generic tag.
+// hand-rolled fast path, ExtPayload implementations (private protocol
+// extensions that opted in) carry their own codec under the ext tag, and
+// everything else falls back to JSON under the generic tag.
 func appendBinPayload(dst []byte, typ string, msg any) ([]byte, error) {
+	if ep, ok := msg.(ExtPayload); ok {
+		dst = append(dst, binPayloadExt)
+		return ep.AppendExt(dst), nil
+	}
 	switch m := msg.(type) {
 	case QueryRequest:
 		return appendBinQueryRequest(dst, &m), nil
@@ -265,6 +396,14 @@ func appendBinPayload(dst []byte, typ string, msg any) ([]byte, error) {
 		return appendBinBusyReply(dst, &m), nil
 	case *BusyReply:
 		return appendBinBusyReply(dst, m), nil
+	case SelectRequest:
+		return appendBinSelectRequest(dst, &m), nil
+	case *SelectRequest:
+		return appendBinSelectRequest(dst, m), nil
+	case SelectReply:
+		return appendBinSelectReply(dst, &m)
+	case *SelectReply:
+		return appendBinSelectReply(dst, m)
 	}
 	raw, err := json.Marshal(msg)
 	if err != nil {
@@ -350,6 +489,16 @@ func decodeBinTyped(b []byte, out any) error {
 		if check(pidBusyReply) {
 			v.RetryAfterMS = cur.varint()
 			v.Reason = cur.string()
+		}
+	case *SelectRequest:
+		if check(pidSelectRequest) {
+			v.Text = cur.string()
+			v.Limit = int(cur.varint())
+			v.Full = cur.byte() != 0
+		}
+	case *SelectReply:
+		if check(pidSelectReply) {
+			readBinSelectReply(&cur, v)
 		}
 	default:
 		return fmt.Errorf("no binary decoder for %T", out)
@@ -491,6 +640,67 @@ func appendBinHelloAck(dst []byte, m *HelloAck) []byte {
 		dst = append(dst, 1)
 	}
 	return dst
+}
+
+func appendBinSelectRequest(dst []byte, m *SelectRequest) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidSelectRequest)
+	dst = appendBinString(dst, m.Text)
+	dst = binary.AppendVarint(dst, int64(m.Limit))
+	if m.Full {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Record-set format bytes inside a binary select reply.
+const (
+	recordsFull  = 0x00 // full per-record encoding: a JSON machine array
+	recordsDelta = 0x01 // delta/dictionary batch (registry.AppendBatch)
+)
+
+// appendBinSelectReply encodes the record set as a delta/dictionary
+// batch, or — when the reply pins Full (the differential oracle and the
+// benchmark baseline) — as the full per-record JSON array.
+func appendBinSelectReply(dst []byte, m *SelectReply) ([]byte, error) {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidSelectReply)
+	dst = binary.AppendVarint(dst, int64(m.Total))
+	if m.Records.Full {
+		raw, err := json.Marshal(m.Records.Machines)
+		if err != nil {
+			return dst, fmt.Errorf("marshal select records: %w", err)
+		}
+		dst = append(dst, recordsFull)
+		return appendBinBytes(dst, raw), nil
+	}
+	dst = append(dst, recordsDelta)
+	return appendBinBytes(dst, registry.AppendBatch(nil, m.Records.Machines)), nil
+}
+
+func readBinSelectReply(cur *binCursor, m *SelectReply) {
+	m.Total = int(cur.varint())
+	format := cur.byte()
+	body := cur.bytes()
+	if cur.err != nil {
+		return
+	}
+	switch format {
+	case recordsFull:
+		m.Records.Full = true
+		if err := json.Unmarshal(body, &m.Records.Machines); err != nil {
+			cur.fail("unmarshal select records: %v", err)
+		}
+	case recordsDelta:
+		ms, err := registry.DecodeBatch(body)
+		if err != nil {
+			cur.fail("decode select batch: %v", err)
+			return
+		}
+		m.Records.Machines = ms
+	default:
+		cur.fail("unknown record-set format 0x%02x", format)
+	}
 }
 
 func appendBinEmpty(dst []byte, pid uint64) []byte {

@@ -265,7 +265,29 @@ func TestParseCodecs(t *testing.T) {
 			t.Errorf("%q = %v, want %v", tc.spec, codecNames(got), tc.want)
 		}
 	}
-	if _, err := ParseCodecs("gzip"); err == nil {
-		t.Error("unknown codec should fail")
+	// Compressed variants parse; unknown names and bare algo names fail
+	// with errors that point at the +algo spelling.
+	got, err := ParseCodecs("binary2+flate,json")
+	if err != nil {
+		t.Fatalf("binary2+flate,json: %v", err)
+	}
+	if !reflect.DeepEqual(codecNames(got), []string{"binary2+flate", "json"}) {
+		t.Errorf("binary2+flate,json = %v", codecNames(got))
+	}
+	for spec, hint := range map[string]string{
+		"gzip":         "binary2+flate", // a known algo name is not a codec; suggest the spelling
+		"flate":        "binary2+flate",
+		"binary2+gzip": "flate", // unknown algo on a valid base
+		"bogus":        "+flate",
+		"json+flate":   "binary family", // no payload tag to compress behind
+	} {
+		_, err := ParseCodecs(spec)
+		if err == nil {
+			t.Errorf("%q should fail", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), hint) {
+			t.Errorf("%q error %q does not mention %q", spec, err, hint)
+		}
 	}
 }

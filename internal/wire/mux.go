@@ -4,6 +4,8 @@ import (
 	"errors"
 	"net"
 	"sync"
+
+	"actyp/internal/metrics"
 )
 
 // DefaultWindow is the per-connection in-flight window used when a server
@@ -32,6 +34,9 @@ type ServeOptions struct {
 	// with admission and deadline-aware shedding instead of the single
 	// FIFO. Nil keeps the original FIFO behaviour. See OverloadPolicy.
 	Overload *OverloadPolicy
+	// Stats, when set, accounts every frame this connection reads and
+	// writes (bytes, frames, compressed-vs-raw) under its codec's name.
+	Stats *metrics.WireStats
 	// Logf receives rare serve-side diagnostics (a negative Window being
 	// clamped); nil discards them.
 	Logf func(format string, args ...any)
@@ -165,10 +170,10 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 	var writeErr error
 	go func() {
 		defer close(writerDone)
-		framer := NewFramer(JSON)
+		framer := NewFramerStats(JSON, opts.Stats)
 		for out := range replies {
 			if out.switchTo != nil {
-				framer = NewFramer(out.switchTo)
+				framer = NewFramerStats(out.switchTo, opts.Stats)
 			}
 			err := framer.WriteFrame(conn, out.env)
 			if err != nil && preWire(err) && out.env.Type != TypeError {
@@ -190,7 +195,7 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 		}
 	}()
 	var readErr error
-	framer := NewFramer(JSON)
+	framer := NewFramerStats(JSON, opts.Stats)
 	first := true
 	for {
 		env, err := framer.ReadFrame(conn)
@@ -211,7 +216,7 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 				hasFirst := h.First != nil && h.First.Type != ""
 				ack := &Envelope{Type: TypeHelloAck, ID: env.ID, Msg: HelloAck{Codec: chosen.Name(), First: hasFirst}}
 				replies <- outbound{env: ack, switchTo: chosen}
-				framer = NewFramer(chosen)
+				framer = NewFramerStats(chosen, opts.Stats)
 				if hasFirst {
 					// The piggybacked first request dispatches like any
 					// other frame; its reply (in the chosen codec) follows

@@ -17,7 +17,7 @@ import (
 //	go test -race ./internal/wire -wire-default-codec=binary
 //	go test -race ./internal/wire -wire-default-codec=json
 var defaultCodecFlag = flag.String("wire-default-codec", "",
-	"force the default codec preference for this test run: json, binary, or binary2")
+	"force the default codec preference for this test run: json, binary, binary2, or binary2+flate")
 
 func TestMain(m *testing.M) {
 	flag.Parse()
@@ -29,6 +29,13 @@ func TestMain(m *testing.M) {
 		defaultCodecs = []Codec{Binary, JSON}
 	case "binary2":
 		defaultCodecs = []Codec{Binary2, Binary, JSON}
+	case "binary2+flate":
+		comp, err := Compressed(Binary2, AlgoFlate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building binary2+flate: %v\n", err)
+			os.Exit(2)
+		}
+		defaultCodecs = []Codec{comp, Binary2, Binary, JSON}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -wire-default-codec %q\n", *defaultCodecFlag)
 		os.Exit(2)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"actyp/internal/pool"
+	"actyp/internal/registry"
 	"actyp/internal/shadow"
 )
 
@@ -39,6 +40,7 @@ const (
 	TypeHello     = "hello"      // Hello -> HelloAck (codec negotiation, first frame only)
 	TypeHelloAck  = "hello-ack"  // negotiation answer, encoded in the chosen codec
 	TypeBusy      = "busy"       // BusyReply (request shed by overload control, never dispatched)
+	TypeSelect    = "select"     // SelectRequest -> SelectReply (machine record batch)
 )
 
 // Envelope is the frame body. On the write side the typed payload rides in
@@ -169,6 +171,56 @@ type SpawnPoolRequest struct {
 type SpawnPoolReply struct {
 	Instance string `json:"instance"` // unique instance id
 	Addr     string `json:"addr"`     // host:port of the pool endpoint
+}
+
+// SelectRequest asks the registry endpoint for the machine records
+// matching a basic query — the record-batch building block for resync,
+// white-pages delegation, and fleet inspection. Like "busy", "select"
+// travels via the inline-string envelope escape: an old binary peer
+// decodes the envelope fine and bounces the unknown type as an ordinary
+// error reply, so mixed fleets stay healthy.
+type SelectRequest struct {
+	// Text is the basic query in the native language; "" selects every
+	// record.
+	Text string `json:"text"`
+	// Limit caps the returned records (0 = no cap). Total still reports
+	// the uncapped match count.
+	Limit int `json:"limit,omitempty"`
+	// Full pins the reply's record batch to the full per-record encoding
+	// instead of the delta batch — the on-wire differential oracle, and
+	// the baseline leg of the WAN benchmark.
+	Full bool `json:"full,omitempty"`
+}
+
+// SelectReply returns the matching records.
+type SelectReply struct {
+	Total   int       `json:"total"` // matches before Limit was applied
+	Records RecordSet `json:"records"`
+}
+
+// RecordSet is a machine batch with a codec-dependent wire shape: JSON
+// connections (and the Full oracle) carry the plain per-record array,
+// binary connections carry the delta/dictionary batch encoding
+// (registry.AppendBatch) — fleet records share most of their field
+// bytes, so wire cost per record is near the diff, not the record.
+type RecordSet struct {
+	Machines []*registry.Machine
+	// Full forces the full per-record encoding on binary codecs. It is
+	// not itself transmitted: a decoded RecordSet reports the format it
+	// arrived in.
+	Full bool
+}
+
+// MarshalJSON encodes just the machine array, so JSON peers (including
+// pre-select builds inspecting frames) see a plain record list.
+func (r RecordSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Machines)
+}
+
+// UnmarshalJSON decodes a plain machine array.
+func (r *RecordSet) UnmarshalJSON(b []byte) error {
+	r.Full = false
+	return json.Unmarshal(b, &r.Machines)
 }
 
 // ErrorReply carries a failure back to the requester.
