@@ -34,8 +34,12 @@ var jsonDir string
 // laneWeights is the -lane-weights spec applied to the overload figure.
 var laneWeights schedule.LaneWeights
 
+// hedgeDelay is the -hedge-delay stagger applied to the federation
+// figure's fan-out leg (0 races the full width at once).
+var hedgeDelay time.Duration
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan, federation or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	laneSpec := flag.String("lane-weights", "", "lane weight spec for the overload figure, e.g. lease=4,bulk=1 (default from schedule)")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
@@ -43,6 +47,7 @@ func main() {
 	poolEngine := flag.String("pool-engine", "", "pool allocation engine: indexed or oracle (default indexed; ScanCost figures stay on oracle)")
 	refreshMode := flag.String("refresh-mode", "", "pool freshness mode for the figure experiments: events or poll (the refresh figure sweeps both regardless)")
 	wireCodec := flag.String("wire-codec", "", "wire codec preference for the transport figure: auto, binary or json (the codec figure sweeps both regardless)")
+	hedge := flag.Duration("hedge-delay", 0, "fan-out stagger for the federation figure, e.g. 10ms (0 races the full width at once)")
 	jsonOut := flag.String("json", "", "also write BENCH_<figure>.json files into this directory")
 	flag.Parse()
 
@@ -63,6 +68,7 @@ func main() {
 		log.Fatalf("actyp-bench: %v", err)
 	}
 	laneWeights = weights
+	hedgeDelay = *hedge
 	jsonDir = *jsonOut
 
 	run := func(name string, fn func(bool) error) {
@@ -90,6 +96,7 @@ func main() {
 	run("refresh", figRefresh)
 	run("overload", figOverload)
 	run("wan", figWan)
+	run("federation", figFederation)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -268,6 +275,37 @@ func figWan(quick bool) error {
 	}
 	if err := emit("wan_bytes", "WAN wire: bytes on the wire per select, per profile and encoding",
 		"records per reply", "wire bytes per op", res.Bytes); err != nil {
+		return err
+	}
+	return res.Check()
+}
+
+// figFederation runs the federated-resolution sweeps: miss-resolve p50/p99
+// at a home manager delegating to wire-connected peers (serial walk vs
+// first-win fan-out, LAN vs WAN), and remote allocate p50/p99 plus
+// update-visibility lag on a wire-fed replica (watch stream vs poll
+// ladder). The result's Check() is the regression bar — fan-out must cut
+// WAN miss-resolve p99 >=3x at the largest peer count, and watch must beat
+// poll remote-allocate p99 >=5x at the largest fleet — so a CI smoke run
+// of this figure is the federation regression gate.
+func figFederation(quick bool) error {
+	cfg := experiments.DefaultFederation()
+	cfg.HedgeDelay = hedgeDelay
+	if quick {
+		cfg.Peers = []int{1, 4}
+		cfg.OpsPerClient = 4
+		cfg.Clients = 2
+		cfg.FreshSizes = []int{5000}
+		cfg.FreshClients = 4
+		cfg.FreshOps = 50
+		cfg.LagSamples = 8
+	}
+	res, err := experiments.FederationScale(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit("federation", "Federation: miss-resolve (peers on x) and remote freshness (machines on x), per mode",
+		"peers | machines", "p50/p99 (s)", res.AllSeries()); err != nil {
 		return err
 	}
 	return res.Check()

@@ -8,9 +8,11 @@
 //	actyp-fleet gen -n 3200 -out fleet.json [-homogeneous]
 //	actyp-fleet stats -db fleet.json
 //	actyp-fleet set -db fleet.json -machine m0001 -key owner -value ece -out fleet.json
+//	actyp-fleet mirror -addr host:7464 -out fleet.json [-watch] [-filter expr]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +20,8 @@ import (
 	"sort"
 	"time"
 
+	"actyp/internal/core"
+	"actyp/internal/netsim"
 	"actyp/internal/query"
 	"actyp/internal/registry"
 )
@@ -34,6 +38,8 @@ func main() {
 		err = statsCmd(os.Args[2:])
 	case "set":
 		err = setCmd(os.Args[2:])
+	case "mirror":
+		err = mirrorCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -47,8 +53,86 @@ func usage() {
   actyp-fleet gen   -n N -out file [-homogeneous] [-seed S]
   actyp-fleet stats -db file
   actyp-fleet set   -db file -machine name -key k -value v [-out file]
+  actyp-fleet mirror -addr host:port -out file [-watch] [-filter expr] [-profile p]
 `)
 	os.Exit(2)
+}
+
+// mirrorCmd snapshots a live actypd registry over the wire. Without
+// -watch it performs one snapshot fetch (the poll floor every peer
+// supports); with -watch it subscribes to the change stream, waits for
+// the replica to baseline, and reports which freshness mode the peer
+// actually granted (pre-watch peers degrade to poll automatically).
+func mirrorCmd(args []string) error {
+	fs := flag.NewFlagSet("mirror", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7464", "actypd wire endpoint to mirror")
+	out := fs.String("out", "fleet.json", "output snapshot")
+	filter := fs.String("filter", "", "server-side basic-query filter, e.g. \"punch.rsrc.arch = sun\"")
+	watch := fs.Bool("watch", false, "baseline through the watch stream instead of a single snapshot fetch")
+	profile := fs.String("profile", "local", "network profile: local, lan or wan")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline for the mirror")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	c, err := core.Dial(*addr, prof)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	db := registry.NewDB()
+	mode := "fetch"
+	if *watch {
+		w, err := registry.StartRemoteWatch(registry.RemoteWatchConfig{
+			Transport: c, Replica: db, Filter: *filter,
+		})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if err := w.WaitSynced(ctx); err != nil {
+			return err
+		}
+		mode = string(w.Mode())
+	} else {
+		ms, err := c.FetchSnapshot(ctx, *filter)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := db.Add(m); err != nil {
+				return err
+			}
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("mirrored %d machines from %s to %s (%s mode)\n", db.Len(), *addr, *out, mode)
+	return nil
+}
+
+func profileByName(name string) (netsim.Profile, error) {
+	switch name {
+	case "local", "":
+		return netsim.Local(), nil
+	case "lan":
+		return netsim.LAN(), nil
+	case "wan":
+		return netsim.WAN(), nil
+	}
+	return netsim.Profile{}, fmt.Errorf("unknown profile %q (want local, lan or wan)", name)
 }
 
 func genCmd(args []string) error {

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +69,11 @@ type daemonConfig struct {
 	stageWin    int
 	proxyAddr   string
 	proxyWin    int
+	peerAddrs   string
+	fanout      int
+	hedgeDelay  time.Duration
+	remoteWatch string
+	nodeName    string
 }
 
 func main() {
@@ -101,6 +107,11 @@ func main() {
 	flag.IntVar(&cfg.stageWin, "stage-window", wire.DefaultWindow, "stage endpoint per-connection in-flight window")
 	flag.StringVar(&cfg.proxyAddr, "proxy-addr", "", "also run a pool-spawning proxy server on this address")
 	flag.IntVar(&cfg.proxyWin, "proxy-window", wire.DefaultWindow, "proxy endpoint per-connection in-flight window")
+	flag.StringVar(&cfg.peerAddrs, "peer-addrs", "", "comma-separated stage endpoints of federation peers; local misses delegate to them")
+	flag.IntVar(&cfg.fanout, "fanout", 0, "peer delegation width: peers contacted concurrently on a local miss (<=1 keeps the serial walk)")
+	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "stagger between delegation fan-out branches, e.g. 10ms (0 races the full width at once)")
+	flag.StringVar(&cfg.remoteWatch, "remote-watch", "", "mirror a remote actypd registry into the local white pages over the wire watch stream (typically with -machines 0; falls back to polling against pre-watch peers)")
+	flag.StringVar(&cfg.nodeName, "node-name", "", "pool-manager name prefix; federated daemons need distinct names (the delegation visited list keys on them) — defaults to pm, or pm@<addr> when -stage-addr or -peer-addrs is set")
 	flag.Parse()
 
 	// A negative window was historically folded into "serial" silently,
@@ -155,16 +166,28 @@ func run(cfg daemonConfig) error {
 	if err := core.ValidateRefreshMode(cfg.refreshMode); err != nil {
 		return err
 	}
+	// Manager names must be unique across a federation mesh (the visited
+	// list and self/peer filters key on them), so a daemon that is about
+	// to federate defaults to a prefix carrying its own listen address.
+	nodeName := cfg.nodeName
+	if nodeName == "" && (cfg.stageAddr != "" || cfg.peerAddrs != "") {
+		nodeName = "pm@" + cfg.addr
+	}
+	fedStats := metrics.NewFederationStats()
 	opts := core.Options{
 		DB:              db,
 		QueryManagers:   cfg.qms,
 		PoolManagers:    cfg.pms,
+		NodeName:        nodeName,
 		Objective:       cfg.objective,
 		ScanCost:        cfg.scanCost,
 		MonitorInterval: cfg.monitor,
 		LeaseTTL:        cfg.leaseTTL,
 		PoolEngine:      cfg.poolEngine,
 		RefreshMode:     cfg.refreshMode,
+		Fanout:          cfg.fanout,
+		HedgeDelay:      cfg.hedgeDelay,
+		FederationStats: fedStats,
 	}
 	if cfg.firstMatch {
 		opts.Mode = querymgr.FirstMatch
@@ -175,6 +198,44 @@ func run(cfg daemonConfig) error {
 	}
 	defer svc.Close()
 	log.Printf("actypd: pool freshness in %s mode", svc.RefreshMode())
+
+	// Federation: delegate local misses to peer pool managers over their
+	// stage endpoints, and optionally mirror a remote registry into the
+	// local white pages through the wire watch stream.
+	if cfg.peerAddrs != "" {
+		for _, addr := range strings.Split(cfg.peerAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			remote, err := stage.DialRemote(addr, profile, 0)
+			if err != nil {
+				return fmt.Errorf("-peer-addrs %s: %w", addr, err)
+			}
+			defer remote.Close()
+			svc.Directory().AddPeer(remote)
+			log.Printf("actypd: federation peer %s at %s", remote.Name(), addr)
+		}
+		log.Printf("actypd: peer delegation fanout %d, hedge delay %s", cfg.fanout, cfg.hedgeDelay)
+	}
+	if cfg.remoteWatch != "" {
+		rcli, err := core.Dial(cfg.remoteWatch, profile)
+		if err != nil {
+			return fmt.Errorf("-remote-watch %s: %w", cfg.remoteWatch, err)
+		}
+		defer rcli.Close()
+		w, err := registry.StartRemoteWatch(registry.RemoteWatchConfig{
+			Transport: rcli,
+			Replica:   db,
+			Stats:     fedStats,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("-remote-watch %s: %w", cfg.remoteWatch, err)
+		}
+		defer w.Close()
+		log.Printf("actypd: mirroring the registry at %s into the local white pages", cfg.remoteWatch)
+	}
 
 	if cfg.warm > 0 {
 		if err := svc.StripePools(cfg.warm); err != nil {
@@ -253,6 +314,9 @@ func run(cfg daemonConfig) error {
 	}
 	if report := wireStats.String(); report != "" {
 		log.Printf("actypd: wire traffic per codec:\n%s", report)
+	}
+	if cfg.peerAddrs != "" || cfg.remoteWatch != "" {
+		log.Printf("actypd: federation: %s", fedStats.Snapshot())
 	}
 	return nil
 }

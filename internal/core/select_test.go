@@ -52,7 +52,7 @@ func TestSelectAcrossCodecs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	want, wantTotal, err := svc.SelectMachines("", 0)
+	want, wantTotal, err := svc.SelectMachines("", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

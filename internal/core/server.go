@@ -62,6 +62,11 @@ type ServeConfig struct {
 	// Stats, when set, accounts every frame served (bytes, frames,
 	// compressed-vs-raw) per codec. See metrics.WireStats.
 	Stats *metrics.WireStats
+	// DisableWatch turns the watch stream endpoint off: subscribe attempts
+	// are dispatched as unknown requests and bounce with an error reply,
+	// exactly how a pre-watch server answers. Tests and mixed-fleet drills
+	// use it to prove clients degrade to polling.
+	DisableWatch bool
 }
 
 // AdmitFrom adapts a policy.Admitter into the wire-layer admission hook:
@@ -163,11 +168,16 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	var streams map[string]wire.StreamHandler
+	if !s.cfg.DisableWatch {
+		streams = map[string]wire.StreamHandler{wire.TypeWatch: s.serveWatch}
+	}
 	err := wire.ServeConnOpts(conn, wire.ServeOptions{
 		Window:             s.cfg.Window,
 		Codecs:             s.cfg.Codecs,
 		DisableNegotiation: s.cfg.DisableNegotiation,
 		Overload:           s.cfg.Overload,
+		Streams:            streams,
 		Stats:              s.cfg.Stats,
 		Logf: func(format string, args ...any) {
 			// A negative window is a misconfiguration the wire layer
@@ -241,7 +251,7 @@ func dispatchEnvelope(svc *Service, env *wire.Envelope) (*wire.Envelope, error) 
 		if err := env.Decode(&req); err != nil {
 			return nil, err
 		}
-		ms, total, err := svc.SelectMachines(req.Text, req.Limit)
+		ms, total, err := svc.SelectMachines(req.Text, req.Limit, req.Offset)
 		if err != nil {
 			return nil, err
 		}
@@ -414,7 +424,14 @@ func (c *Client) Select(text string, limit int, full bool) ([]*registry.Machine,
 
 // SelectContext is Select with cancellation.
 func (c *Client) SelectContext(ctx context.Context, text string, limit int, full bool) ([]*registry.Machine, int, error) {
-	env, err := c.call(ctx, wire.TypeSelect, wire.SelectRequest{Text: text, Limit: limit, Full: full})
+	return c.SelectPage(ctx, text, limit, 0, full)
+}
+
+// SelectPage is SelectContext with a page offset: offset matching records
+// (in the registry's sorted name order) are skipped before limit applies.
+// Non-zero offsets need a paging-aware server; see wire.SelectRequest.
+func (c *Client) SelectPage(ctx context.Context, text string, limit, offset int, full bool) ([]*registry.Machine, int, error) {
+	env, err := c.call(ctx, wire.TypeSelect, wire.SelectRequest{Text: text, Limit: limit, Offset: offset, Full: full})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"actyp/internal/directory"
+	"actyp/internal/metrics"
 	"actyp/internal/monitor"
 	"actyp/internal/policy"
 	"actyp/internal/pool"
@@ -34,6 +35,13 @@ type Options struct {
 	// first two pipeline stages (default 1 each).
 	QueryManagers int
 	PoolManagers  int
+	// NodeName prefixes pool-manager names (default "pm", so managers are
+	// pm-0, pm-1, ...). Federated daemons MUST set distinct prefixes: the
+	// delegation visited list and the self/peer filters key on manager
+	// names, so two nodes both exposing a "pm-0" shadow each other — the
+	// home manager filters the peer out as itself, and visiting one peer
+	// blacklists every other peer with the colliding name.
+	NodeName string
 	// Objective names the scheduling objective of created pools.
 	Objective string
 	// Mode is the reintegration QoS for composite queries.
@@ -94,6 +102,17 @@ type Options struct {
 	// Translators installs extra query languages by name (for example
 	// the classads translator), on top of the native language.
 	Translators map[string]querymgr.Translator
+	// Fanout is the pool managers' delegation width: how many federation
+	// peers a local miss may try concurrently (first granted lease wins,
+	// losers are cancelled and their leases released). Values <= 1 keep
+	// the paper's serial peer walk. See poolmgr.Config.Fanout.
+	Fanout int
+	// HedgeDelay staggers fan-out branches; zero launches the full width
+	// at once. See poolmgr.Config.HedgeDelay.
+	HedgeDelay time.Duration
+	// FederationStats, when set, counts delegation fan-outs, per-peer
+	// wins, hedges, and cancelled losers across all pool managers.
+	FederationStats *metrics.FederationStats
 }
 
 // Refresh modes accepted by Options.RefreshMode and the daemons'
@@ -168,6 +187,9 @@ func New(opts Options) (*Service, error) {
 	if opts.PoolManagers <= 0 {
 		opts.PoolManagers = 1
 	}
+	if opts.NodeName == "" {
+		opts.NodeName = "pm"
+	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
@@ -237,11 +259,14 @@ func New(opts Options) (*Service, error) {
 	}
 	for i := 0; i < opts.PoolManagers; i++ {
 		pm, err := poolmgr.New(poolmgr.Config{
-			Name:    fmt.Sprintf("pm-%d", i),
-			Dir:     s.dir,
-			Factory: s.factory,
-			Seed:    opts.Seed + int64(i),
-			TTL:     opts.TTL,
+			Name:       fmt.Sprintf("%s-%d", opts.NodeName, i),
+			Dir:        s.dir,
+			Factory:    s.factory,
+			Seed:       opts.Seed + int64(i),
+			TTL:        opts.TTL,
+			Fanout:     opts.Fanout,
+			HedgeDelay: opts.HedgeDelay,
+			Stats:      opts.FederationStats,
 		})
 		if err != nil {
 			return nil, err
@@ -403,15 +428,24 @@ func (s *Service) DB() *registry.DB { return s.db }
 
 // SelectMachines returns the machine records matching a basic query text
 // ("" selects every record), plus the uncapped match count. A positive
-// limit truncates the returned slice; Total still reports the full count.
-// This is the record-batch read behind the wire "select" endpoint.
-func (s *Service) SelectMachines(text string, limit int) ([]*registry.Machine, int, error) {
+// offset skips that many records in the registry's sorted name order and
+// a positive limit truncates what follows — the paging contract behind
+// snapshot fetches of fleets whose full batch would exceed a wire frame.
+// Total always reports the full match count. This is the record-batch
+// read behind the wire "select" endpoint.
+func (s *Service) SelectMachines(text string, limit, offset int) ([]*registry.Machine, int, error) {
 	q, err := query.ParseBasic(text)
 	if err != nil {
 		return nil, 0, err
 	}
 	ms := s.db.Select(q)
 	total := len(ms)
+	if offset > 0 {
+		if offset > len(ms) {
+			offset = len(ms)
+		}
+		ms = ms[offset:]
+	}
 	if limit > 0 && len(ms) > limit {
 		ms = ms[:limit]
 	}

@@ -7,6 +7,7 @@
 package directory
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +42,27 @@ type Forwarder interface {
 	// Forward continues resolution of the query at this manager. The
 	// visited list and TTL travel with the query.
 	Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error)
+}
+
+// ContextForwarder is an optional extension of Forwarder: peers that
+// implement it honour cancellation, which the parallel first-win
+// delegation path uses to call losing branches off as soon as one peer
+// grants a lease. Peers without it are still raced — their branch just
+// runs to completion and any late lease is handed to LeaseReleaser.
+type ContextForwarder interface {
+	Forwarder
+	// ForwardContext is Forward with cancellation. A cancelled branch
+	// returns ctx.Err(); the implementation remains responsible for
+	// releasing a lease that was granted remotely after the cancel landed
+	// (it must not orphan capacity on the peer).
+	ForwardContext(ctx context.Context, q *query.Query, ttl int, visited []string) (*pool.Lease, error)
+}
+
+// LeaseReleaser is an optional extension of Forwarder: peers that
+// implement it can take a granted lease back, which the fan-out path uses
+// to return losing branches' leases instead of leaking them.
+type LeaseReleaser interface {
+	Release(lease *pool.Lease) error
 }
 
 // snapshot is one immutable view of the directory. Readers load it with a

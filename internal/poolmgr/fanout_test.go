@@ -1,0 +1,484 @@
+package poolmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/metrics"
+	"actyp/internal/pool"
+	"actyp/internal/query"
+)
+
+// fakePeer is a scripted remote pool manager: it answers Forward after a
+// fixed delay with either a fresh lease or a scripted error, and records
+// every lease it granted and every one released back, so tests can assert
+// the first-win race never leaks loser capacity.
+type fakePeer struct {
+	name  string
+	delay time.Duration
+	grant bool
+	err   error
+
+	mu       sync.Mutex
+	seq      int
+	granted  []*pool.Lease
+	released []*pool.Lease
+	visited  [][]string // copy of each visited list seen
+}
+
+func (p *fakePeer) Name() string { return p.name }
+
+func (p *fakePeer) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	p.mu.Lock()
+	p.visited = append(p.visited, append([]string(nil), visited...))
+	p.mu.Unlock()
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if !p.grant {
+		if p.err != nil {
+			return nil, p.err
+		}
+		return nil, ErrUnresolvable
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	l := &pool.Lease{ID: fmt.Sprintf("%s-%d", p.name, p.seq), Machine: "m-" + p.name, Pool: p.name + "#0"}
+	p.granted = append(p.granted, l)
+	return l, nil
+}
+
+func (p *fakePeer) Release(l *pool.Lease) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.released = append(p.released, l)
+	return nil
+}
+
+func (p *fakePeer) counts() (granted, released int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.granted), len(p.released)
+}
+
+// ctxPeer is a fakePeer that honors cancellation: a cancelled branch
+// returns ctx.Err() instead of sleeping out its delay.
+type ctxPeer struct{ fakePeer }
+
+func (p *ctxPeer) ForwardContext(ctx context.Context, q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	p.mu.Lock()
+	p.visited = append(p.visited, append([]string(nil), visited...))
+	p.mu.Unlock()
+	if p.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(p.delay):
+		}
+	}
+	if !p.grant {
+		if p.err != nil {
+			return nil, p.err
+		}
+		return nil, ErrUnresolvable
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	l := &pool.Lease{ID: fmt.Sprintf("%s-%d", p.name, p.seq), Machine: "m-" + p.name, Pool: p.name + "#0"}
+	p.granted = append(p.granted, l)
+	return l, nil
+}
+
+// fanoutManager builds a factory-less manager (every resolve is a miss)
+// wired to the given peers.
+func fanoutManager(t *testing.T, fanout int, hedge time.Duration, stats *metrics.FederationStats, peers ...directory.Forwarder) *Manager {
+	t.Helper()
+	dir := directory.New()
+	for _, p := range peers {
+		dir.AddPeer(p)
+	}
+	m, err := New(Config{Name: "pm-home", Dir: dir, Fanout: fanout, HedgeDelay: hedge, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitReleased polls until the peer has released n leases; drainLosers
+// reaps asynchronously, so releases land after Resolve returns.
+func waitReleased(t *testing.T, p *fakePeer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, rel := p.counts(); rel >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			g, rel := p.counts()
+			t.Fatalf("peer %s: granted=%d released=%d, want released >= %d", p.name, g, rel, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFanoutFirstWinReleasesLosers races three granting peers: the fast
+// one wins, and both slow losers get their late leases released back.
+func TestFanoutFirstWinReleasesLosers(t *testing.T) {
+	fast := &fakePeer{name: "pm-fast", grant: true, delay: 2 * time.Millisecond}
+	slow1 := &fakePeer{name: "pm-slow1", grant: true, delay: 60 * time.Millisecond}
+	slow2 := &fakePeer{name: "pm-slow2", grant: true, delay: 60 * time.Millisecond}
+	stats := metrics.NewFederationStats()
+	m := fanoutManager(t, 3, 0, stats, slow1, fast, slow2)
+
+	lease, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if lease.Machine != "m-pm-fast" {
+		t.Errorf("winner = %q, want the fast peer's machine", lease.Machine)
+	}
+	waitReleased(t, slow1, 1)
+	waitReleased(t, slow2, 1)
+	if g, rel := fast.counts(); g != 1 || rel != 0 {
+		t.Errorf("winner peer: granted=%d released=%d, want 1/0", g, rel)
+	}
+	snap := stats.Snapshot()
+	if snap.Fanouts != 1 || snap.Wins != 1 || snap.Cancelled != 2 {
+		t.Errorf("stats = %+v, want fanouts=1 wins=1 cancelled=2", snap)
+	}
+	if snap.Peers["pm-fast"].Wins != 1 {
+		t.Errorf("per-peer win not counted: %+v", snap.Peers)
+	}
+}
+
+// TestDelegatedLeaseReleasesThroughGrantor: a lease won through a peer
+// must route its Release back through that peer — pool instance names
+// are query signatures, so the grantor's instance and a local one
+// collide on name, and a local release would report "unknown lease"
+// while the peer's machine stays leased forever. Covers both the serial
+// walk and the fan-out race, and checks the routing entry is consumed
+// (a second release no longer finds it).
+func TestDelegatedLeaseReleasesThroughGrantor(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		fanout int
+	}{
+		{"serial", 1},
+		{"fanout", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			peer := &fakePeer{name: "pm-peer", grant: true, delay: time.Millisecond}
+			other := &fakePeer{name: "pm-other", delay: time.Millisecond} // never grants
+			m := fanoutManager(t, tc.fanout, 0, nil, peer, other)
+
+			lease, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			if err := m.Release(lease); err != nil {
+				t.Fatalf("release of delegated lease: %v", err)
+			}
+			if g, rel := peer.counts(); g != 1 || rel != 1 {
+				t.Errorf("grantor: granted=%d released=%d, want 1/1", g, rel)
+			}
+			if err := m.Release(lease); err == nil {
+				t.Error("second release should fail: the routing entry is consumed")
+			}
+		})
+	}
+}
+
+// TestFanoutHedgeSuppressed: with a hedge delay longer than the first
+// peer's answer, the race stays width-1 and no extra load lands on peers.
+func TestFanoutHedgeSuppressed(t *testing.T) {
+	fast := &fakePeer{name: "pm-fast", grant: true, delay: time.Millisecond}
+	spare := &fakePeer{name: "pm-spare", grant: true, delay: time.Millisecond}
+	stats := metrics.NewFederationStats()
+	m := fanoutManager(t, 2, 500*time.Millisecond, stats, fast, spare)
+
+	if _, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun")); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	snap := stats.Snapshot()
+	if snap.Hedges != 0 {
+		t.Errorf("hedges = %d, want 0 (first peer answered inside the delay)", snap.Hedges)
+	}
+	if g, _ := spare.counts(); g != 0 {
+		t.Errorf("hedge peer was contacted %d times despite a fast first answer", g)
+	}
+}
+
+// TestFanoutHedgeFires: the first peer stalls past the hedge delay, so a
+// staggered second branch launches and wins; the stalled branch's late
+// lease is released.
+func TestFanoutHedgeFires(t *testing.T) {
+	stall := &fakePeer{name: "pm-stall", grant: true, delay: 150 * time.Millisecond}
+	backup := &fakePeer{name: "pm-backup", grant: true, delay: time.Millisecond}
+	stats := metrics.NewFederationStats()
+	m := fanoutManager(t, 2, 5*time.Millisecond, stats, stall, backup)
+
+	lease, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if lease.Machine != "m-pm-backup" {
+		t.Errorf("winner = %q, want the hedged backup peer", lease.Machine)
+	}
+	if snap := stats.Snapshot(); snap.Hedges != 1 {
+		t.Errorf("hedges = %d, want 1", snap.Hedges)
+	}
+	waitReleased(t, stall, 1)
+}
+
+// TestFanoutFailureReplacement: a failed branch is replaced by the next
+// candidate immediately, so the race still finds the one granting peer
+// even when it is last in line.
+func TestFanoutFailureReplacement(t *testing.T) {
+	bad1 := &fakePeer{name: "pm-bad1"}
+	bad2 := &fakePeer{name: "pm-bad2"}
+	good := &fakePeer{name: "pm-good", grant: true}
+	m := fanoutManager(t, 2, 0, nil, bad1, bad2, good)
+
+	lease, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if lease.Machine != "m-pm-good" {
+		t.Errorf("winner = %q", lease.Machine)
+	}
+}
+
+// TestFanoutAllFail: every branch failing yields ErrUnresolvable, exactly
+// like the serial walk.
+func TestFanoutAllFail(t *testing.T) {
+	m := fanoutManager(t, 3, 0, nil,
+		&fakePeer{name: "pm-a"}, &fakePeer{name: "pm-b"}, &fakePeer{name: "pm-c"})
+	_, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Errorf("err = %v, want ErrUnresolvable", err)
+	}
+}
+
+// TestFanoutTTLShortCircuit: an ErrTTLExpired branch fails the whole race
+// immediately — the paper's TTL death is global, not per branch — and a
+// slower granting branch's lease still goes back.
+func TestFanoutTTLShortCircuit(t *testing.T) {
+	dead := &fakePeer{name: "pm-dead", err: ErrTTLExpired, delay: time.Millisecond}
+	late := &fakePeer{name: "pm-late", grant: true, delay: 100 * time.Millisecond}
+	m := fanoutManager(t, 2, 0, nil, dead, late)
+
+	start := time.Now()
+	_, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if !errors.Is(err, ErrTTLExpired) {
+		t.Fatalf("err = %v, want ErrTTLExpired", err)
+	}
+	if elapsed := time.Since(start); elapsed > 80*time.Millisecond {
+		t.Errorf("TTL death waited %v for the slow branch; should short-circuit", elapsed)
+	}
+	waitReleased(t, late, 1)
+}
+
+// TestFanoutContextCancel: cancelling the caller's context settles the
+// race with ctx.Err() and releases any lease that lands afterwards.
+func TestFanoutContextCancel(t *testing.T) {
+	slow1 := &ctxPeer{fakePeer{name: "pm-s1", grant: true, delay: time.Second}}
+	slow2 := &fakePeer{name: "pm-s2", grant: true, delay: 50 * time.Millisecond}
+	m := fanoutManager(t, 2, 0, nil, slow1, slow2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := m.ForwardContext(ctx, basicQuery(t, "punch.rsrc.arch = sun"), 4, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The ctx-aware peer exits empty; the blind one grants late and must be
+	// released by the reaper.
+	waitReleased(t, slow2, 1)
+	if g, _ := slow1.counts(); g != 0 {
+		t.Errorf("cancelled ctx-aware peer still granted %d leases", g)
+	}
+}
+
+// TestFanoutSinglePeerStaysSerial: one candidate peer means no race to
+// run; the serial path handles it and no fan-out is counted.
+func TestFanoutSinglePeerStaysSerial(t *testing.T) {
+	only := &fakePeer{name: "pm-only", grant: true}
+	stats := metrics.NewFederationStats()
+	m := fanoutManager(t, 4, 0, stats, only)
+	if _, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun")); err != nil {
+		t.Fatal(err)
+	}
+	if snap := stats.Snapshot(); snap.Fanouts != 0 {
+		t.Errorf("fanouts = %d, want 0 for a single peer", snap.Fanouts)
+	}
+}
+
+// TestFanoutVisitedNotAliased: every concurrent branch receives the same
+// visited slice; no branch (or downstream manager) may observe it mutate.
+// This is the regression test for the in-loop append aliasing bug.
+func TestFanoutVisitedNotAliased(t *testing.T) {
+	peers := make([]directory.Forwarder, 6)
+	fakes := make([]*fakePeer, 6)
+	for i := range peers {
+		fakes[i] = &fakePeer{name: fmt.Sprintf("pm-%d", i), delay: time.Duration(i) * time.Millisecond}
+		peers[i] = fakes[i]
+	}
+	m := fanoutManager(t, 3, 0, nil, peers...)
+
+	seed := []string{"pm-origin"}
+	_, err := m.ForwardContext(context.Background(), basicQuery(t, "punch.rsrc.arch = sun"), 4, seed)
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("err = %v", err)
+	}
+	if seed[0] != "pm-origin" {
+		t.Fatalf("caller's visited slice mutated to %v", seed)
+	}
+	for _, p := range fakes {
+		p.mu.Lock()
+		for _, v := range p.visited {
+			if len(v) != 2 || v[0] != "pm-origin" || v[1] != "pm-home" {
+				t.Errorf("peer %s saw visited %v, want [pm-origin pm-home]", p.name, v)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// TestFanoutCycleTerminates peers three empty managers into a full mesh
+// with fanout enabled: the shared-nothing visited copies must still
+// terminate the walk, concurrently, before the TTL does.
+func TestFanoutCycleTerminates(t *testing.T) {
+	dirs := []*directory.Service{directory.New(), directory.New(), directory.New()}
+	ms := make([]*Manager, 3)
+	for i := range ms {
+		m, err := New(Config{Name: fmt.Sprintf("pm-%d", i), Dir: dirs[i], Fanout: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	for i := range ms {
+		for j := range ms {
+			if i != j {
+				dirs[i].AddPeer(ms[j])
+			}
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ms[0].Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("empty mesh resolution should fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fan-out delegation cycle did not terminate")
+	}
+}
+
+// TestFanoutDelegatedResolveSucceeds: a full-mesh fan-out grid where only
+// one manager owns matching machines still resolves, whichever manager
+// the query enters at.
+func TestFanoutDelegatedResolveSucceeds(t *testing.T) {
+	db := fleetDB(t, 8)
+	dirs := []*directory.Service{directory.New(), directory.New(), directory.New()}
+	f := &LocalFactory{DB: db}
+	defer f.CloseAll()
+	ms := make([]*Manager, 3)
+	for i := range ms {
+		cfg := Config{Name: fmt.Sprintf("pm-%d", i), Dir: dirs[i], Fanout: 2, HedgeDelay: time.Millisecond}
+		if i == 2 {
+			cfg.Factory = f // only the last manager has capacity
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	for i := range ms {
+		for j := range ms {
+			if i != j {
+				dirs[i].AddPeer(ms[j])
+			}
+		}
+	}
+	lease, err := ms[0].Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+	if err != nil {
+		t.Fatalf("resolve across mesh: %v", err)
+	}
+	if lease.Machine == "" {
+		t.Error("empty lease")
+	}
+}
+
+// TestFanoutFirstWinStress races many rounds under -race and proves the
+// global no-leak invariant: every granted lease is either the single
+// winner its round kept or was released back to its peer.
+func TestFanoutFirstWinStress(t *testing.T) {
+	const rounds = 40
+	peers := make([]directory.Forwarder, 5)
+	fakes := make([]*fakePeer, 5)
+	for i := range peers {
+		fakes[i] = &fakePeer{name: fmt.Sprintf("pm-%d", i), grant: true,
+			delay: time.Duration(i%3) * time.Millisecond}
+		peers[i] = fakes[i]
+	}
+	stats := metrics.NewFederationStats()
+	m := fanoutManager(t, 3, 0, stats, peers...)
+
+	var wg sync.WaitGroup
+	wins := make(chan *pool.Lease, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lease, err := m.Resolve(basicQuery(t, "punch.rsrc.arch = sun"))
+			if err != nil {
+				t.Errorf("resolve: %v", err)
+				return
+			}
+			wins <- lease
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	kept := 0
+	for range wins {
+		kept++
+	}
+	if kept != rounds {
+		t.Fatalf("kept %d leases, want %d", kept, rounds)
+	}
+	// Wait for the reapers to settle, then check conservation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		granted, released := 0, 0
+		for _, p := range fakes {
+			g, r := p.counts()
+			granted += g
+			released += r
+		}
+		if granted-released == rounds {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease conservation violated: granted=%d released=%d kept=%d",
+				granted, released, kept)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -13,12 +13,15 @@
 package poolmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"actyp/internal/directory"
+	"actyp/internal/metrics"
 	"actyp/internal/pool"
 	"actyp/internal/query"
 )
@@ -60,14 +63,28 @@ type Config struct {
 	// TTL is attached to queries arriving without one (default
 	// DefaultTTL).
 	TTL int
+	// Fanout is the delegation width: how many peers a local miss may try
+	// concurrently, first granted lease winning. Values <= 1 keep the
+	// paper's serial peer walk. See fanout.go.
+	Fanout int
+	// HedgeDelay staggers fan-out branches: each next branch launches
+	// only after the previous ones have had this long to answer. Zero
+	// launches the full width at once.
+	HedgeDelay time.Duration
+	// Stats, when set, counts fan-outs, per-peer wins and failures,
+	// hedges fired, and cancelled losers. Nil disables the accounting.
+	Stats *metrics.FederationStats
 }
 
 // Manager is one pool-manager stage instance.
 type Manager struct {
-	name    string
-	dir     *directory.Service
-	factory Factory
-	ttl     int
+	name       string
+	dir        *directory.Service
+	factory    Factory
+	ttl        int
+	fanout     int
+	hedgeDelay time.Duration
+	fstats     *metrics.FederationStats // nil-safe; see metrics.FederationStats
 
 	seed    uint64
 	pickSeq atomic.Uint64
@@ -77,6 +94,11 @@ type Manager struct {
 	// it, one flight per pool signature.
 	createMu sync.Mutex
 	creating map[string]*createCall
+
+	// delegatedMu guards the won-through-a-peer lease table; see
+	// rememberDelegated in fanout.go.
+	delegatedMu sync.Mutex
+	delegated   map[string]delegatedLease
 
 	resolved  atomic.Int64
 	created   atomic.Int64
@@ -108,12 +130,15 @@ func New(cfg Config) (*Manager, error) {
 		seed = 1
 	}
 	return &Manager{
-		name:     cfg.Name,
-		dir:      cfg.Dir,
-		factory:  cfg.Factory,
-		ttl:      cfg.TTL,
-		seed:     uint64(seed),
-		creating: make(map[string]*createCall),
+		name:       cfg.Name,
+		dir:        cfg.Dir,
+		factory:    cfg.Factory,
+		ttl:        cfg.TTL,
+		fanout:     cfg.Fanout,
+		hedgeDelay: cfg.HedgeDelay,
+		fstats:     cfg.Stats,
+		seed:       uint64(seed),
+		creating:   make(map[string]*createCall),
 	}, nil
 }
 
@@ -146,51 +171,11 @@ func (m *Manager) Resolve(q *query.Query) (*pool.Lease, error) {
 
 // Forward implements directory.Forwarder: it continues resolution of a
 // query that carries delegation state. The visited list prevents the query
-// from reaching any manager twice; the TTL bounds total hops.
+// from reaching any manager twice; the TTL bounds total hops. The
+// delegation walk is serial with Config.Fanout <= 1, a bounded first-win
+// race otherwise (see fanout.go).
 func (m *Manager) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
-	if ttl <= 0 {
-		m.failed.Add(1)
-		return nil, ErrTTLExpired
-	}
-	for _, v := range visited {
-		if v == m.name {
-			m.failed.Add(1)
-			return nil, fmt.Errorf("poolmgr %s: query already visited this manager", m.name)
-		}
-	}
-
-	name := query.Name(q)
-	if lease, err := m.resolveLocal(name, q); err == nil {
-		m.resolved.Add(1)
-		return lease, nil
-	}
-
-	// Local resolution failed: attach our name, decrement the TTL, and
-	// forward to an unvisited peer listed in the directory.
-	visited = append(append([]string(nil), visited...), m.name)
-	ttl--
-	for _, peer := range m.dir.Peers() {
-		if peer.Name() == m.name || contains(visited, peer.Name()) {
-			continue
-		}
-		m.forwarded.Add(1)
-		lease, err := peer.Forward(q, ttl, visited)
-		if err == nil {
-			return lease, nil
-		}
-		if errors.Is(err, ErrTTLExpired) {
-			m.failed.Add(1)
-			return nil, err
-		}
-		// Peer failed for another reason; it recorded itself in its own
-		// visited handling, but our copy must also skip it.
-		visited = append(visited, peer.Name())
-	}
-	m.failed.Add(1)
-	if ttl <= 0 {
-		return nil, ErrTTLExpired
-	}
-	return nil, ErrUnresolvable
+	return m.ForwardContext(context.Background(), q, ttl, visited)
 }
 
 // resolveLocal looks the pool up in the directory (creating it when
@@ -282,6 +267,16 @@ func (m *Manager) Release(lease *pool.Lease) error {
 	if lease == nil {
 		return fmt.Errorf("poolmgr %s: nil lease", m.name)
 	}
+	// A lease won through a peer must go back through that peer: pool
+	// instance names are query signatures, so the grantor's instance and
+	// a local instance collide on name, and the local release would hit
+	// "unknown lease" while the peer's capacity leaks.
+	if peer, ok := m.takeDelegated(lease.ID); ok {
+		if rel, rok := peer.(directory.LeaseReleaser); rok {
+			return rel.Release(lease)
+		}
+		return fmt.Errorf("poolmgr %s: peer %s cannot take lease %s back", m.name, peer.Name(), lease.ID)
+	}
 	ref, ok := m.dir.ByInstance(lease.Pool)
 	if !ok {
 		return fmt.Errorf("poolmgr %s: unknown pool instance %s", m.name, lease.Pool)
@@ -297,13 +292,4 @@ func (m *Manager) Release(lease *pool.Lease) error {
 func (m *Manager) Stats() (resolved, created, forwarded, failed int) {
 	return int(m.resolved.Load()), int(m.created.Load()),
 		int(m.forwarded.Load()), int(m.failed.Load())
-}
-
-func contains(list []string, s string) bool {
-	for _, v := range list {
-		if v == s {
-			return true
-		}
-	}
-	return false
 }

@@ -12,6 +12,7 @@
 package stage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -307,7 +308,38 @@ func (r *Remote) Forward(q *query.Query, ttl int, visited []string) (*pool.Lease
 	return rr.Lease, nil
 }
 
-// Release implements querymgr.ResourceManager.
+// ForwardContext implements directory.ContextForwarder for the fan-out
+// delegation path. Cancellation cannot recall a request already on the
+// wire, so a cancelled branch keeps a goroutine waiting on the in-flight
+// call: if the peer grants a lease after the cancel landed, that goroutine
+// releases it — a losing branch never orphans capacity on a remote peer.
+func (r *Remote) ForwardContext(ctx context.Context, q *query.Query, ttl int, visited []string) (*pool.Lease, error) {
+	if ctx.Done() == nil {
+		return r.Forward(q, ttl, visited)
+	}
+	type res struct {
+		lease *pool.Lease
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		lease, err := r.Forward(q, ttl, visited)
+		ch <- res{lease, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.lease, out.err
+	case <-ctx.Done():
+		go func() {
+			if out := <-ch; out.err == nil && out.lease != nil {
+				_ = r.Release(out.lease)
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// Release implements querymgr.ResourceManager and directory.LeaseReleaser.
 func (r *Remote) Release(lease *pool.Lease) error {
 	if lease == nil {
 		return fmt.Errorf("stage: nil lease")

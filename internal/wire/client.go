@@ -106,6 +106,7 @@ type Client struct {
 	conn         net.Conn
 	framer       *Framer
 	pending      map[uint64]chan callResult
+	streams      map[uint64]*ClientStream // live server-push subscriptions (see stream.go)
 	nextID       uint64
 	closed       bool
 	reconnecting bool
@@ -175,6 +176,7 @@ func (c *Client) Close() error {
 	c.conn = nil
 	c.framer = nil
 	c.failPendingLocked(ErrClosed)
+	c.failStreamsLocked(ErrClosed)
 	c.mu.Unlock()
 	if conn != nil {
 		return conn.Close()
@@ -402,9 +404,26 @@ func (c *Client) readLoop(conn net.Conn, framer *Framer) {
 		if ok {
 			delete(c.pending, env.ID)
 		}
+		var st *ClientStream
+		if !ok {
+			st = c.streams[env.ID]
+		}
 		c.mu.Unlock()
 		if ok {
 			ch <- callResult{env: env} // buffered; single send per entry
+			continue
+		}
+		if st != nil {
+			// Stream frames deliver without deregistering the id; a consumer
+			// that overflowed its buffer is dropped here so it never stalls
+			// this loop (it resubscribes and re-baselines).
+			if !st.deliver(env) {
+				c.mu.Lock()
+				if c.streams[env.ID] == st {
+					delete(c.streams, env.ID)
+				}
+				c.mu.Unlock()
+			}
 		}
 		// Unmatched ids are replies to abandoned (timed-out) calls: drop.
 	}
@@ -419,6 +438,7 @@ func (c *Client) connFailed(conn net.Conn, err error) {
 		c.conn = nil
 		c.framer = nil
 		c.failPendingLocked(fmt.Errorf("%w: %v", ErrConnLost, err))
+		c.failStreamsLocked(fmt.Errorf("%w: %v", ErrConnLost, err))
 		if !c.closed && !c.reconnecting {
 			c.reconnecting = true
 			go c.reconnectLoop()

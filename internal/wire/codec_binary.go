@@ -98,6 +98,7 @@ const (
 	pidBusyReply
 	pidSelectRequest
 	pidSelectReply
+	pidWatchEvents
 )
 
 type binaryCodec struct {
@@ -404,6 +405,10 @@ func appendBinPayload(dst []byte, typ string, msg any) ([]byte, error) {
 		return appendBinSelectReply(dst, &m)
 	case *SelectReply:
 		return appendBinSelectReply(dst, m)
+	case WatchEvents:
+		return appendBinWatchEvents(dst, &m), nil
+	case *WatchEvents:
+		return appendBinWatchEvents(dst, m), nil
 	}
 	raw, err := json.Marshal(msg)
 	if err != nil {
@@ -495,10 +500,17 @@ func decodeBinTyped(b []byte, out any) error {
 			v.Text = cur.string()
 			v.Limit = int(cur.varint())
 			v.Full = cur.byte() != 0
+			if len(cur.b) > 0 { // optional trailing page offset
+				v.Offset = int(cur.varint())
+			}
 		}
 	case *SelectReply:
 		if check(pidSelectReply) {
 			readBinSelectReply(&cur, v)
+		}
+	case *WatchEvents:
+		if check(pidWatchEvents) {
+			readBinWatchEvents(&cur, v)
 		}
 	default:
 		return fmt.Errorf("no binary decoder for %T", out)
@@ -648,9 +660,17 @@ func appendBinSelectRequest(dst []byte, m *SelectRequest) []byte {
 	dst = appendBinString(dst, m.Text)
 	dst = binary.AppendVarint(dst, int64(m.Limit))
 	if m.Full {
-		return append(dst, 1)
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
 	}
-	return append(dst, 0)
+	// Optional trailing page offset: omitted when zero so the frame stays
+	// byte-identical to the pre-pagination encoding (old decoders reject
+	// trailing bytes).
+	if m.Offset > 0 {
+		dst = binary.AppendVarint(dst, int64(m.Offset))
+	}
+	return dst
 }
 
 // Record-set format bytes inside a binary select reply.
@@ -701,6 +721,39 @@ func readBinSelectReply(cur *binCursor, m *SelectReply) {
 	default:
 		cur.fail("unknown record-set format 0x%02x", format)
 	}
+}
+
+// appendBinWatchEvents encodes a watch stream frame: two flag bytes and
+// the delta/dictionary event batch (registry.AppendEventBatch) — the
+// stream's hot path, priced like the select reply's record batches.
+func appendBinWatchEvents(dst []byte, m *WatchEvents) []byte {
+	dst = append(dst, binPayloadTyped)
+	dst = binary.AppendUvarint(dst, pidWatchEvents)
+	var flags byte
+	if m.Ack {
+		flags |= 1
+	}
+	if m.Resync {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	return appendBinBytes(dst, registry.AppendEventBatch(nil, m.Events.Events))
+}
+
+func readBinWatchEvents(cur *binCursor, m *WatchEvents) {
+	flags := cur.byte()
+	m.Ack = flags&1 != 0
+	m.Resync = flags&2 != 0
+	body := cur.bytes()
+	if cur.err != nil {
+		return
+	}
+	evs, err := registry.DecodeEventBatch(body)
+	if err != nil {
+		cur.fail("decode watch event batch: %v", err)
+		return
+	}
+	m.Events.Events = evs
 }
 
 func appendBinEmpty(dst []byte, pid uint64) []byte {

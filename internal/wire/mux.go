@@ -34,6 +34,14 @@ type ServeOptions struct {
 	// with admission and deadline-aware shedding instead of the single
 	// FIFO. Nil keeps the original FIFO behaviour. See OverloadPolicy.
 	Overload *OverloadPolicy
+	// Streams maps envelope types to long-lived subscription handlers
+	// (watch). A frame whose type is a key here bypasses the worker pool:
+	// the reader registers the subscription and spawns the handler in its
+	// own goroutine, which pushes frames through the connection's writer
+	// until the peer cancels or the connection tears down. Nil serves no
+	// streams; unknown types still reach the regular handler (which
+	// answers with an error reply — the floor old peers rely on).
+	Streams map[string]StreamHandler
 	// Stats, when set, accounts every frame this connection reads and
 	// writes (bytes, frames, compressed-vs-raw) under its codec's name.
 	Stats *metrics.WireStats
@@ -149,6 +157,24 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 		}
 		dispatch(workItem{env: env})
 	}
+	// Subscription frames route around the worker pool entirely: a watch
+	// lives as long as the connection, so parking it on a worker would
+	// permanently burn a slot of the window.
+	var streams serverStreams
+	handleStream := func(env *Envelope) bool {
+		if env.Type == TypeStreamCancel {
+			streams.cancelID(env.ID)
+			return true
+		}
+		h, ok := opts.Streams[env.Type]
+		if !ok {
+			return false
+		}
+		if !streams.start(env, h, replies) {
+			replies <- outbound{env: ErrorEnvelope(env.ID, errors.New("wire: duplicate stream id"))}
+		}
+		return true
+	}
 	dispatcherDone := make(chan struct{})
 	if lanes != nil {
 		// The dispatcher serializes lane picks; `dispatch` itself is not
@@ -228,6 +254,9 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 				continue
 			}
 		}
+		if handleStream(env) {
+			continue
+		}
 		enqueue(env)
 	}
 	if lanes != nil {
@@ -238,6 +267,11 @@ func ServeConnOpts(conn net.Conn, opts ServeOptions, handle Handler) error {
 	<-dispatcherDone
 	close(work)
 	workers.Wait()
+	// Stream handlers push through `replies` too, so they must all be
+	// stopped and gone before the channel may close. Their Sends select on
+	// the stream's done channel, so cancelling never deadlocks against a
+	// writer that already failed (it drains until the close).
+	streams.close()
 	close(replies)
 	<-writerDone
 	if writeErr != nil {

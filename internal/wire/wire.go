@@ -41,6 +41,19 @@ const (
 	TypeHelloAck  = "hello-ack"  // negotiation answer, encoded in the chosen codec
 	TypeBusy      = "busy"       // BusyReply (request shed by overload control, never dispatched)
 	TypeSelect    = "select"     // SelectRequest -> SelectReply (machine record batch)
+
+	// The watch family extends the protocol from request/reply to server
+	// push: a watch subscribes the connection to the registry change
+	// stream and the server then sends watch-events frames carrying the
+	// subscribe envelope's id for as long as the subscription lives.
+	// Like "busy" and "select", both types travel via the inline-string
+	// envelope escape on binary connections, so an old peer decodes the
+	// envelope fine and bounces the unknown type as an ordinary error
+	// reply — which is exactly how a subscriber detects a pre-watch peer
+	// and degrades to the poll fallback.
+	TypeWatch        = "watch"         // WatchRequest -> WatchEvents stream (first frame acks)
+	TypeWatchEvents  = "watch-events"  // server->client stream frame
+	TypeStreamCancel = "stream-cancel" // client->server: stop the stream with this id
 )
 
 // Envelope is the frame body. On the write side the typed payload rides in
@@ -186,6 +199,14 @@ type SelectRequest struct {
 	// Limit caps the returned records (0 = no cap). Total still reports
 	// the uncapped match count.
 	Limit int `json:"limit,omitempty"`
+	// Offset skips that many matching records (in the registry's sorted
+	// name order) before Limit applies, so a fleet whose full record
+	// batch would exceed MaxFrame is fetched in pages. Encoded on binary
+	// connections as an optional trailing field only when non-zero: an
+	// old peer decodes an offset-less first page fine and bounces a
+	// paged request as a decode error — which only arises against
+	// fleets too large for that peer to serve in one frame anyway.
+	Offset int `json:"offset,omitempty"`
 	// Full pins the reply's record batch to the full per-record encoding
 	// instead of the delta batch — the on-wire differential oracle, and
 	// the baseline leg of the WAN benchmark.
@@ -221,6 +242,49 @@ func (r RecordSet) MarshalJSON() ([]byte, error) {
 func (r *RecordSet) UnmarshalJSON(b []byte) error {
 	r.Full = false
 	return json.Unmarshal(b, &r.Machines)
+}
+
+// WatchRequest subscribes the connection to the server's registry change
+// stream. The request payload stays JSON-encodable on every codec (it is
+// tiny and sent once per subscription), so only the streamed event frames
+// pay for a typed fast path.
+type WatchRequest struct {
+	// Filter restricts the stream to records matching this basic query
+	// text ("" streams every record's events).
+	Filter string `json:"filter,omitempty"`
+	// Ring sizes the server-side coalescing ring for this subscription
+	// (<=0 uses the server default). Bigger rings ride out longer
+	// consumer stalls before degrading to a resync.
+	Ring int `json:"ring,omitempty"`
+}
+
+// WatchEvents is one frame of a watch stream: the subscription ack (first
+// frame), a coalesced event batch, or a resync marker telling the
+// subscriber the server dropped events and a full snapshot re-fetch is
+// required.
+type WatchEvents struct {
+	Ack    bool     `json:"ack,omitempty"`
+	Resync bool     `json:"resync,omitempty"`
+	Events EventSet `json:"events,omitempty"`
+}
+
+// EventSet is an event batch with a codec-dependent wire shape: JSON
+// connections carry the plain per-event array, binary connections the
+// delta/dictionary batch encoding (registry.AppendEventBatch) — a monitor
+// sweep's burst of near-identical dynamic updates encodes near the diff,
+// not the event.
+type EventSet struct {
+	Events []registry.WireEvent
+}
+
+// MarshalJSON encodes just the event array, the floor shape.
+func (e EventSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(e.Events)
+}
+
+// UnmarshalJSON decodes a plain event array.
+func (e *EventSet) UnmarshalJSON(b []byte) error {
+	return json.Unmarshal(b, &e.Events)
 }
 
 // ErrorReply carries a failure back to the requester.
