@@ -39,7 +39,7 @@ var laneWeights schedule.LaneWeights
 var hedgeDelay time.Duration
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan, federation or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan, federation, recovery or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	laneSpec := flag.String("lane-weights", "", "lane weight spec for the overload figure, e.g. lease=4,bulk=1 (default from schedule)")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
@@ -97,6 +97,7 @@ func main() {
 	run("overload", figOverload)
 	run("wan", figWan)
 	run("federation", figFederation)
+	run("recovery", figRecovery)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -308,6 +309,37 @@ func figFederation(quick bool) error {
 		"peers | machines", "p50/p99 (s)", res.AllSeries()); err != nil {
 		return err
 	}
+	return res.Check()
+}
+
+// figRecovery measures the durability subsystem: cold-boot recovery time
+// (journal replay + registry restore + lease re-adoption) across fleet
+// sizes, allocate p99 on the freshly recovered daemon, and the
+// allocate-p99 overhead of each journal fsync policy against the
+// no-journal baseline. The result's Check() is the regression bar —
+// recovery at the largest fleet inside experiments.ReplayBar, every
+// journaled lease restored, and fsync=interval within 2x of no-journal
+// allocate p99 — so a CI smoke run of this figure is the durability
+// regression gate.
+func figRecovery(quick bool) error {
+	cfg := experiments.DefaultRecovery()
+	if quick {
+		cfg.Sizes = []int{500, 2000}
+		cfg.Leases = 16
+		cfg.Clients = 4
+		cfg.OpsPerClient = 15
+		cfg.FsyncMachines = 500
+	}
+	res, err := experiments.RecoveryScale(cfg)
+	if err != nil {
+		return err
+	}
+	series := append([]metrics.Series{res.Recovery, res.Allocate}, res.Fsync...)
+	if err := emit("recovery", "Recovery: cold-boot time and allocate p99 vs fleet size, plus fsync-policy overhead",
+		"machines | fsync policy index", "ms", series); err != nil {
+		return err
+	}
+	fmt.Printf("# recovery at largest fleet: restored=%d reaped=%d\n", res.Restored, res.Reaped)
 	return res.Check()
 }
 

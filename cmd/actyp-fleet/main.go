@@ -8,7 +8,13 @@
 //	actyp-fleet gen -n 3200 -out fleet.json [-homogeneous]
 //	actyp-fleet stats -db fleet.json
 //	actyp-fleet set -db fleet.json -machine m0001 -key owner -value ece -out fleet.json
-//	actyp-fleet mirror -addr host:7464 -out fleet.json [-watch] [-filter expr]
+//	actyp-fleet mirror -addr host:7464 -out fleet.snap [-watch] [-filter expr]
+//
+// Mirrors are saved in the durability journal's snapshot encoding by
+// default, so a mirror file doubles as a recovery seed (actypd -db
+// accepts it directly); -format json keeps the legacy JSON shape. Every
+// subcommand that reads a database sniffs the format, so both work
+// everywhere a -db flag is taken.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"actyp/internal/core"
+	"actyp/internal/journal"
 	"actyp/internal/netsim"
 	"actyp/internal/query"
 	"actyp/internal/registry"
@@ -53,7 +60,7 @@ func usage() {
   actyp-fleet gen   -n N -out file [-homogeneous] [-seed S]
   actyp-fleet stats -db file
   actyp-fleet set   -db file -machine name -key k -value v [-out file]
-  actyp-fleet mirror -addr host:port -out file [-watch] [-filter expr] [-profile p]
+  actyp-fleet mirror -addr host:port -out file [-format snapshot|json] [-watch] [-filter expr] [-profile p]
 `)
 	os.Exit(2)
 }
@@ -66,13 +73,17 @@ func usage() {
 func mirrorCmd(args []string) error {
 	fs := flag.NewFlagSet("mirror", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7464", "actypd wire endpoint to mirror")
-	out := fs.String("out", "fleet.json", "output snapshot")
+	out := fs.String("out", "fleet.snap", "output file")
+	format := fs.String("format", "snapshot", "output encoding: snapshot (journal snapshot format, a valid recovery seed) or json (legacy)")
 	filter := fs.String("filter", "", "server-side basic-query filter, e.g. \"punch.rsrc.arch = sun\"")
 	watch := fs.Bool("watch", false, "baseline through the watch stream instead of a single snapshot fetch")
 	profile := fs.String("profile", "local", "network profile: local, lan or wan")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline for the mirror")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "snapshot" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want snapshot or json)", *format)
 	}
 	prof, err := profileByName(*profile)
 	if err != nil {
@@ -111,16 +122,31 @@ func mirrorCmd(args []string) error {
 			}
 		}
 	}
-	f, err := os.Create(*out)
+	if err := saveDB(db, *out, *format == "snapshot"); err != nil {
+		return err
+	}
+	fmt.Printf("mirrored %d machines from %s to %s (%s mode, %s format)\n", db.Len(), *addr, *out, mode, *format)
+	return nil
+}
+
+// saveDB writes a database either in the journal snapshot encoding
+// (pageable, recovery-seed compatible) or as legacy JSON.
+func saveDB(db *registry.DB, path string, asSnapshot bool) error {
+	if asSnapshot {
+		var ms []*registry.Machine
+		db.Walk(func(m *registry.Machine) bool {
+			ms = append(ms, m)
+			return true
+		})
+		_, err := journal.WriteSnapshotFile(path, journal.SliceSource(ms), nil)
+		return err
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := db.Save(f); err != nil {
-		return err
-	}
-	fmt.Printf("mirrored %d machines from %s to %s (%s mode)\n", db.Len(), *addr, *out, mode)
-	return nil
+	return db.Save(f)
 }
 
 func profileByName(name string) (netsim.Profile, error) {
@@ -165,17 +191,31 @@ func genCmd(args []string) error {
 	return nil
 }
 
-func loadDB(path string) (*registry.DB, error) {
+// loadDB reads either encoding, reporting which one it found so writers
+// can preserve it.
+func loadDB(path string) (db *registry.DB, isSnapshot bool, err error) {
+	db = registry.NewDB()
+	if journal.IsSnapshotFile(path) {
+		ms, _, err := journal.ReadSnapshotFile(path)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, m := range ms {
+			if err := db.Add(m); err != nil {
+				return nil, false, err
+			}
+		}
+		return db, true, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer f.Close()
-	db := registry.NewDB()
 	if err := db.Load(f); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return db, nil
+	return db, false, nil
 }
 
 func statsCmd(args []string) error {
@@ -184,7 +224,7 @@ func statsCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	db, err := loadDB(*path)
+	db, _, err := loadDB(*path)
 	if err != nil {
 		return err
 	}
@@ -231,7 +271,7 @@ func setCmd(args []string) error {
 	if *machine == "" || *key == "" || *value == "" {
 		return fmt.Errorf("set needs -machine, -key and -value")
 	}
-	db, err := loadDB(*path)
+	db, isSnap, err := loadDB(*path)
 	if err != nil {
 		return err
 	}
@@ -242,12 +282,7 @@ func setCmd(args []string) error {
 	if dst == "" {
 		dst = *path
 	}
-	f, err := os.Create(dst)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := db.Save(f); err != nil {
+	if err := saveDB(db, dst, isSnap); err != nil {
 		return err
 	}
 	fmt.Printf("set %s.%s = %s (snapshot %s)\n", *machine, *key, *value, dst)

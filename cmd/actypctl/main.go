@@ -10,6 +10,13 @@
 //
 // Each "key = value" argument is one query line; -file reads the whole
 // query from a file instead.
+//
+// The journal subcommand operates on a daemon's durability directory
+// without dialing anything:
+//
+//	actypctl journal inspect /var/lib/actyp/journal
+//	actypctl journal verify /var/lib/actyp/journal
+//	actypctl journal compact /var/lib/actyp/journal   (daemon must be stopped)
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"actyp/internal/core"
+	"actyp/internal/journal"
 	"actyp/internal/netsim"
 	"actyp/internal/wire"
 )
@@ -32,6 +40,15 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// The journal subcommand is offline file surgery — dispatch it before
+	// dialing anything.
+	if args[0] == "journal" {
+		if err := journalCmd(args[1:]); err != nil {
+			log.Fatalf("actypctl: journal: %v", err)
+		}
+		return
 	}
 
 	codecs, err := wire.ParseCodecs(*wireCodec)
@@ -109,10 +126,66 @@ func request(client *core.Client, args []string) error {
 	return nil
 }
 
+// journalCmd inspects, verifies, or compacts a journal directory.
+func journalCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want: journal inspect|verify|compact <dir>")
+	}
+	verb, dir := args[0], args[1]
+	switch verb {
+	case "inspect":
+		info, err := journal.Inspect(dir)
+		if err != nil {
+			return err
+		}
+		for _, si := range info.Snapshots {
+			status := fmt.Sprintf("%d machines, %d leases", si.Machines, si.Leases)
+			if si.Err != "" {
+				status = "UNLOADABLE: " + si.Err
+			}
+			fmt.Printf("snapshot %8d  %9d bytes  %s\n", si.Seq, si.Bytes, status)
+		}
+		for _, si := range info.Segments {
+			fmt.Printf("segment  %8d  %9d bytes  %d records (%d event batches, %d lease ops, %d resyncs)",
+				si.Seq, si.Bytes, si.Records, si.Events, si.Leases, si.Resyncs)
+			if si.Err != "" {
+				fmt.Printf("  [tail: %s]", si.Err)
+			}
+			fmt.Println()
+		}
+		if len(info.Snapshots) == 0 && len(info.Segments) == 0 {
+			fmt.Println("empty journal directory")
+		}
+	case "verify":
+		issues, err := journal.Verify(dir)
+		if err != nil {
+			return err
+		}
+		if len(issues) == 0 {
+			fmt.Println("ok: every record CRC checks out")
+			return nil
+		}
+		for _, issue := range issues {
+			fmt.Println(issue)
+		}
+		os.Exit(1)
+	case "compact":
+		removed, err := journal.CompactOffline(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted: %d files removed\n", removed)
+	default:
+		return fmt.Errorf("unknown verb %q (want inspect, verify or compact)", verb)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   actypctl [-addr host:port] [-wire-codec spec] ping
   actypctl [-addr host:port] [-wire-codec spec] request [-hold d] [-lang name] [-file f] ['key = value' ...]
+  actypctl journal inspect|verify|compact <dir>
 `)
 	os.Exit(2)
 }

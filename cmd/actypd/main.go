@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"actyp/internal/core"
+	"actyp/internal/journal"
 	"actyp/internal/metrics"
 	"actyp/internal/netsim"
 	"actyp/internal/policy"
@@ -74,6 +75,9 @@ type daemonConfig struct {
 	hedgeDelay  time.Duration
 	remoteWatch string
 	nodeName    string
+	journalDir  string
+	journalSync string
+	snapEvery   time.Duration
 }
 
 func main() {
@@ -112,6 +116,9 @@ func main() {
 	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "stagger between delegation fan-out branches, e.g. 10ms (0 races the full width at once)")
 	flag.StringVar(&cfg.remoteWatch, "remote-watch", "", "mirror a remote actypd registry into the local white pages over the wire watch stream (typically with -machines 0; falls back to polling against pre-watch peers)")
 	flag.StringVar(&cfg.nodeName, "node-name", "", "pool-manager name prefix; federated daemons need distinct names (the delegation visited list keys on them) — defaults to pm, or pm@<addr> when -stage-addr or -peer-addrs is set")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "durability journal directory: registry events and lease transitions are logged there, replayed on boot, and compacted by snapshots (empty disables durability)")
+	flag.StringVar(&cfg.journalSync, "journal-fsync", journal.FsyncInterval, "journal fsync policy: always (sync every append), interval (timer-driven, default), or off (OS writeback only)")
+	flag.DurationVar(&cfg.snapEvery, "snapshot-interval", time.Minute, "journal snapshot (and compaction) period; 0 snapshots only on shutdown and watch-ring resync")
 	flag.Parse()
 
 	// A negative window was historically folded into "serial" silently,
@@ -136,7 +143,54 @@ func run(cfg daemonConfig) error {
 	}
 	db := registry.NewDBWith(backend)
 	log.Printf("actypd: white pages on the %s backend", cfg.regBackend)
-	if cfg.dbPath != "" {
+
+	// Durability: replay the journal BEFORE any other population path —
+	// a non-empty replay is the previous incarnation's state and wins
+	// over -db and the synthetic fleet.
+	var (
+		jnl        *journal.Journal
+		jstate     *journal.State
+		journStats *metrics.JournalStats
+	)
+	if cfg.journalDir != "" {
+		journStats = metrics.NewJournalStats()
+		jnl, jstate, err = journal.Open(journal.Config{
+			Dir:   cfg.journalDir,
+			Fsync: cfg.journalSync,
+			Stats: journStats,
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+	}
+	switch {
+	case jstate != nil && !jstate.Empty():
+		if err := jstate.RestoreDB(db); err != nil {
+			return err
+		}
+		c := journStats.Snapshot()
+		log.Printf("actypd: replayed %d machines and %d leases from %s (%d records in %s, torn=%d corrupt=%d)",
+			db.Len(), len(jstate.Leases), cfg.journalDir, c.ReplayRecords, c.ReplayDuration, c.ReplayTorn, c.ReplayCorrupt)
+		if cfg.dbPath != "" {
+			log.Printf("actypd: -db %s ignored: the journal replay is authoritative", cfg.dbPath)
+		}
+	case cfg.dbPath != "" && journal.IsSnapshotFile(cfg.dbPath):
+		// A journal-snapshot-format file (e.g. an actyp-fleet mirror)
+		// seeds the registry directly; any lease records inside describe
+		// another daemon's grants and are ignored here.
+		ms, _, err := journal.ReadSnapshotFile(cfg.dbPath)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := db.Add(m); err != nil {
+				return err
+			}
+		}
+		log.Printf("actypd: loaded %d machines from snapshot %s", db.Len(), cfg.dbPath)
+	case cfg.dbPath != "":
 		f, err := os.Open(cfg.dbPath)
 		if err != nil {
 			return err
@@ -147,7 +201,7 @@ func run(cfg daemonConfig) error {
 			return err
 		}
 		log.Printf("actypd: loaded %d machines from %s", db.Len(), cfg.dbPath)
-	} else {
+	default:
 		if err := registry.DefaultFleetSpec(cfg.machines).Populate(db, time.Now()); err != nil {
 			return err
 		}
@@ -192,12 +246,34 @@ func run(cfg daemonConfig) error {
 	if cfg.firstMatch {
 		opts.Mode = querymgr.FirstMatch
 	}
+	if jnl != nil {
+		opts.LeaseLog = jnl
+		opts.DelegationLog = jnl
+	}
 	svc, err := core.New(opts)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	log.Printf("actypd: pool freshness in %s mode", svc.RefreshMode())
+
+	// Crash recovery: re-adopt the replayed leases into rebuilt pools
+	// before the listener opens. No probe is injected — renewals are the
+	// daemon's liveness signal, so holders that never come back are
+	// reaped by the TTL reaper after the grace window.
+	if jstate != nil && len(jstate.Leases) > 0 {
+		recovered := make([]core.RecoveredLease, 0, len(jstate.Leases))
+		for _, lr := range jstate.Leases {
+			recovered = append(recovered, core.RecoveredLease{Lease: lr.Lease, Expires: lr.Expires, Peer: lr.Peer})
+		}
+		rep, err := svc.Recover(recovered, core.RecoverOptions{Logf: log.Printf})
+		if err != nil {
+			return err
+		}
+		journStats.Recovered(rep.Restored+rep.DelegatedRestored, rep.Reaped)
+		log.Printf("actypd: recovery: %d leases restored across %d pools, %d reaped, %d dropped, delegated %d restored / %d dropped",
+			rep.Restored, rep.PoolsAdopted, rep.Reaped, rep.Dropped, rep.DelegatedRestored, rep.DelegatedDropped)
+	}
 
 	// Federation: delegate local misses to peer pool managers over their
 	// stage endpoints, and optionally mirror a remote registry into the
@@ -245,6 +321,19 @@ func run(cfg daemonConfig) error {
 			return err
 		}
 		log.Printf("actypd: pre-created %d striped pools", cfg.warm)
+	}
+
+	// Attach the journal last in the boot sequence: the synchronous
+	// initial snapshot baselines everything above (population, recovery,
+	// warm pools) before the first event is drained.
+	if jnl != nil {
+		source := func(limit, offset int) ([]*registry.Machine, int, error) {
+			return svc.SelectMachines("", limit, offset)
+		}
+		if err := jnl.Attach(db, source, cfg.snapEvery); err != nil {
+			return err
+		}
+		log.Printf("actypd: journaling to %s (fsync %s, snapshots every %s)", cfg.journalDir, cfg.journalSync, cfg.snapEvery)
 	}
 
 	overload, stats, err := overloadPolicy(cfg)
@@ -303,6 +392,16 @@ func run(cfg daemonConfig) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("actypd: shutting down")
+	// Seal the journal BEFORE the deferred svc.Close(): shutdown's own
+	// pool teardown releases every claim, and journaling those releases
+	// would make a clean restart forget all live leases. The final
+	// snapshot inside Close preserves them instead.
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Printf("actypd: journal close: %v", err)
+		}
+		log.Printf("actypd: journal: %s", journStats.Snapshot())
+	}
 	if stats != nil {
 		for class, c := range stats.Snapshot() {
 			if c.Admitted+c.Shed+c.Expired == 0 {

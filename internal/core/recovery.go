@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"actyp/internal/pool"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+)
+
+// RecoveredLease is one lease the durability journal replayed: the full
+// lease, its last known deadline, and — for leases won through a
+// federation peer — the peer that granted it. core deliberately does not
+// import the journal package; the daemon converts journal records into
+// these.
+type RecoveredLease struct {
+	Lease   pool.Lease
+	Expires time.Time
+	Peer    string // "" for locally-granted leases
+}
+
+// RecoverOptions tunes crash-recovery reconciliation.
+type RecoverOptions struct {
+	// Grace extends every restored lease's deadline to at least now+Grace,
+	// giving holders whose renewals were in flight during the outage a
+	// full TTL to heartbeat again before the reaper considers them dead.
+	// Zero defaults to the service's LeaseTTL.
+	Grace time.Duration
+	// Probe, when set, is asked whether each locally-granted lease's
+	// holder is still alive; dead holders' leases are released instead of
+	// restored. Nil restores every lease and leaves liveness to the TTL
+	// reaper — the daemon's real liveness signal is renewals, and a holder
+	// that never renews is reaped after Grace anyway.
+	Probe func(ctx context.Context, l *pool.Lease) bool
+	// ProbeConcurrency bounds concurrent probes (default 16).
+	ProbeConcurrency int
+	// ProbeTimeout bounds each probe call (default 2s).
+	ProbeTimeout time.Duration
+	// Logf receives per-lease reconciliation notes (nil: discarded).
+	Logf func(format string, args ...any)
+}
+
+// RecoveryReport summarizes what Recover did.
+type RecoveryReport struct {
+	Restored          int // local leases re-adopted into rebuilt pools
+	Reaped            int // local leases whose holders failed the probe
+	Dropped           int // local leases dropped (pool unreconstructable or adoption conflict)
+	DelegatedRestored int // peer-granted leases whose release route was re-installed
+	DelegatedDropped  int // peer-granted leases whose peer is gone
+	PoolsAdopted      int // pool instances rebuilt from taken marks
+}
+
+// Recover reconciles replayed journal state with reality: probe the
+// holders of locally-granted leases (dead ones are released), rebuild the
+// pool instances the surviving leases and the registry's taken marks
+// imply, re-adopt the surviving leases into those pools, and re-install
+// the release routes of peer-granted (delegated) leases. It must run
+// after New and before the service starts taking traffic.
+//
+// The registry behind the service must already hold the replayed records;
+// taken marks inside them are what exclusive pool adoption feeds on.
+func (s *Service) Recover(leases []RecoveredLease, opts RecoverOptions) (RecoveryReport, error) {
+	var rep RecoveryReport
+	if opts.Grace <= 0 {
+		opts.Grace = s.opts.LeaseTTL
+	}
+	if opts.ProbeConcurrency <= 0 {
+		opts.ProbeConcurrency = 16
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var local, delegated []RecoveredLease
+	for _, rl := range leases {
+		if rl.Peer != "" {
+			delegated = append(delegated, rl)
+		} else {
+			local = append(local, rl)
+		}
+	}
+
+	// Probe sweep: bounded-concurrency liveness checks on the holders of
+	// locally-granted leases. A dead holder's lease is released — taken
+	// mark cleared, journal told — so the machine goes back into
+	// circulation immediately instead of after a reap cycle.
+	alive := local
+	if opts.Probe != nil && len(local) > 0 {
+		verdicts := make([]bool, len(local))
+		sem := make(chan struct{}, opts.ProbeConcurrency)
+		var wg sync.WaitGroup
+		for i := range local {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ctx, cancel := context.WithTimeout(context.Background(), opts.ProbeTimeout)
+				defer cancel()
+				verdicts[i] = opts.Probe(ctx, &local[i].Lease)
+			}(i)
+		}
+		wg.Wait()
+		alive = alive[:0]
+		for i, rl := range local {
+			if verdicts[i] {
+				alive = append(alive, rl)
+				continue
+			}
+			s.db.Release(rl.Lease.Pool, rl.Lease.Machine)
+			if s.opts.LeaseLog != nil {
+				s.opts.LeaseLog.LeaseReleased(rl.Lease.ID)
+			}
+			logf("recover: holder of %s (%s) is dead; released", rl.Lease.ID, rl.Lease.Machine)
+			rep.Reaped++
+		}
+	}
+
+	// Rebuild pool instances: every instance a surviving lease names, plus
+	// every instance still holding taken marks in the registry (a pool can
+	// exist with zero live leases — without adoption its marks would
+	// strand the machines forever).
+	byInstance := map[string][]RecoveredLease{}
+	for _, rl := range alive {
+		byInstance[rl.Lease.Pool] = append(byInstance[rl.Lease.Pool], rl)
+	}
+	s.db.Walk(func(m *registry.Machine) bool {
+		if m.TakenBy != "" {
+			if _, ok := byInstance[m.TakenBy]; !ok {
+				byInstance[m.TakenBy] = nil
+			}
+		}
+		return true
+	})
+	instances := make([]string, 0, len(byInstance))
+	for inst := range byInstance {
+		instances = append(instances, inst)
+	}
+	sort.Strings(instances)
+
+	dropAll := func(inst string, ls []RecoveredLease, why error) {
+		s.db.ReleaseAll(inst)
+		for _, rl := range ls {
+			if s.opts.LeaseLog != nil {
+				s.opts.LeaseLog.LeaseReleased(rl.Lease.ID)
+			}
+			rep.Dropped++
+		}
+		logf("recover: pool %s not reconstructable (%v); released its claims and %d leases", inst, why, len(ls))
+	}
+
+	now := time.Now()
+	recoveredIDs := make([]string, 0, len(alive)+len(delegated))
+	for _, inst := range instances {
+		ls := byInstance[inst]
+		name, num, err := parsePoolInstance(inst)
+		if err != nil {
+			dropAll(inst, ls, err)
+			continue
+		}
+		// Exclusive pools load from their surviving taken marks; a pool
+		// with none (a non-exclusive replica's leases) loads its lease
+		// machines shared.
+		members := s.db.TakenBy(inst)
+		exclusive := len(members) > 0
+		if !exclusive {
+			seen := map[string]bool{}
+			for _, rl := range ls {
+				if !seen[rl.Lease.Machine] {
+					seen[rl.Lease.Machine] = true
+					members = append(members, rl.Lease.Machine)
+				}
+			}
+			sort.Strings(members)
+		}
+		if len(members) == 0 {
+			continue // instance evaporated entirely; nothing to rebuild
+		}
+		ref, err := s.factory.Adopt(name, num, members, exclusive)
+		if err != nil {
+			dropAll(inst, ls, err)
+			continue
+		}
+		if err := s.dir.Register(ref); err != nil {
+			dropAll(inst, ls, err)
+			continue
+		}
+		rep.PoolsAdopted++
+		p := ref.Local.(*pool.Pool)
+		for _, rl := range ls {
+			expires := rl.Expires
+			if opts.Grace > 0 {
+				if floor := now.Add(opts.Grace); expires.Before(floor) {
+					expires = floor
+				}
+			}
+			lease := rl.Lease
+			if err := p.AdoptLease(&lease, expires); err != nil {
+				s.db.Release(inst, rl.Lease.Machine)
+				if s.opts.LeaseLog != nil {
+					s.opts.LeaseLog.LeaseReleased(rl.Lease.ID)
+				}
+				logf("recover: lease %s not adoptable (%v); released", rl.Lease.ID, err)
+				rep.Dropped++
+				continue
+			}
+			recoveredIDs = append(recoveredIDs, rl.Lease.ID)
+			rep.Restored++
+		}
+	}
+
+	// Delegated leases: re-install the release route through the granting
+	// peer in every pool manager (whichever one later receives the release
+	// must find it). A peer that left the mesh makes the lease
+	// unreleasable from here — drop it and let the grantor's own reaper
+	// reclaim the machine once renewals stop.
+	for _, rl := range delegated {
+		lease := rl.Lease
+		restored := false
+		for _, pm := range s.pms {
+			if pm.RestoreDelegated(&lease, rl.Peer) {
+				restored = true
+			}
+		}
+		if restored {
+			recoveredIDs = append(recoveredIDs, rl.Lease.ID)
+			rep.DelegatedRestored++
+			continue
+		}
+		if s.opts.DelegationLog != nil {
+			s.opts.DelegationLog.DelegationDone(rl.Lease.ID)
+		}
+		logf("recover: peer %s of delegated lease %s is gone; dropped", rl.Peer, rl.Lease.ID)
+		rep.DelegatedDropped++
+	}
+
+	// Shadow accounts are session-scoped and not journaled: the manager
+	// restarts empty, so releases of pre-crash grants must tolerate the
+	// missing account exactly once per recovered lease.
+	s.mu.Lock()
+	if s.recovered == nil {
+		s.recovered = make(map[string]bool, len(recoveredIDs))
+	}
+	for _, id := range recoveredIDs {
+		s.recovered[id] = true
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// parsePoolInstance splits a pool instance id ("sig/ident#N") back into
+// its name and replica number. The identifier may itself contain '#'
+// (attribute values are free-form), so the split takes the LAST one.
+func parsePoolInstance(inst string) (query.PoolName, int, error) {
+	idx := strings.LastIndexByte(inst, '#')
+	if idx < 0 {
+		return query.PoolName{}, 0, errNoInstanceSep(inst)
+	}
+	name, err := query.ParsePoolName(inst[:idx])
+	if err != nil {
+		return query.PoolName{}, 0, err
+	}
+	num, err := strconv.Atoi(inst[idx+1:])
+	if err != nil {
+		return query.PoolName{}, 0, err
+	}
+	return name, num, nil
+}
+
+type errNoInstanceSep string
+
+func (e errNoInstanceSep) Error() string {
+	return "core: pool instance " + strconv.Quote(string(e)) + " has no '#'"
+}
+
+// recoveredLease reports (and consumes) whether id was restored by
+// Recover — Release uses it to tolerate the one shadow-release failure a
+// pre-crash grant legitimately produces.
+func (s *Service) recoveredLease(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered[id] {
+		return false
+	}
+	delete(s.recovered, id)
+	return true
+}

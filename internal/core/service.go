@@ -113,6 +113,14 @@ type Options struct {
 	// FederationStats, when set, counts delegation fan-outs, per-peer
 	// wins, hedges, and cancelled losers across all pool managers.
 	FederationStats *metrics.FederationStats
+	// LeaseLog, when set, receives every pool lease transition (grant,
+	// release, renewal) — the durability journal's feed. See
+	// pool.Config.Log.
+	LeaseLog pool.LeaseLog
+	// DelegationLog, when set, receives delegated-lease table transitions
+	// from every pool manager — the journal's federation feed. See
+	// poolmgr.Config.Delegations.
+	DelegationLog poolmgr.DelegationLog
 }
 
 // Refresh modes accepted by Options.RefreshMode and the daemons'
@@ -171,6 +179,10 @@ type Service struct {
 	// layer (queries serialize, if at all, inside the stages below).
 	mu     sync.Mutex
 	closed bool
+	// recovered holds lease ids restored by Recover whose shadow accounts
+	// died with the previous process; Release consumes them to tolerate
+	// the one missing-shadow error each such grant produces.
+	recovered map[string]bool
 }
 
 // New builds and starts a Service.
@@ -248,6 +260,7 @@ func New(opts Options) (*Service, error) {
 		LeaseTTL:    opts.LeaseTTL,
 		Engine:      opts.PoolEngine,
 		Events:      s.events,
+		Log:         opts.LeaseLog,
 	}
 	if opts.LeaseTTL > 0 {
 		ivl := opts.ReapInterval
@@ -259,14 +272,15 @@ func New(opts Options) (*Service, error) {
 	}
 	for i := 0; i < opts.PoolManagers; i++ {
 		pm, err := poolmgr.New(poolmgr.Config{
-			Name:       fmt.Sprintf("%s-%d", opts.NodeName, i),
-			Dir:        s.dir,
-			Factory:    s.factory,
-			Seed:       opts.Seed + int64(i),
-			TTL:        opts.TTL,
-			Fanout:     opts.Fanout,
-			HedgeDelay: opts.HedgeDelay,
-			Stats:      opts.FederationStats,
+			Name:        fmt.Sprintf("%s-%d", opts.NodeName, i),
+			Dir:         s.dir,
+			Factory:     s.factory,
+			Seed:        opts.Seed + int64(i),
+			TTL:         opts.TTL,
+			Fanout:      opts.Fanout,
+			HedgeDelay:  opts.HedgeDelay,
+			Stats:       opts.FederationStats,
+			Delegations: opts.DelegationLog,
 		})
 		if err != nil {
 			return nil, err
@@ -374,7 +388,12 @@ func (s *Service) Release(g *Grant) error {
 	var firstErr error
 	if g.Shadow.User != "" {
 		if err := s.shadows.Release(g.Shadow.Machine, g.Shadow.User); err != nil {
-			firstErr = err
+			// A lease restored by crash recovery has no shadow account in
+			// this process (shadow state is session-scoped, not journaled);
+			// that one failure is expected and consumed here.
+			if !s.recoveredLease(g.Lease.ID) {
+				firstErr = err
+			}
 		}
 	}
 	if err := s.pickQM().Release(g.Lease); err != nil && firstErr == nil {

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"actyp/internal/journal"
+	"actyp/internal/metrics"
+)
+
+// TestRecoveryScaleBar runs a reduced recovery sweep and asserts the
+// regression bars the full figure enforces in CI: cold boot inside the
+// replay bar, every journaled lease restored, and the default fsync
+// policy within 2x of the no-journal allocate p99.
+func TestRecoveryScaleBar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep needs wall time")
+	}
+	cfg := RecoveryConfig{
+		Sizes:         []int{200, 800},
+		Leases:        8,
+		Clients:       4,
+		OpsPerClient:  10,
+		FsyncMachines: 200,
+		Seed:          1,
+	}
+	res, err := RecoveryScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovery.Points) != len(cfg.Sizes) || len(res.Allocate.Points) != len(cfg.Sizes) {
+		t.Fatalf("recovery=%d allocate=%d points, want %d each",
+			len(res.Recovery.Points), len(res.Allocate.Points), len(cfg.Sizes))
+	}
+	if len(res.Fsync) != len(FsyncPolicies) {
+		t.Fatalf("fsync series = %d, want %d", len(res.Fsync), len(FsyncPolicies))
+	}
+	if res.Restored != cfg.Leases {
+		t.Errorf("restored %d leases, want %d", res.Restored, cfg.Leases)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("regression bar: %v", err)
+	}
+}
+
+// TestRecoveryCheckRejectsBadResults pins the bar itself.
+func TestRecoveryCheckRejectsBadResults(t *testing.T) {
+	mk := func(bootMS, noneMS, intervalMS float64, restored int) RecoveryResult {
+		var r RecoveryResult
+		r.Recovery.Label = "cold boot"
+		r.Recovery.Add(10000, bootMS)
+		r.Restored = restored
+		none := metrics.Series{Label: "fsync=none"}
+		none.Add(0, noneMS)
+		ivl := metrics.Series{Label: "fsync=" + journal.FsyncInterval}
+		ivl.Add(2, intervalMS)
+		r.Fsync = []metrics.Series{none, ivl}
+		return r
+	}
+	if err := mk(500, 10, 15, 8).Check(); err != nil {
+		t.Errorf("Check rejected a healthy result: %v", err)
+	}
+	if err := mk(60000, 10, 15, 8).Check(); err == nil {
+		t.Error("Check passed a 60s cold boot")
+	}
+	if err := mk(500, 10, 50, 8).Check(); err == nil {
+		t.Error("Check passed a 5x fsync overhead")
+	}
+	if err := mk(500, 10, 15, 0).Check(); err == nil {
+		t.Error("Check passed zero restored leases")
+	}
+	// The 2ms floor: a microsecond-scale baseline must not fail on noise.
+	if err := mk(500, 0.05, 1.5, 8).Check(); err != nil {
+		t.Errorf("Check rejected a sub-floor delta: %v", err)
+	}
+	var empty RecoveryResult
+	if err := empty.Check(); err == nil {
+		t.Error("Check passed an empty result")
+	}
+}

@@ -1,0 +1,175 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SegmentInfo describes one segment file for inspection.
+type SegmentInfo struct {
+	Seq     uint64
+	Path    string
+	Bytes   int64
+	Records int
+	Events  int    // recEvents records
+	Leases  int    // recLease records
+	Resyncs int    // recResync markers
+	Err     string // framing/CRC problem at the tail ("" when clean)
+}
+
+// SnapshotInfo describes one snapshot file for inspection.
+type SnapshotInfo struct {
+	Seq      uint64
+	Path     string
+	Bytes    int64
+	Machines int
+	Leases   int
+	Err      string // "" when the snapshot loads completely
+}
+
+// DirInfo is the inventory of a journal directory.
+type DirInfo struct {
+	Dir       string
+	Segments  []SegmentInfo
+	Snapshots []SnapshotInfo
+}
+
+// Inspect reads the headers and record frames of every file in a journal
+// directory without applying anything — the read-only half of
+// `actypctl journal`. Safe to run against a live daemon's directory (it
+// may observe a mid-write tail, reported as that segment's Err).
+func Inspect(dir string) (*DirInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &DirInfo{Dir: dir}
+	for _, seq := range segs {
+		si := SegmentInfo{Seq: seq, Path: filepath.Join(dir, segmentName(seq))}
+		b, err := os.ReadFile(si.Path)
+		if err != nil {
+			si.Err = err.Error()
+			info.Segments = append(info.Segments, si)
+			continue
+		}
+		si.Bytes = int64(len(b))
+		if err := checkHeader(b, segMagic, seq); err != nil {
+			si.Err = err.Error()
+			info.Segments = append(info.Segments, si)
+			continue
+		}
+		n, _, serr := scanRecords(b[headerLen:], func(kind byte, payload []byte) {
+			switch kind {
+			case recEvents:
+				si.Events++
+			case recLease:
+				si.Leases++
+			case recResync:
+				si.Resyncs++
+			}
+		})
+		si.Records = n
+		if serr != nil {
+			si.Err = serr.Error()
+		}
+		info.Segments = append(info.Segments, si)
+	}
+	for _, seq := range snaps {
+		si := SnapshotInfo{Seq: seq, Path: filepath.Join(dir, snapshotName(seq))}
+		if st, err := os.Stat(si.Path); err == nil {
+			si.Bytes = st.Size()
+		}
+		ms, leases, err := readSnapshot(dir, seq)
+		if err != nil {
+			si.Err = err.Error()
+		} else {
+			si.Machines = len(ms)
+			si.Leases = len(leases)
+		}
+		info.Snapshots = append(info.Snapshots, si)
+	}
+	return info, nil
+}
+
+// Verify inspects the directory and reduces the result to a list of
+// issues — empty means every CRC checks out, every snapshot is complete,
+// and at most the final segment has a torn tail (the one shape a crash
+// legitimately leaves behind).
+func Verify(dir string) ([]string, error) {
+	info, err := Inspect(dir)
+	if err != nil {
+		return nil, err
+	}
+	var issues []string
+	for i, si := range info.Segments {
+		if si.Err == "" {
+			continue
+		}
+		if i == len(info.Segments)-1 {
+			issues = append(issues, fmt.Sprintf("segment %d: torn tail (tolerated by replay): %s", si.Seq, si.Err))
+		} else {
+			issues = append(issues, fmt.Sprintf("segment %d: damaged mid-log: %s", si.Seq, si.Err))
+		}
+	}
+	newest := -1
+	for i, si := range info.Snapshots {
+		if si.Err == "" {
+			newest = i
+			continue
+		}
+		issues = append(issues, fmt.Sprintf("snapshot %d: %s", si.Seq, si.Err))
+	}
+	if len(info.Snapshots) > 0 && newest == -1 {
+		issues = append(issues, "no loadable snapshot: replay would fall back to segments alone")
+	}
+	return issues, nil
+}
+
+// CompactOffline replays the directory and rewrites it as one fresh
+// snapshot covering everything, deleting the replayed segments and the
+// older snapshots — `actypctl journal compact`. It must NOT run against
+// a directory a live daemon has open: the daemon's active segment would
+// be deleted out from under it. It returns how many files were removed.
+func CompactOffline(dir string) (removed int, err error) {
+	st, next, err := replay(dir, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if st.Empty() {
+		return 0, nil
+	}
+	// The fresh snapshot takes the sequence a new boot's segment would
+	// have gotten; replay then starts from it and finds no uncovered
+	// segments.
+	if _, err := writeSnapshotAt(dir, next, SliceSource(st.Machines), 0, st.Leases); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, seq := range segs {
+		if seq < next {
+			if os.Remove(filepath.Join(dir, segmentName(seq))) == nil {
+				removed++
+			}
+		}
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return removed, err
+	}
+	for _, seq := range snaps {
+		if seq < next {
+			if os.Remove(filepath.Join(dir, snapshotName(seq))) == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}

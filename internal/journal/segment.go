@@ -1,0 +1,153 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// On-disk layout: a journal directory holds numbered segment files and
+// numbered snapshot files. Snapshot S captures the full state as of its
+// write and covers every segment with a LOWER sequence number; replay is
+// "newest complete snapshot S, then segments >= S in order". A fresh boot
+// always opens a brand-new segment (max existing + 1), never appends to
+// an old one — a torn tail stays torn exactly once and is skipped forever
+// after, instead of being buried under fresh records.
+
+const (
+	segMagic  = "ACTYPJL1" // journal segment, format 1
+	snapMagic = "ACTYPSN1" // snapshot, format 1
+	headerLen = 16         // 8-byte magic + 8-byte little-endian sequence
+)
+
+func segmentName(seq uint64) string  { return fmt.Sprintf("journal-%08d.seg", seq) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.snap", seq) }
+
+// parseSeq extracts the sequence from a segment or snapshot file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func appendHeader(dst []byte, magic string, seq uint64) []byte {
+	dst = append(dst, magic...)
+	return binary.LittleEndian.AppendUint64(dst, seq)
+}
+
+// checkHeader validates a file's 16-byte header against the magic and the
+// sequence its name carries.
+func checkHeader(b []byte, magic string, seq uint64) error {
+	if len(b) < headerLen {
+		return fmt.Errorf("journal: file shorter than its header")
+	}
+	if string(b[:8]) != magic {
+		return fmt.Errorf("journal: bad magic %q (want %q)", b[:8], magic)
+	}
+	if got := binary.LittleEndian.Uint64(b[8:16]); got != seq {
+		return fmt.Errorf("journal: header sequence %d does not match file name (%d)", got, seq)
+	}
+	return nil
+}
+
+// listSeqs returns the sorted sequence numbers of the files in dir that
+// match the given name shape.
+func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func listSegments(dir string) ([]uint64, error)  { return listSeqs(dir, "journal-", ".seg") }
+func listSnapshots(dir string) ([]uint64, error) { return listSeqs(dir, "snapshot-", ".snap") }
+
+// segmentWriter is one open segment file behind a buffered writer.
+type segmentWriter struct {
+	f    *os.File
+	w    *bufio.Writer
+	size int64 // bytes written, header included
+	// scratch is the record-framing buffer, reused across appends so the
+	// hot path (one lease op per grant) does not allocate.
+	scratch []byte
+}
+
+// openSegment creates segment seq in dir and writes its header. The
+// header reaches the OS immediately (Flush) so even an fsync=off journal
+// leaves a well-formed empty segment behind.
+func openSegment(dir string, seq uint64) (*segmentWriter, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &segmentWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	hdr := appendHeader(nil, segMagic, seq)
+	if _, err := s.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.size = int64(len(hdr))
+	if err := s.w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// writeRecord frames and buffers one record, returning the framed size.
+func (s *segmentWriter) writeRecord(kind byte, payload []byte) (int, error) {
+	s.scratch = appendRecord(s.scratch[:0], kind, payload)
+	n, err := s.w.Write(s.scratch)
+	s.size += int64(n)
+	return n, err
+}
+
+func (s *segmentWriter) flush() error { return s.w.Flush() }
+
+// sync flushes the buffer and fsyncs the file, returning the fsync wall
+// time for the latency stats.
+func (s *segmentWriter) sync() (time.Duration, error) {
+	if err := s.w.Flush(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	err := s.f.Sync()
+	return time.Since(start), err
+}
+
+// close flushes and closes. crash closes WITHOUT flushing: whatever sat
+// in the user-space buffer is lost, exactly as a SIGKILL would lose it.
+func (s *segmentWriter) close() error {
+	ferr := s.w.Flush()
+	cerr := s.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+func (s *segmentWriter) crash() { s.f.Close() }

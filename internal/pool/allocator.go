@@ -62,6 +62,13 @@ type Allocator interface {
 	// Reap releases every lease whose deadline has passed, returning the
 	// reaped lease ids (in no particular order).
 	Reap(now time.Time) []string
+	// Adopt marks the named machine leased under an externally-minted
+	// lease id (journal replay): the inverse of Allocate for recovery.
+	// Adopting an id the engine already holds on the same machine is a
+	// no-op; adopting a machine leased under another id, or a machine
+	// outside the cache, is an error. Charged like a grant (local load
+	// accounting), counted like neither (allocs/misses stay untouched).
+	Adopt(leaseID, machine string, expires time.Time) error
 	// Refresh re-reads every cached machine through get, folding monitor
 	// updates into the candidate view while preserving locally-accounted
 	// jobs. Machines get reports as unknown keep their last view.

@@ -352,6 +352,37 @@ func (x *indexedAlloc) Allocate(req *allocRequest) (*registry.Machine, error) {
 	return e.machine, nil
 }
 
+// Adopt implements Allocator: recovery re-installs a replayed lease on
+// its machine. It takes the engine lock exclusively — recovery runs
+// before the pool serves, so there is no hot path to contend with, and
+// exclusivity guarantees the entry is either in its heap or leased.
+func (x *indexedAlloc) Adopt(leaseID, machine string, expires time.Time) error {
+	x.rw.Lock()
+	defer x.rw.Unlock()
+	e, ok := x.byName[machine]
+	if !ok {
+		return fmt.Errorf("pool %s: adopt %s: machine %s not in cache", x.cfg.poolID, leaseID, machine)
+	}
+	if e.lease == leaseID {
+		return nil // idempotent re-adoption
+	}
+	if e.lease != "" {
+		return fmt.Errorf("pool %s: adopt %s: machine %s already leased under %s",
+			x.cfg.poolID, leaseID, machine, e.lease)
+	}
+	if e.pos >= 0 {
+		x.heapOf(e).remove(x, e.pos)
+	}
+	e.lease = leaseID
+	e.expires = expires
+	placeAccounting(&e.cand, e.machine)
+	x.leaseMu.Lock()
+	x.leases[leaseID] = e
+	x.leaseMu.Unlock()
+	x.free.Add(-1)
+	return nil
+}
+
 // Release implements Allocator.
 func (x *indexedAlloc) Release(leaseID string) error {
 	x.rw.RLock()

@@ -30,7 +30,13 @@ func (p *Pool) Renew(leaseID string) error {
 	if p.leaseTTL > 0 {
 		expires = p.clock().Add(p.leaseTTL)
 	}
-	return p.engine.Renew(leaseID, expires)
+	if err := p.engine.Renew(leaseID, expires); err != nil {
+		return err
+	}
+	if p.log != nil && !expires.IsZero() {
+		p.log.LeaseRenewed(leaseID, expires)
+	}
+	return nil
 }
 
 // Reap releases every lease whose lifetime has passed, returning the
@@ -41,7 +47,13 @@ func (p *Pool) Reap() []string {
 	if p.leaseTTL <= 0 {
 		return nil
 	}
-	return p.engine.Reap(p.clock())
+	ids := p.engine.Reap(p.clock())
+	if p.log != nil {
+		for _, id := range ids {
+			p.log.LeaseReleased(id)
+		}
+	}
+	return ids
 }
 
 // Reaper periodically reaps expired leases on a set of pools.

@@ -137,6 +137,32 @@ func (o *oracleAlloc) Allocate(req *allocRequest) (*registry.Machine, error) {
 	return e.machine, nil
 }
 
+// Adopt implements Allocator: recovery re-installs a replayed lease on
+// its machine. The linear scan is fine — adoption happens once per lease
+// at boot, never on the request path.
+func (o *oracleAlloc) Adopt(leaseID, machine string, expires time.Time) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range o.cache {
+		if e.machine.Static.Name != machine {
+			continue
+		}
+		if e.lease == leaseID {
+			return nil // idempotent re-adoption
+		}
+		if e.lease != "" {
+			return fmt.Errorf("pool %s: adopt %s: machine %s already leased under %s",
+				o.cfg.poolID, leaseID, machine, e.lease)
+		}
+		e.lease = leaseID
+		e.expires = expires
+		placeAccounting(&e.cand, e.machine)
+		o.leases[leaseID] = e
+		return nil
+	}
+	return fmt.Errorf("pool %s: adopt %s: machine %s not in cache", o.cfg.poolID, leaseID, machine)
+}
+
 // Release implements Allocator.
 func (o *oracleAlloc) Release(leaseID string) error {
 	o.mu.Lock()

@@ -96,6 +96,9 @@ type Config struct {
 	// cache incrementally (Apply) instead of through timed full Refreshes.
 	// The pool unsubscribes itself on Close.
 	Events *Dispatcher
+	// Log, when non-nil, observes every lease grant, renewal, and release
+	// (reaps included) — the durability journal's feed. See LeaseLog.
+	Log LeaseLog
 }
 
 // Pool is a resource pool instance. The allocation state lives in the
@@ -112,6 +115,7 @@ type Pool struct {
 	clock    func() time.Time
 	engine   Allocator
 	events   *Dispatcher // non-nil: subscribed to the registry change stream
+	log      LeaseLog    // non-nil: lease ops are journaled
 	nextSeq  atomic.Int64
 
 	// life guards lifecycle and TTL policy only — never the allocation
@@ -158,6 +162,7 @@ func New(cfg Config) (*Pool, error) {
 		db:       cfg.DB,
 		excl:     cfg.Exclusive,
 		clock:    cfg.Clock,
+		log:      cfg.Log,
 		leaseTTL: cfg.LeaseTTL,
 	}
 
@@ -295,7 +300,7 @@ func (p *Pool) Allocate(q *query.Query) (*Lease, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lease{
+	lease := &Lease{
 		ID:           leaseID,
 		Machine:      m.Static.Name,
 		Addr:         m.Access.Addr,
@@ -304,7 +309,11 @@ func (p *Pool) Allocate(q *query.Query) (*Lease, error) {
 		AccessKey:    key,
 		Pool:         p.id,
 		Granted:      granted,
-	}, nil
+	}
+	if p.log != nil {
+		p.log.LeaseGranted(lease, req.expires)
+	}
+	return lease, nil
 }
 
 // Release frees the machine held by a lease. It deliberately skips the
@@ -314,7 +323,13 @@ func (p *Pool) Allocate(q *query.Query) (*Lease, error) {
 func (p *Pool) Release(leaseID string) error {
 	p.life.RLock()
 	defer p.life.RUnlock()
-	return p.engine.Release(leaseID)
+	if err := p.engine.Release(leaseID); err != nil {
+		return err
+	}
+	if p.log != nil {
+		p.log.LeaseReleased(leaseID)
+	}
+	return nil
 }
 
 // Refresh re-reads the dynamic fields of every cached machine from the

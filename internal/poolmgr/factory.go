@@ -46,6 +46,8 @@ type LocalFactory struct {
 	// whole create/close lifecycle (including race-loser closes). See
 	// pool.Config.Events.
 	Events *pool.Dispatcher
+	// Log is forwarded to created pools; see pool.Config.Log.
+	Log pool.LeaseLog
 
 	mu      sync.Mutex
 	created []*pool.Pool
@@ -73,6 +75,50 @@ func (f *LocalFactory) Create(name query.PoolName, instance int) (directory.Pool
 		LeaseTTL:    f.LeaseTTL,
 		Engine:      f.Engine,
 		Events:      f.Events,
+		Log:         f.Log,
+	})
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	f.mu.Lock()
+	f.created = append(f.created, p)
+	f.mu.Unlock()
+	return directory.PoolRef{Name: name, Instance: p.ID(), Local: p}, nil
+}
+
+// Adopt rebuilds a pool instance from a journal replay: instead of
+// walking the white pages by criteria (whose free machines a concurrent
+// creation could race for), the pool loads exactly the given member
+// list — the machines whose taken marks (exclusive) or live leases
+// (non-exclusive replicas) survived in the replayed registry state. An
+// exclusive adoption relies on the members already carrying this
+// instance's taken mark; pool.New's member path loads without re-taking,
+// and the marks then release normally on Close.
+func (f *LocalFactory) Adopt(name query.PoolName, instance int, members []string, exclusive bool) (directory.PoolRef, error) {
+	if f.DB == nil {
+		return directory.PoolRef{}, fmt.Errorf("poolmgr: local factory needs a database")
+	}
+	if len(members) == 0 {
+		return directory.PoolRef{}, fmt.Errorf("poolmgr: adopt %s#%d: no members", name, instance)
+	}
+	obj, err := schedule.ByName(f.Objective)
+	if err != nil {
+		return directory.PoolRef{}, err
+	}
+	p, err := pool.New(pool.Config{
+		Name:      name,
+		Family:    f.Family,
+		Instance:  instance,
+		DB:        f.DB,
+		Objective: obj,
+		Members:   members,
+		Exclusive: exclusive,
+		ScanCost:  f.ScanCost,
+		Policies:  f.Policies,
+		LeaseTTL:  f.LeaseTTL,
+		Engine:    f.Engine,
+		Events:    f.Events,
+		Log:       f.Log,
 	})
 	if err != nil {
 		return directory.PoolRef{}, err

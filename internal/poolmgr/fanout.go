@@ -82,17 +82,42 @@ func (m *Manager) rememberDelegated(lease *pool.Lease, peer directory.Forwarder)
 		}
 	}
 	m.delegated[lease.ID] = delegatedLease{peer: peer, at: now}
+	if m.delegations != nil {
+		m.delegations.DelegationWon(lease, peer.Name())
+	}
 }
 
 // takeDelegated looks a lease up in the delegated table and removes it.
 func (m *Manager) takeDelegated(id string) (directory.Forwarder, bool) {
 	m.delegatedMu.Lock()
-	defer m.delegatedMu.Unlock()
 	d, ok := m.delegated[id]
 	if ok {
 		delete(m.delegated, id)
 	}
+	m.delegatedMu.Unlock()
+	if ok && m.delegations != nil {
+		m.delegations.DelegationDone(id)
+	}
 	return d.peer, ok
+}
+
+// RestoreDelegated re-installs a delegated-lease route from a journal
+// replay: the lease was won through the named peer before the crash, so
+// its eventual Release must route back through that peer again. It
+// reports false when no current peer carries the name (the mesh changed
+// across the restart); the caller then drops the lease — the grantor's
+// own reaper reclaims the machine once renewals stop arriving.
+func (m *Manager) RestoreDelegated(lease *pool.Lease, peerName string) bool {
+	if lease == nil || peerName == "" {
+		return false
+	}
+	for _, peer := range m.dir.Peers() {
+		if peer.Name() == peerName {
+			m.rememberDelegated(lease, peer)
+			return true
+		}
+	}
+	return false
 }
 
 // ForwardContext is Forward with cancellation; it implements

@@ -74,6 +74,22 @@ type Config struct {
 	// Stats, when set, counts fan-outs, per-peer wins and failures,
 	// hedges fired, and cancelled losers. Nil disables the accounting.
 	Stats *metrics.FederationStats
+	// Delegations, when set, observes the delegated-lease table: every
+	// lease won through a peer and every routed-back release — the
+	// durability journal's feed for leases no local pool ever sees.
+	Delegations DelegationLog
+}
+
+// DelegationLog observes the delegated-lease table. Unlike pool.LeaseLog,
+// the won hook carries the full lease: a delegated grant was minted by
+// the peer's pool, so no local hook ever fired for it and the journal
+// must capture the whole record plus the routing peer here.
+type DelegationLog interface {
+	// DelegationWon records a lease won through the named peer.
+	DelegationWon(lease *pool.Lease, peer string)
+	// DelegationDone records that the delegated lease left the table
+	// (released back through its peer, or dropped by recovery).
+	DelegationDone(leaseID string)
 }
 
 // Manager is one pool-manager stage instance.
@@ -99,6 +115,7 @@ type Manager struct {
 	// rememberDelegated in fanout.go.
 	delegatedMu sync.Mutex
 	delegated   map[string]delegatedLease
+	delegations DelegationLog // non-nil: table changes are journaled
 
 	resolved  atomic.Int64
 	created   atomic.Int64
@@ -130,15 +147,16 @@ func New(cfg Config) (*Manager, error) {
 		seed = 1
 	}
 	return &Manager{
-		name:       cfg.Name,
-		dir:        cfg.Dir,
-		factory:    cfg.Factory,
-		ttl:        cfg.TTL,
-		fanout:     cfg.Fanout,
-		hedgeDelay: cfg.HedgeDelay,
-		fstats:     cfg.Stats,
-		seed:       uint64(seed),
-		creating:   make(map[string]*createCall),
+		name:        cfg.Name,
+		dir:         cfg.Dir,
+		factory:     cfg.Factory,
+		ttl:         cfg.TTL,
+		fanout:      cfg.Fanout,
+		hedgeDelay:  cfg.HedgeDelay,
+		fstats:      cfg.Stats,
+		delegations: cfg.Delegations,
+		seed:        uint64(seed),
+		creating:    make(map[string]*createCall),
 	}, nil
 }
 
