@@ -39,7 +39,7 @@ var laneWeights schedule.LaneWeights
 var hedgeDelay time.Duration
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan, federation, recovery or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 9, ablations, registry, pipeline, transport, codec, refresh, overload, wan, federation, recovery, partition or all")
 	quick := flag.Bool("quick", false, "reduced scale for a fast run")
 	laneSpec := flag.String("lane-weights", "", "lane weight spec for the overload figure, e.g. lease=4,bulk=1 (default from schedule)")
 	regBackend := flag.String("registry-backend", "", "white-pages engine for the figure experiments: sharded or locked (default sharded)")
@@ -98,6 +98,7 @@ func main() {
 	run("wan", figWan)
 	run("federation", figFederation)
 	run("recovery", figRecovery)
+	run("partition", figPartition)
 }
 
 // emit prints the series as a text table and, with -json, records them as
@@ -485,4 +486,33 @@ func ablations(quick bool) error {
 	}
 	return metrics.Table(os.Stdout, "Ablation: linear search vs presorted selection",
 		"pool size", "ns per selection", sel)
+}
+
+// figPartition runs the domain-partitioning sweeps: per-node resident
+// records under the rendezvous ownership split, cross-domain resolve p99
+// with the directed hop against the first-win fan-out, and owned-domain
+// allocate p99 on a partitioned node against the single-node baseline.
+// The result's Check() is the regression bar — resident records tracking
+// fleet/P at the largest node count, the directed hop >=3x faster than
+// the fan-out at 4 peers, and partitioned allocation within 1.5x of
+// single-node — so a CI smoke run of this figure is the partitioning
+// regression gate.
+func figPartition(quick bool) error {
+	cfg := experiments.DefaultPartition()
+	if quick {
+		cfg.Fleets = []int{1000}
+		cfg.PeerMachines = 1024
+		cfg.ResolveOps = 400
+		cfg.Clients = 4
+		cfg.OpsPerClient = 10
+	}
+	res, err := experiments.PartitionScale(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit("partition", "Partitioning: resident records and allocate (fleet on x), cross-domain resolve (peers on x)",
+		"fleet | peers", "records | p99 (s)", res.AllSeries()); err != nil {
+		return err
+	}
+	return res.Check()
 }

@@ -8,7 +8,7 @@
 //	actyp-fleet gen -n 3200 -out fleet.json [-homogeneous]
 //	actyp-fleet stats -db fleet.json
 //	actyp-fleet set -db fleet.json -machine m0001 -key owner -value ece -out fleet.json
-//	actyp-fleet mirror -addr host:7464 -out fleet.snap [-watch] [-filter expr]
+//	actyp-fleet mirror -addr host:7464 -out fleet.snap [-watch] [-filter expr] [-domains d1,d2]
 //
 // Mirrors are saved in the durability journal's snapshot encoding by
 // default, so a mirror file doubles as a recovery seed (actypd -db
@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"actyp/internal/core"
@@ -31,6 +32,7 @@ import (
 	"actyp/internal/netsim"
 	"actyp/internal/query"
 	"actyp/internal/registry"
+	"actyp/internal/route"
 )
 
 func main() {
@@ -60,7 +62,7 @@ func usage() {
   actyp-fleet gen   -n N -out file [-homogeneous] [-seed S]
   actyp-fleet stats -db file
   actyp-fleet set   -db file -machine name -key k -value v [-out file]
-  actyp-fleet mirror -addr host:port -out file [-format snapshot|json] [-watch] [-filter expr] [-profile p]
+  actyp-fleet mirror -addr host:port -out file [-format snapshot|json] [-watch] [-filter expr] [-domains d1,d2] [-profile p]
 `)
 	os.Exit(2)
 }
@@ -76,6 +78,7 @@ func mirrorCmd(args []string) error {
 	out := fs.String("out", "fleet.snap", "output file")
 	format := fs.String("format", "snapshot", "output encoding: snapshot (journal snapshot format, a valid recovery seed) or json (legacy)")
 	filter := fs.String("filter", "", "server-side basic-query filter, e.g. \"punch.rsrc.arch = sun\"")
+	domains := fs.String("domains", "", "mirror only these comma-separated domains (a domain-scoped watch filter; mutually exclusive with -filter)")
 	watch := fs.Bool("watch", false, "baseline through the watch stream instead of a single snapshot fetch")
 	profile := fs.String("profile", "local", "network profile: local, lan or wan")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline for the mirror")
@@ -84,6 +87,14 @@ func mirrorCmd(args []string) error {
 	}
 	if *format != "snapshot" && *format != "json" {
 		return fmt.Errorf("unknown -format %q (want snapshot or json)", *format)
+	}
+	if *domains != "" {
+		// A domain mirror rides the domain-scoped watch filter: the server
+		// ships only the named domains' slice instead of the whole fleet.
+		if *filter != "" {
+			return fmt.Errorf("-domains and -filter are mutually exclusive")
+		}
+		*filter = route.FilterAny(strings.Split(*domains, ","))
 	}
 	prof, err := profileByName(*profile)
 	if err != nil {

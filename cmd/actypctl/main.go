@@ -11,6 +11,11 @@
 // Each "key = value" argument is one query line; -file reads the whole
 // query from a file instead.
 //
+// The route subcommand prints the daemon's domain-ownership table (and
+// resolves any domains given as arguments); watch tails the registry
+// change stream, optionally scoped to a -domains list so only that slice
+// travels the wire.
+//
 // The journal subcommand operates on a daemon's durability directory
 // without dialing anything:
 //
@@ -20,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +36,7 @@ import (
 	"actyp/internal/core"
 	"actyp/internal/journal"
 	"actyp/internal/netsim"
+	"actyp/internal/route"
 	"actyp/internal/wire"
 )
 
@@ -72,8 +79,94 @@ func main() {
 		if err := request(client, args[1:]); err != nil {
 			log.Fatalf("actypctl: %v", err)
 		}
+	case "route":
+		if err := routeCmd(client, args[1:]); err != nil {
+			log.Fatalf("actypctl: route: %v", err)
+		}
+	case "watch":
+		if err := watchCmd(client, args[1:]); err != nil {
+			log.Fatalf("actypctl: watch: %v", err)
+		}
 	default:
 		usage()
+	}
+}
+
+// routeCmd prints the daemon's domain-ownership table: whether
+// partitioning is enabled, the rendezvous node set, the static
+// assignments, and the resolved owner of every domain named on the
+// command line.
+func routeCmd(client *core.Client, args []string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reply, err := client.Route(ctx, args...)
+	if err != nil {
+		return err
+	}
+	if !reply.Enabled {
+		fmt.Printf("partitioning: off (node %s owns the whole namespace)\n", reply.Node)
+	} else {
+		fmt.Printf("partitioning: on\n")
+	}
+	fmt.Printf("node:         %s\n", reply.Node)
+	if len(reply.Nodes) > 0 {
+		fmt.Printf("rendezvous:   %s\n", strings.Join(reply.Nodes, ", "))
+	}
+	for _, e := range reply.Entries {
+		kind := "rendezvous"
+		if e.Static {
+			kind = "static"
+		}
+		fmt.Printf("domain %-16s -> %s (%s)\n", e.Domain, e.Owner, kind)
+	}
+	return nil
+}
+
+// watchCmd subscribes to the daemon's registry change stream and prints
+// events as they arrive; -domains rides the domain-scoped watch filter so
+// only the named domains' slice travels the wire. Runs until killed.
+func watchCmd(client *core.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	domains := fs.String("domains", "", "comma-separated domains to watch (empty watches everything)")
+	filter := fs.String("filter", "", "raw basic-query filter (mutually exclusive with -domains)")
+	ring := fs.Int("ring", 0, "server-side coalescing ring size (0 uses the server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *domains != "" && *filter != "" {
+		return fmt.Errorf("-domains and -filter are mutually exclusive")
+	}
+	text := *filter
+	if *domains != "" {
+		text = route.FilterAny(strings.Split(*domains, ","))
+	}
+	st, err := client.WatchSubscribe(context.Background(), text, *ring)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if text != "" {
+		fmt.Printf("watching [%s]\n", text)
+	}
+	for {
+		batch, err := st.Recv()
+		if err != nil {
+			return err
+		}
+		if batch.Resync {
+			fmt.Println("-- resync: events were coalesced away; re-fetch for fidelity --")
+		}
+		for _, ev := range batch.Events {
+			domain := ""
+			if ev.Machine != nil {
+				domain = route.MachineDomain(ev.Machine)
+			}
+			if domain != "" {
+				fmt.Printf("%s %s (domain %s)\n", ev.Kind, ev.Name, domain)
+			} else {
+				fmt.Printf("%s %s\n", ev.Kind, ev.Name)
+			}
+		}
 	}
 }
 
@@ -185,6 +278,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   actypctl [-addr host:port] [-wire-codec spec] ping
   actypctl [-addr host:port] [-wire-codec spec] request [-hold d] [-lang name] [-file f] ['key = value' ...]
+  actypctl [-addr host:port] route [domain ...]
+  actypctl [-addr host:port] watch [-domains d1,d2] [-filter expr] [-ring n]
   actypctl journal inspect|verify|compact <dir>
 `)
 	os.Exit(2)

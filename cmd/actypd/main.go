@@ -35,6 +35,7 @@ import (
 	"actyp/internal/proxy"
 	"actyp/internal/querymgr"
 	"actyp/internal/registry"
+	"actyp/internal/route"
 	"actyp/internal/schedule"
 	"actyp/internal/stage"
 	"actyp/internal/wire"
@@ -74,6 +75,7 @@ type daemonConfig struct {
 	fanout      int
 	hedgeDelay  time.Duration
 	remoteWatch string
+	ownDomains  string
 	nodeName    string
 	journalDir  string
 	journalSync string
@@ -114,7 +116,8 @@ func main() {
 	flag.StringVar(&cfg.peerAddrs, "peer-addrs", "", "comma-separated stage endpoints of federation peers; local misses delegate to them")
 	flag.IntVar(&cfg.fanout, "fanout", 0, "peer delegation width: peers contacted concurrently on a local miss (<=1 keeps the serial walk)")
 	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "stagger between delegation fan-out branches, e.g. 10ms (0 races the full width at once)")
-	flag.StringVar(&cfg.remoteWatch, "remote-watch", "", "mirror a remote actypd registry into the local white pages over the wire watch stream (typically with -machines 0; falls back to polling against pre-watch peers)")
+	flag.StringVar(&cfg.remoteWatch, "remote-watch", "", "mirror remote actypd registries into the local white pages over the wire watch stream: comma-separated addr[=domain] entries, where =domain subscribes only that domain's slice (typically with -machines 0; falls back to polling against pre-watch peers)")
+	flag.StringVar(&cfg.ownDomains, "own-domains", "", "enable domain partitioning: comma-separated static assignments, each \"domain\" (owned here) or \"domain=node\"; unlisted domains rendezvous-hash over this node and -peer-addrs peers (\"auto\" enables with no static pins)")
 	flag.StringVar(&cfg.nodeName, "node-name", "", "pool-manager name prefix; federated daemons need distinct names (the delegation visited list keys on them) — defaults to pm, or pm@<addr> when -stage-addr or -peer-addrs is set")
 	flag.StringVar(&cfg.journalDir, "journal-dir", "", "durability journal directory: registry events and lease transitions are logged there, replayed on boot, and compacted by snapshots (empty disables durability)")
 	flag.StringVar(&cfg.journalSync, "journal-fsync", journal.FsyncInterval, "journal fsync policy: always (sync every append), interval (timer-driven, default), or off (OS writeback only)")
@@ -144,6 +147,71 @@ func run(cfg daemonConfig) error {
 	db := registry.NewDBWith(backend)
 	log.Printf("actypd: white pages on the %s backend", cfg.regBackend)
 
+	profile, err := profileByName(cfg.profile)
+	if err != nil {
+		return err
+	}
+	codecs, err := wire.ParseCodecs(cfg.wireCodec)
+	if err != nil {
+		return err
+	}
+	if err := core.ValidateRefreshMode(cfg.refreshMode); err != nil {
+		return err
+	}
+	// Manager names must be unique across a federation mesh (the visited
+	// list, self/peer filters, and the domain-ownership table all key on
+	// them), so a daemon that is about to federate or partition defaults
+	// to a prefix carrying its own listen address.
+	nodeName := cfg.nodeName
+	if nodeName == "" && (cfg.stageAddr != "" || cfg.peerAddrs != "" || cfg.ownDomains != "") {
+		nodeName = "pm@" + cfg.addr
+	}
+
+	// Federation peers are dialed before the registry is populated: the
+	// domain-ownership table rendezvous-hashes over the peer NAMES the
+	// dial handshake fetches, and population is owned-domains-only once
+	// the table exists.
+	var remotes []*stage.Remote
+	if cfg.peerAddrs != "" {
+		for _, addr := range strings.Split(cfg.peerAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			remote, err := stage.DialRemote(addr, profile, 0)
+			if err != nil {
+				return fmt.Errorf("-peer-addrs %s: %w", addr, err)
+			}
+			defer remote.Close()
+			remotes = append(remotes, remote)
+			log.Printf("actypd: federation peer %s at %s", remote.Name(), addr)
+		}
+	}
+	var routes *route.Table
+	if cfg.ownDomains != "" {
+		spec := cfg.ownDomains
+		if spec == "auto" {
+			spec = "" // rendezvous-only, no static pins
+		}
+		// The table's node identities are pool-manager names as peers see
+		// them: this node is reachable as its first (stage-served) manager,
+		// "<nodeName>-0", and the dial handshake above fetched the peers'
+		// manager names the same way. Every node hashing the same strings
+		// is what makes the rendezvous tables agree without coordination.
+		routeNode := nodeName + "-0"
+		static, err := route.ParseStatic(routeNode, spec)
+		if err != nil {
+			return err
+		}
+		nodes := []string{routeNode}
+		for _, r := range remotes {
+			nodes = append(nodes, r.Name())
+		}
+		routes = route.New(routeNode)
+		routes.Reload(static, nodes)
+		log.Printf("actypd: domain partitioning on: %d static assignments, rendezvous over %d nodes", len(static), len(nodes))
+	}
+
 	// Durability: replay the journal BEFORE any other population path —
 	// a non-empty replay is the previous incarnation's state and wins
 	// over -db and the synthetic fleet.
@@ -167,6 +235,15 @@ func run(cfg daemonConfig) error {
 	}
 	switch {
 	case jstate != nil && !jstate.Empty():
+		// Domain-scoped replay: a partitioned node restores only the
+		// domains it owns. Foreign records in the journal (watch-replica
+		// rows, or domains that migrated away) are dropped here; their
+		// owners hold the authoritative copies.
+		if routes != nil {
+			if dropped := jstate.Filter(routes.KeepMachine); dropped > 0 {
+				log.Printf("actypd: replay: dropped %d foreign-domain records", dropped)
+			}
+		}
 		if err := jstate.RestoreDB(db); err != nil {
 			return err
 		}
@@ -208,25 +285,15 @@ func run(cfg daemonConfig) error {
 		log.Printf("actypd: generated a synthetic fleet of %d machines", db.Len())
 	}
 
-	profile, err := profileByName(cfg.profile)
-	if err != nil {
-		return err
-	}
-	codecs, err := wire.ParseCodecs(cfg.wireCodec)
-	if err != nil {
-		return err
+	// Owned-only storage: whatever population path ran, a partitioned
+	// node keeps only the records its ownership table assigns to it (the
+	// replay path already filtered; pruning again is a no-op there).
+	if routes != nil {
+		if pruned := pruneForeign(db, routes); pruned > 0 {
+			log.Printf("actypd: pruned %d foreign-domain records; %d owned records resident", pruned, db.Len())
+		}
 	}
 
-	if err := core.ValidateRefreshMode(cfg.refreshMode); err != nil {
-		return err
-	}
-	// Manager names must be unique across a federation mesh (the visited
-	// list and self/peer filters key on them), so a daemon that is about
-	// to federate defaults to a prefix carrying its own listen address.
-	nodeName := cfg.nodeName
-	if nodeName == "" && (cfg.stageAddr != "" || cfg.peerAddrs != "") {
-		nodeName = "pm@" + cfg.addr
-	}
 	fedStats := metrics.NewFederationStats()
 	opts := core.Options{
 		DB:              db,
@@ -242,6 +309,7 @@ func run(cfg daemonConfig) error {
 		Fanout:          cfg.fanout,
 		HedgeDelay:      cfg.hedgeDelay,
 		FederationStats: fedStats,
+		Routes:          routes,
 	}
 	if cfg.firstMatch {
 		opts.Mode = querymgr.FirstMatch
@@ -264,7 +332,7 @@ func run(cfg daemonConfig) error {
 	if jstate != nil && len(jstate.Leases) > 0 {
 		recovered := make([]core.RecoveredLease, 0, len(jstate.Leases))
 		for _, lr := range jstate.Leases {
-			recovered = append(recovered, core.RecoveredLease{Lease: lr.Lease, Expires: lr.Expires, Peer: lr.Peer})
+			recovered = append(recovered, core.RecoveredLease{Lease: lr.Lease, Expires: lr.Expires, Peer: lr.Peer, Domain: lr.Domain})
 		}
 		rep, err := svc.Recover(recovered, core.RecoverOptions{Logf: log.Printf})
 		if err != nil {
@@ -276,41 +344,48 @@ func run(cfg daemonConfig) error {
 	}
 
 	// Federation: delegate local misses to peer pool managers over their
-	// stage endpoints, and optionally mirror a remote registry into the
-	// local white pages through the wire watch stream.
-	if cfg.peerAddrs != "" {
-		for _, addr := range strings.Split(cfg.peerAddrs, ",") {
-			addr = strings.TrimSpace(addr)
-			if addr == "" {
-				continue
-			}
-			remote, err := stage.DialRemote(addr, profile, 0)
-			if err != nil {
-				return fmt.Errorf("-peer-addrs %s: %w", addr, err)
-			}
-			defer remote.Close()
+	// stage endpoints (dialed above, before population), and optionally
+	// mirror remote registries into the local white pages through the
+	// wire watch stream.
+	if len(remotes) > 0 {
+		for _, remote := range remotes {
 			svc.Directory().AddPeer(remote)
-			log.Printf("actypd: federation peer %s at %s", remote.Name(), addr)
 		}
 		log.Printf("actypd: peer delegation fanout %d, hedge delay %s", cfg.fanout, cfg.hedgeDelay)
 	}
-	if cfg.remoteWatch != "" {
-		rcli, err := core.Dial(cfg.remoteWatch, profile)
+	for _, entry := range strings.Split(cfg.remoteWatch, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		// addr[=domain]: a bare address mirrors the peer's whole registry;
+		// =domain subscribes only that domain's slice, so a cross-domain
+		// replica ships exactly the records it needs over the wire.
+		addr, domain, _ := strings.Cut(entry, "=")
+		rcli, err := core.Dial(addr, profile)
 		if err != nil {
-			return fmt.Errorf("-remote-watch %s: %w", cfg.remoteWatch, err)
+			return fmt.Errorf("-remote-watch %s: %w", addr, err)
 		}
 		defer rcli.Close()
-		w, err := registry.StartRemoteWatch(registry.RemoteWatchConfig{
+		wcfg := registry.RemoteWatchConfig{
 			Transport: rcli,
 			Replica:   db,
 			Stats:     fedStats,
 			Logf:      log.Printf,
-		})
+		}
+		if domain != "" {
+			wcfg.Filter = route.Filter(domain)
+		}
+		w, err := registry.StartRemoteWatch(wcfg)
 		if err != nil {
-			return fmt.Errorf("-remote-watch %s: %w", cfg.remoteWatch, err)
+			return fmt.Errorf("-remote-watch %s: %w", addr, err)
 		}
 		defer w.Close()
-		log.Printf("actypd: mirroring the registry at %s into the local white pages", cfg.remoteWatch)
+		if domain != "" {
+			log.Printf("actypd: mirroring domain %s of the registry at %s into the local white pages", domain, addr)
+		} else {
+			log.Printf("actypd: mirroring the registry at %s into the local white pages", addr)
+		}
 	}
 
 	if cfg.warm > 0 {
@@ -329,6 +404,9 @@ func run(cfg daemonConfig) error {
 	if jnl != nil {
 		source := func(limit, offset int) ([]*registry.Machine, int, error) {
 			return svc.SelectMachines("", limit, offset)
+		}
+		if routes != nil {
+			source = ownedSnapshotSource(svc, routes)
 		}
 		if err := jnl.Attach(db, source, cfg.snapEvery); err != nil {
 			return err
@@ -460,6 +538,59 @@ func overloadPolicy(cfg daemonConfig) (*wire.OverloadPolicy, *metrics.OverloadSt
 		log.Printf("actypd: overload control: lanes lease=%d bulk=%d, admission off", weights.Lease, weights.Bulk)
 	}
 	return overload, stats, nil
+}
+
+// pruneForeign removes every record the ownership table assigns to
+// another node, making the white pages owned-domains-only regardless of
+// which population path filled them. Returns the number removed.
+func pruneForeign(db *registry.DB, routes *route.Table) int {
+	var foreign []string
+	db.Walk(func(m *registry.Machine) bool {
+		if !routes.KeepMachine(m) {
+			foreign = append(foreign, m.Static.Name)
+		}
+		return true
+	})
+	pruned := 0
+	for _, name := range foreign {
+		if err := db.Remove(name); err == nil {
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// ownedSnapshotSource builds a journal snapshot source that pages only the
+// records the ownership table keeps local, so snapshots (the dominant term
+// in steady-state journal size) scale with the owned domains and never
+// re-persist cross-domain watch replicas. Snapshot paging is monotone from
+// offset 0 under the journal's snapshot mutex, so the source cuts a fresh
+// filtered slice whenever a pass restarts at offset 0 and serves the rest
+// of that pass from it.
+func ownedSnapshotSource(svc *core.Service, routes *route.Table) journal.SnapshotSource {
+	var cut journal.SnapshotSource
+	return func(limit, offset int) ([]*registry.Machine, int, error) {
+		if offset == 0 || cut == nil {
+			var owned []*registry.Machine
+			for off := 0; ; {
+				page, total, err := svc.SelectMachines("", limit, off)
+				if err != nil {
+					return nil, 0, err
+				}
+				for _, m := range page {
+					if routes.KeepMachine(m) {
+						owned = append(owned, m)
+					}
+				}
+				off += len(page)
+				if len(page) == 0 || off >= total {
+					break
+				}
+			}
+			cut = journal.SliceSource(owned)
+		}
+		return cut(limit, offset)
+	}
 }
 
 func profileByName(name string) (netsim.Profile, error) {

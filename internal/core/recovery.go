@@ -22,6 +22,7 @@ type RecoveredLease struct {
 	Lease   pool.Lease
 	Expires time.Time
 	Peer    string // "" for locally-granted leases
+	Domain  string // domain the delegated query pinned; "" when unroutable
 }
 
 // RecoverOptions tunes crash-recovery reconciliation.
@@ -227,7 +228,7 @@ func (s *Service) Recover(leases []RecoveredLease, opts RecoverOptions) (Recover
 		lease := rl.Lease
 		restored := false
 		for _, pm := range s.pms {
-			if pm.RestoreDelegated(&lease, rl.Peer) {
+			if pm.RestoreDelegated(&lease, rl.Peer, rl.Domain) {
 				restored = true
 			}
 		}

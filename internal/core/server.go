@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -257,9 +258,42 @@ func dispatchEnvelope(svc *Service, env *wire.Envelope) (*wire.Envelope, error) 
 		}
 		reply := wire.SelectReply{Total: total, Records: wire.RecordSet{Machines: ms, Full: req.Full}}
 		return wire.NewEnvelope(wire.TypeSelect, env.ID, reply)
+	case wire.TypeRoute:
+		var req wire.RouteRequest
+		if err := env.Decode(&req); err != nil {
+			return nil, err
+		}
+		return wire.NewEnvelope(wire.TypeRoute, env.ID, routeReply(svc, &req))
 	default:
 		return nil, fmt.Errorf("core: unknown message type %q", env.Type)
 	}
+}
+
+// routeReply renders the service's ownership table for the wire: static
+// assignments first, then the resolved owner of every requested domain.
+func routeReply(svc *Service, req *wire.RouteRequest) wire.RouteReply {
+	rt := svc.Routes()
+	if rt == nil {
+		return wire.RouteReply{}
+	}
+	reply := wire.RouteReply{Enabled: rt.Partitioned(), Node: rt.Local(), Nodes: rt.Nodes()}
+	static := rt.Static()
+	seen := make(map[string]bool, len(static))
+	for d, owner := range static {
+		seen[d] = true
+		reply.Entries = append(reply.Entries, wire.RouteEntry{Domain: d, Owner: owner, Static: true})
+	}
+	for _, d := range req.Domains {
+		if d == "" || seen[d] {
+			continue
+		}
+		seen[d] = true
+		if owner, ok := rt.Owner(d); ok {
+			reply.Entries = append(reply.Entries, wire.RouteEntry{Domain: d, Owner: owner})
+		}
+	}
+	sort.Slice(reply.Entries, func(i, j int) bool { return reply.Entries[i].Domain < reply.Entries[j].Domain })
+	return reply
 }
 
 // Client is the remote counterpart of a Service: it multiplexes the wire
@@ -440,4 +474,19 @@ func (c *Client) SelectPage(ctx context.Context, text string, limit, offset int,
 		return nil, 0, err
 	}
 	return reply.Records.Machines, reply.Total, nil
+}
+
+// Route fetches the server's domain-ownership view, resolving the owners
+// of any named domains along the way. A pre-partition server bounces the
+// unknown type as an error.
+func (c *Client) Route(ctx context.Context, domains ...string) (*wire.RouteReply, error) {
+	env, err := c.call(ctx, wire.TypeRoute, wire.RouteRequest{Domains: domains})
+	if err != nil {
+		return nil, err
+	}
+	var reply wire.RouteReply
+	if err := env.Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
 }

@@ -22,6 +22,7 @@ import (
 	"actyp/internal/query"
 	"actyp/internal/querymgr"
 	"actyp/internal/registry"
+	"actyp/internal/route"
 	"actyp/internal/shadow"
 )
 
@@ -121,6 +122,12 @@ type Options struct {
 	// from every pool manager — the journal's federation feed. See
 	// poolmgr.Config.Delegations.
 	DelegationLog poolmgr.DelegationLog
+	// Routes, when set, is the domain-ownership table shared by every pool
+	// manager: queries pinning a remotely-owned domain take a single
+	// directed hop to the owner instead of the local-scan-then-fan-out
+	// path, and delegated releases re-resolve the domain's current owner.
+	// Nil keeps pre-partition behaviour. See route.Table.
+	Routes *route.Table
 }
 
 // Refresh modes accepted by Options.RefreshMode and the daemons'
@@ -281,6 +288,7 @@ func New(opts Options) (*Service, error) {
 			HedgeDelay:  opts.HedgeDelay,
 			Stats:       opts.FederationStats,
 			Delegations: opts.DelegationLog,
+			Routes:      opts.Routes,
 		})
 		if err != nil {
 			return nil, err
@@ -295,6 +303,11 @@ func New(opts Options) (*Service, error) {
 		sel := opts.Selector
 		if sel == nil {
 			sel = querymgr.NewRandomSelector(opts.Seed + int64(i))
+			if opts.Routes != nil {
+				// Partitioned nodes pin each domain's traffic to one pool
+				// manager so its caches stay hot for the owned domains.
+				sel = querymgr.NewDomainSelector(sel, opts.Seed+int64(i))
+			}
 		}
 		qm, err := querymgr.New(querymgr.Config{
 			Name:        fmt.Sprintf("qm-%d", i),
@@ -506,6 +519,10 @@ func (s *Service) allPools() []*pool.Pool {
 	}
 	return out
 }
+
+// Routes exposes the domain-ownership table (nil when partitioning is
+// off).
+func (s *Service) Routes() *route.Table { return s.opts.Routes }
 
 // Reaper exposes the lease reaper (nil when LeaseTTL is unset).
 func (s *Service) Reaper() *pool.Reaper { return s.reaper }

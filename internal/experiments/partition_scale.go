@@ -1,0 +1,614 @@
+package experiments
+
+// Domain-partitioned namespace (the PR's figure): three sweeps that stand
+// the ownership layer against the unpartitioned baselines.
+//
+// Leg 1 — resident state: a fleet spread over D administrative domains is
+// split across P nodes by the rendezvous ownership table, each node's
+// white pages keeping only the domains it owns. The per-node resident
+// record count must track fleet/P — the storage half of partitioning.
+//
+// Leg 2 — cross-domain resolve: a home manager resolves queries that pin
+// domains living on P wire-connected peers. The ownership table turns each
+// resolve into ONE directed hop to the owner; the PR 8 baseline races all
+// P peers first-win, so P-1 probes per query are pure waste — each one a
+// white-pages scan that comes up empty at a peer that does not own the
+// domain. Both planes are driven open-loop at HALF the directed plane's
+// calibrated capacity: the directed hop cruises at 50% utilization while
+// the same offered rate puts the fan-out plane over capacity, so the
+// wasted probes surface as queueing growth in its p99 rather than
+// vanishing into idle connections.
+//
+// Leg 3 — owned-domain allocate: allocation for a locally-owned domain on
+// a partitioned node (resident set fleet/P) against a single node holding
+// the whole fleet. The ownership check rides the resolve path, so this
+// leg bounds its overhead: partitioned allocate p99 must stay within
+// AllocSlack of the single-node baseline.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"actyp/internal/directory"
+	"actyp/internal/metrics"
+	"actyp/internal/netsim"
+	"actyp/internal/poolmgr"
+	"actyp/internal/query"
+	"actyp/internal/registry"
+	"actyp/internal/route"
+	"actyp/internal/stage"
+)
+
+// PartitionConfig parameterizes the three sweeps.
+type PartitionConfig struct {
+	Fleets     []int // fleet sizes for the resident and allocate legs
+	Domains    int   // administrative domains in the synthetic fleet
+	PeerCounts []int // node/peer counts to sweep (resident + resolve legs)
+	// PeerMachines is the per-peer fleet size in the resolve leg. Keep it
+	// above ResolveOps: the open loop never blocks on completions, so in
+	// the overloaded fan-out plane every op can be in flight at once and
+	// the owner's pool must not exhaust.
+	PeerMachines int
+	// ResolveOps is the total open-loop request count per resolve point.
+	ResolveOps   int
+	Clients      int // concurrent closed-loop requesters (allocate leg)
+	OpsPerClient int // measured ops per requester per point
+	Window       int // per-connection in-flight cap at the peer servers
+	// ResidentSlack bounds how far above fleet/P the most loaded node may
+	// sit at the largest P (rendezvous assigns whole domains, so perfect
+	// balance needs D >> P; 64 domains over 4 nodes lands under 1.6).
+	ResidentSlack float64
+	// XResolveBar is the minimum fan-out/directed p99 ratio at the largest
+	// peer count: the directed hop must be at least this much faster.
+	XResolveBar float64
+	// AllocSlack is the maximum partitioned/single allocate-p99 ratio at
+	// the largest fleet.
+	AllocSlack float64
+}
+
+// DefaultPartition gates the PR's acceptance numbers: resident records
+// tracking fleet/P at P=4, the directed cross-domain resolve at least 3x
+// faster than the 4-peer fan-out, and owned-domain allocation within 1.5x
+// of the single-node baseline.
+func DefaultPartition() PartitionConfig {
+	return PartitionConfig{
+		Fleets:        []int{1000, 4000},
+		Domains:       64,
+		PeerCounts:    []int{2, 4},
+		PeerMachines:  2048,
+		ResolveOps:    1200,
+		Clients:       8,
+		OpsPerClient:  25,
+		Window:        1,
+		ResidentSlack: 1.6,
+		XResolveBar:   3,
+		AllocSlack:    1.5,
+	}
+}
+
+// PartitionResult is the three sweeps' output. Resident series are
+// labelled "resident/pP" (fleet on x, records on y); resolve series
+// "xresolve/<directed|fanout>" (peers on x, seconds on y); allocate series
+// "alloc/<single|partitioned>" (fleet on x, seconds on y).
+type PartitionResult struct {
+	Resident []metrics.Series
+	XResolve []metrics.Series
+	Alloc    []metrics.Series
+
+	cfg PartitionConfig
+}
+
+// AllSeries flattens the result into one labelled set for BENCH emission.
+func (r PartitionResult) AllSeries() []metrics.Series {
+	var out []metrics.Series
+	out = append(out, r.Resident...)
+	out = append(out, r.XResolve...)
+	out = append(out, r.Alloc...)
+	return out
+}
+
+// Check asserts the PR's regression bars at each sweep's largest point.
+func (r PartitionResult) Check() error {
+	cfg := r.cfg
+	maxP := cfg.PeerCounts[len(cfg.PeerCounts)-1]
+	maxFleet := float64(cfg.Fleets[len(cfg.Fleets)-1])
+
+	resident := findSeries(r.Resident, fmt.Sprintf("resident/p%d", maxP))
+	if resident == nil || len(resident.Points) == 0 {
+		return errors.New("partition: missing the resident series to assert")
+	}
+	last := resident.Points[len(resident.Points)-1]
+	if bar := cfg.ResidentSlack * maxFleet / float64(maxP); last.Y > bar {
+		return fmt.Errorf("partition: at %d nodes the most loaded node holds %.0f of %.0f records (bar %.0f ~ %.1fx fleet/P)",
+			maxP, last.Y, maxFleet, bar, cfg.ResidentSlack)
+	}
+
+	directed := findSeries(r.XResolve, "xresolve/directed")
+	fanout := findSeries(r.XResolve, "xresolve/fanout")
+	if directed == nil || fanout == nil {
+		return errors.New("partition: missing a cross-domain resolve series to assert")
+	}
+	i := len(directed.Points) - 1
+	if i < 0 || i >= len(fanout.Points) {
+		return errors.New("partition: cross-domain resolve series lengths diverge")
+	}
+	var gain float64
+	if directed.Points[i].Y > 0 {
+		gain = fanout.Points[i].Y / directed.Points[i].Y
+	}
+	if gain < cfg.XResolveBar {
+		return fmt.Errorf("partition: at %g peers the directed hop beat the fan-out only %.2fx (fanout %.4fs vs directed %.4fs, need >=%gx)",
+			directed.Points[i].X, gain, fanout.Points[i].Y, directed.Points[i].Y, cfg.XResolveBar)
+	}
+
+	single := findSeries(r.Alloc, "alloc/single")
+	part := findSeries(r.Alloc, "alloc/partitioned")
+	if single == nil || part == nil {
+		return errors.New("partition: missing an allocate series to assert")
+	}
+	j := len(single.Points) - 1
+	if j < 0 || j >= len(part.Points) {
+		return errors.New("partition: allocate series lengths diverge")
+	}
+	if bar := cfg.AllocSlack * single.Points[j].Y; part.Points[j].Y > bar {
+		return fmt.Errorf("partition: at %g machines, owned-domain allocate p99 %.4fs exceeds %.1fx the single-node %.4fs",
+			single.Points[j].X, part.Points[j].Y, cfg.AllocSlack, single.Points[j].Y)
+	}
+	return nil
+}
+
+// partitionFleetSpec spreads a fleet over cfg.Domains domains.
+func partitionFleetSpec(cfg PartitionConfig, n int) registry.FleetSpec {
+	domains := make([]string, cfg.Domains)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("dom%02d", i)
+	}
+	return registry.FleetSpec{
+		N:       n,
+		Archs:   []string{"sun"},
+		Domains: domains,
+		Owners:  []string{"public"},
+		Tools:   []string{"tsuprem4"},
+		Seed:    1,
+	}
+}
+
+// PartitionScale runs the three sweeps.
+func PartitionScale(cfg PartitionConfig) (PartitionResult, error) {
+	if len(cfg.Fleets) == 0 {
+		cfg = DefaultPartition()
+	}
+	res := PartitionResult{cfg: cfg}
+
+	// Leg 1: resident state per node across fleet sizes and node counts.
+	for _, peers := range cfg.PeerCounts {
+		s := metrics.Series{Label: fmt.Sprintf("resident/p%d", peers)}
+		for _, fleet := range cfg.Fleets {
+			most, err := partitionResidentPoint(cfg, fleet, peers)
+			if err != nil {
+				return res, fmt.Errorf("partition: resident p%d fleet %d: %w", peers, fleet, err)
+			}
+			s.Add(float64(fleet), float64(most))
+		}
+		res.Resident = append(res.Resident, s)
+	}
+
+	// Leg 2: cross-domain resolve, directed vs first-win fan-out. The
+	// offered rate is calibrated once per peer count — on the directed
+	// mesh — and both planes are then driven at that same rate, so the
+	// comparison is load-for-load.
+	directedS := metrics.Series{Label: "xresolve/directed"}
+	fanoutS := metrics.Series{Label: "xresolve/fanout"}
+	for _, peers := range cfg.PeerCounts {
+		dp99, fp99, err := partitionResolvePair(cfg, peers)
+		if err != nil {
+			return res, fmt.Errorf("partition: xresolve peers %d: %w", peers, err)
+		}
+		directedS.Add(float64(peers), dp99.Seconds())
+		fanoutS.Add(float64(peers), fp99.Seconds())
+	}
+	res.XResolve = append(res.XResolve, directedS, fanoutS)
+
+	// Leg 3: owned-domain allocate, partitioned node vs single node.
+	maxP := cfg.PeerCounts[len(cfg.PeerCounts)-1]
+	for _, partitioned := range []bool{false, true} {
+		label := "alloc/single"
+		if partitioned {
+			label = "alloc/partitioned"
+		}
+		s := metrics.Series{Label: label}
+		for _, fleet := range cfg.Fleets {
+			// Minimum over three repetitions, for the same reason as the
+			// resolve leg: these p99s are microseconds, and one host
+			// hiccup in a small sample would decide the gate.
+			var best time.Duration
+			for rep := 0; rep < 3; rep++ {
+				p99, err := partitionAllocPoint(cfg, fleet, maxP, partitioned)
+				if err != nil {
+					return res, fmt.Errorf("partition: %s fleet %d: %w", label, fleet, err)
+				}
+				if rep == 0 || p99 < best {
+					best = p99
+				}
+			}
+			s.Add(float64(fleet), best.Seconds())
+		}
+		res.Alloc = append(res.Alloc, s)
+	}
+	return res, nil
+}
+
+// partitionResidentPoint splits one fleet across `peers` nodes through the
+// rendezvous table (exactly what a partitioned daemon's population filter
+// does) and returns the most loaded node's resident record count. Every
+// record must land on exactly one node.
+func partitionResidentPoint(cfg PartitionConfig, fleet, peers int) (int, error) {
+	machines, err := partitionFleetSpec(cfg, fleet).Build(time.Unix(0, 0))
+	if err != nil {
+		return 0, err
+	}
+	nodes := make([]string, peers)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%d", i)
+	}
+	resident := make([]int, peers)
+	total := 0
+	for i, node := range nodes {
+		t := route.New(node)
+		t.Reload(nil, nodes)
+		for _, m := range machines {
+			if t.KeepMachine(m) {
+				resident[i]++
+				total++
+			}
+		}
+	}
+	if total != fleet {
+		return 0, fmt.Errorf("records not conserved: %d resident across nodes, fleet %d (a domain is owned by %s)",
+			total, fleet, map[bool]string{true: "several nodes", false: "no node"}[total > fleet])
+	}
+	most := 0
+	for _, n := range resident {
+		if n > most {
+			most = n
+		}
+	}
+	return most, nil
+}
+
+// resolveMesh is one cross-domain resolve testbed: a home manager over
+// `peers` wire-connected peer managers, each owning one domain's worth of
+// white pages. The mesh uses raw local connections (netsim.Local) so the
+// measurement isolates the routing plane's protocol and scan work — the
+// simulated-latency profiles schedule deliveries on multi-millisecond
+// timers that would swamp the microsecond-scale directed hop.
+type resolveMesh struct {
+	home    *poolmgr.Manager
+	mgrs    []*poolmgr.Manager
+	queries []*query.Query
+	close   func()
+}
+
+// partitionResolveMesh builds the testbed. Directed mode gives the home
+// manager an ownership table over the peers; fan-out mode leaves it on the
+// PR 8 first-win race. In both, every query misses at home and must cross
+// the wire.
+func partitionResolveMesh(cfg PartitionConfig, peers int, directed bool) (*resolveMesh, error) {
+	profile := netsim.Local()
+	var servers []*stage.Server
+	var remotes []*stage.Remote
+	var factories []*poolmgr.LocalFactory
+	cleanup := func() {
+		for _, r := range remotes {
+			_ = r.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, f := range factories {
+			f.CloseAll()
+		}
+	}
+	fail := func(err error) (*resolveMesh, error) {
+		cleanup()
+		return nil, err
+	}
+
+	homeDir := directory.New()
+	static := map[string]string{}
+	mgrs := make([]*poolmgr.Manager, peers)
+	queries := make([]*query.Query, peers)
+	for i := 0; i < peers; i++ {
+		domain := fmt.Sprintf("dom%02d", i)
+		db, err := newDB()
+		if err != nil {
+			return fail(err)
+		}
+		spec := registry.FleetSpec{
+			N: cfg.PeerMachines, Archs: []string{"sun"}, Domains: []string{domain}, Seed: int64(i + 1),
+		}
+		if err := spec.Populate(db, time.Now()); err != nil {
+			return fail(err)
+		}
+		factory := &poolmgr.LocalFactory{DB: db}
+		factories = append(factories, factory)
+		m, err := poolmgr.New(poolmgr.Config{Name: fmt.Sprintf("pm-peer-%d", i), Dir: directory.New(), Factory: factory})
+		if err != nil {
+			return fail(err)
+		}
+		mgrs[i] = m
+		srv, err := stage.ServeOpts(m, "127.0.0.1:0", profile, stage.ServerOptions{Window: cfg.Window})
+		if err != nil {
+			return fail(err)
+		}
+		servers = append(servers, srv)
+		remote, err := stage.DialRemote(srv.Addr(), profile, 0)
+		if err != nil {
+			return fail(err)
+		}
+		remotes = append(remotes, remote)
+		homeDir.AddPeer(remote)
+		static[domain] = remote.Name()
+		q, err := query.ParseBasic(route.Filter(domain))
+		if err != nil {
+			return fail(err)
+		}
+		queries[i] = q
+	}
+
+	homeCfg := poolmgr.Config{Name: "pm-home", Dir: homeDir, Fanout: peers}
+	if directed {
+		rt := route.New("pm-home")
+		rt.Reload(static, nil)
+		homeCfg.Routes = rt
+	}
+	home, err := poolmgr.New(homeCfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Warm every peer's pool so the sweep measures steady-state routing,
+	// not first-touch pool creation.
+	for i := range queries {
+		lease, err := home.Resolve(queries[i])
+		if err != nil {
+			return fail(fmt.Errorf("warm resolve dom%02d: %w", i, err))
+		}
+		if err := mgrs[i].Release(lease); err != nil {
+			return fail(err)
+		}
+	}
+	return &resolveMesh{home: home, mgrs: mgrs, queries: queries, close: cleanup}, nil
+}
+
+// capacity measures the mesh's sustainable resolve throughput: the best of
+// three short closed-loop bursts. The best, not the mean — a scheduler
+// stall during a burst reads as lost capacity and would set the open-loop
+// rate too low to ever load the fan-out plane.
+func (mesh *resolveMesh) capacity() (float64, error) {
+	const clients, ops, bursts = 4, 50, 3
+	best := 0.0
+	for b := 0; b < bursts; b++ {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					d := (c + i) % len(mesh.queries)
+					lease, err := mesh.home.Resolve(mesh.queries[d])
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := mesh.mgrs[d].Release(lease); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+		if rate := float64(clients*ops) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best, nil
+}
+
+// openLoop offers `total` resolves at a fixed rate regardless of how fast
+// they complete — the discipline that makes over-capacity operation
+// visible as queueing — and returns the p99 resolve latency. Only the
+// resolve is timed; the release goes straight to the owning manager so
+// both planes pay identical untimed cleanup.
+func (mesh *resolveMesh) openLoop(rate float64, total int) (time.Duration, error) {
+	rec := metrics.NewRecorder()
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	errCh := make(chan error, total)
+	begin := time.Now()
+	for k := 0; k < total; k++ {
+		if d := time.Until(begin.Add(time.Duration(k) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			d := k % len(mesh.queries)
+			start := time.Now()
+			lease, err := mesh.home.Resolve(mesh.queries[d])
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rec.Record(time.Since(start))
+			if err := mesh.mgrs[d].Release(lease); err != nil {
+				errCh <- err
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return rec.Percentile(99), nil
+}
+
+// partitionResolvePair measures one peer count's directed and fan-out p99
+// under identical offered load: half the directed plane's calibrated
+// capacity. At that rate the directed hop runs at ~50% utilization while
+// the fan-out plane — every query costing P probes instead of one — is
+// over capacity, and its p99 inflates with the backlog it cannot drain.
+//
+// Each plane's p99 is the minimum over three repetitions. Host noise (a
+// GC cycle, a scheduler stall on a small CI runner) only ever ADDS
+// latency, so the minimum is the least-contaminated estimate; the
+// fan-out's overload queueing is structural and survives it.
+func partitionResolvePair(cfg PartitionConfig, peers int) (directedP99, fanoutP99 time.Duration, err error) {
+	const reps = 3
+	for rep := 0; rep < reps; rep++ {
+		dp99, fp99, err := partitionResolveRep(cfg, peers)
+		if err != nil {
+			return 0, 0, err
+		}
+		if rep == 0 || dp99 < directedP99 {
+			directedP99 = dp99
+		}
+		if rep == 0 || fp99 < fanoutP99 {
+			fanoutP99 = fp99
+		}
+	}
+	return directedP99, fanoutP99, nil
+}
+
+// partitionResolveRep is one repetition of the directed/fan-out pair.
+func partitionResolveRep(cfg PartitionConfig, peers int) (directedP99, fanoutP99 time.Duration, err error) {
+	dm, err := partitionResolveMesh(cfg, peers, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	rate, err := dm.capacity()
+	if err != nil {
+		dm.close()
+		return 0, 0, err
+	}
+	rate /= 2
+	directedP99, err = dm.openLoop(rate, cfg.ResolveOps)
+	dm.close()
+	if err != nil {
+		return 0, 0, err
+	}
+
+	fm, err := partitionResolveMesh(cfg, peers, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	fanoutP99, err = fm.openLoop(rate, cfg.ResolveOps)
+	fm.close()
+	if err != nil {
+		return 0, 0, err
+	}
+	return directedP99, fanoutP99, nil
+}
+
+// partitionAllocPoint measures owned-domain allocate p99 on one node:
+// either a single node holding the whole fleet (the baseline) or a
+// partitioned node holding only the fleet/P slice its rendezvous table
+// assigns it, allocating from a domain it owns.
+func partitionAllocPoint(cfg PartitionConfig, fleet, peers int, partitioned bool) (time.Duration, error) {
+	machines, err := partitionFleetSpec(cfg, fleet).Build(time.Unix(0, 0))
+	if err != nil {
+		return 0, err
+	}
+	var rt *route.Table
+	if partitioned {
+		nodes := make([]string, peers)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		rt = route.New("node-0")
+		rt.Reload(nil, nodes)
+	}
+	db, err := newDB()
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range machines {
+		if rt != nil && !rt.KeepMachine(m) {
+			continue
+		}
+		if err := db.Add(m); err != nil {
+			return 0, err
+		}
+	}
+	// Allocate from a domain this node owns; the same domain exists with
+	// the same machine count in the single-node baseline.
+	domain := ""
+	for i := 0; i < cfg.Domains; i++ {
+		d := fmt.Sprintf("dom%02d", i)
+		if rt == nil || rt.Owns(d) {
+			domain = d
+			break
+		}
+	}
+	if domain == "" {
+		return 0, errors.New("the partitioned node owns no domain")
+	}
+	q, err := query.ParseBasic(route.Filter(domain))
+	if err != nil {
+		return 0, err
+	}
+
+	factory := &poolmgr.LocalFactory{DB: db}
+	defer factory.CloseAll()
+	pcfg := poolmgr.Config{Name: "node-0", Dir: directory.New(), Factory: factory, Routes: rt}
+	m, err := poolmgr.New(pcfg)
+	if err != nil {
+		return 0, err
+	}
+	lease, err := m.Resolve(q) // warm the pool
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Release(lease); err != nil {
+		return 0, err
+	}
+
+	rec := metrics.NewRecorder()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				start := time.Now()
+				lease, err := m.Resolve(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rec.Record(time.Since(start))
+				if err := m.Release(lease); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return rec.Percentile(99), nil
+}

@@ -586,11 +586,11 @@ func (j *Journal) LeaseRenewed(leaseID string, expires time.Time) {
 // DelegationWon journals a lease won through a federation peer. No local
 // pool hook fires for these (the machine lives on the peer), so the whole
 // lease rides in the record.
-func (j *Journal) DelegationWon(l *pool.Lease, peerName string) {
+func (j *Journal) DelegationWon(l *pool.Lease, peerName, domain string) {
 	if l == nil {
 		return
 	}
-	rec := LeaseRecord{Lease: *l, Peer: peerName}
+	rec := LeaseRecord{Lease: *l, Peer: peerName, Domain: domain}
 	payload := appendLeaseOp(nil, leaseOp{op: opDelegated, rec: rec})
 	err := j.append(recLease, payload, func() { j.leases[l.ID] = rec })
 	if err != nil {

@@ -258,7 +258,7 @@ func TestLeaseHooksMirrorAndReplay(t *testing.T) {
 	j.LeaseGranted(l2, exp)
 	j.LeaseRenewed(l2.ID, time.Unix(2000, 0))
 	j.LeaseReleased(l1.ID)
-	j.DelegationWon(testLease("peer:3:cc", "remote-m"), "site-b")
+	j.DelegationWon(testLease("peer:3:cc", "remote-m"), "site-b", "upc")
 	j.DelegationDone("peer:3:cc")
 	if got := j.Leases(); len(got) != 1 || got[0].Lease.ID != l2.ID || !got[0].Expires.Equal(time.Unix(2000, 0)) {
 		t.Fatalf("mirror = %+v", got)
@@ -286,7 +286,7 @@ func TestDelegatedLeaseSurvivesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.DelegationWon(testLease("peer:9:dd", "remote-m"), "site-c")
+	j.DelegationWon(testLease("peer:9:dd", "remote-m"), "site-c", "upc")
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -294,8 +294,32 @@ func TestDelegatedLeaseSurvivesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Leases) != 1 || st.Leases[0].Peer != "site-c" {
+	if len(st.Leases) != 1 || st.Leases[0].Peer != "site-c" || st.Leases[0].Domain != "upc" {
 		t.Fatalf("leases = %+v", st.Leases)
+	}
+}
+
+// Pre-partition journals end an opDelegated payload at the peer name; the
+// domain string this version appends must stay optional on decode or old
+// journals stop replaying.
+func TestDelegatedOpDecodesWithoutDomain(t *testing.T) {
+	rec := LeaseRecord{Lease: *testLease("peer:9:dd", "remote-m"), Peer: "site-c"}
+	payload := appendLeaseOp(nil, leaseOp{op: opDelegated, rec: rec})
+	// Strip the trailing empty-domain string (a single 0-length uvarint
+	// byte) to reproduce the old wire format exactly.
+	old := payload[:len(payload)-1]
+	op, err := decodeLeaseOp(old)
+	if err != nil {
+		t.Fatalf("old-format opDelegated: %v", err)
+	}
+	if op.rec.Peer != "site-c" || op.rec.Domain != "" || op.rec.Lease.ID != "peer:9:dd" {
+		t.Fatalf("decoded = %+v", op.rec)
+	}
+	// And the new format round-trips the domain.
+	rec.Domain = "upc"
+	op, err = decodeLeaseOp(appendLeaseOp(nil, leaseOp{op: opDelegated, rec: rec}))
+	if err != nil || op.rec.Domain != "upc" {
+		t.Fatalf("new-format opDelegated: %+v, %v", op.rec, err)
 	}
 }
 

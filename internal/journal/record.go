@@ -89,6 +89,7 @@ type LeaseRecord struct {
 	Lease   pool.Lease
 	Expires time.Time
 	Peer    string // "" for locally-granted leases
+	Domain  string // domain the delegated query pinned; "" when unroutable
 }
 
 // leaseOp is one decoded lease-op payload.
@@ -117,6 +118,7 @@ func appendLeaseOp(dst []byte, op leaseOp) []byte {
 		dst = appendTime(dst, op.rec.Expires)
 		if op.op == opDelegated {
 			dst = appendString(dst, op.rec.Peer)
+			dst = appendString(dst, op.rec.Domain)
 		}
 	case opRenew:
 		dst = appendString(dst, op.id)
@@ -146,6 +148,11 @@ func decodeLeaseOp(b []byte) (leaseOp, error) {
 		op.rec.Expires = d.time()
 		if op.op == opDelegated {
 			op.rec.Peer = d.string()
+			// Pre-partition journals end the op at the peer name; the
+			// domain string is only present when written by this version.
+			if d.err == nil && d.off < len(d.b) {
+				op.rec.Domain = d.string()
+			}
 		}
 		op.id = l.ID
 	case opRenew:

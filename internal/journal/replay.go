@@ -58,6 +58,41 @@ func (s *State) RestoreDB(db *registry.DB) error {
 	return nil
 }
 
+// Filter prunes the replayed state to the machines keep accepts — the
+// domain-scoped replay a partitioned daemon runs on boot, so a journal
+// written before an ownership change (or copied from a peer) loads only
+// the domains this node now owns. Locally-granted leases on dropped
+// machines go with them (their pools cannot be rebuilt here); delegated
+// leases stay — they live on their granting peer, not in local records.
+// It returns how many machines were dropped.
+func (s *State) Filter(keep func(*registry.Machine) bool) int {
+	if s == nil || keep == nil {
+		return 0
+	}
+	kept := s.Machines[:0]
+	gone := map[string]bool{}
+	for _, m := range s.Machines {
+		if keep(m) {
+			kept = append(kept, m)
+		} else {
+			gone[m.Static.Name] = true
+		}
+	}
+	dropped := len(s.Machines) - len(kept)
+	s.Machines = kept
+	if dropped > 0 {
+		leases := s.Leases[:0]
+		for _, lr := range s.Leases {
+			if lr.Peer == "" && gone[lr.Lease.Machine] {
+				continue
+			}
+			leases = append(leases, lr)
+		}
+		s.Leases = leases
+	}
+	return dropped
+}
+
 // replay rebuilds state from dir: the newest complete snapshot, then every
 // segment with sequence >= the snapshot's, in order. It returns the state
 // and the sequence the next fresh segment should use.

@@ -16,14 +16,17 @@ import (
 // All methods are safe for concurrent use and tolerate a nil receiver, so
 // call sites do not branch on whether accounting is enabled.
 type FederationStats struct {
-	fanouts      atomic.Int64
-	wins         atomic.Int64
-	hedges       atomic.Int64
-	cancelled    atomic.Int64
-	watchEvents  atomic.Int64
-	watchResyncs atomic.Int64
-	watchPolls   atomic.Int64
-	reconnects   atomic.Int64
+	fanouts        atomic.Int64
+	wins           atomic.Int64
+	hedges         atomic.Int64
+	cancelled      atomic.Int64
+	directed       atomic.Int64
+	directedWins   atomic.Int64
+	directedMisses atomic.Int64
+	watchEvents    atomic.Int64
+	watchResyncs   atomic.Int64
+	watchPolls     atomic.Int64
+	reconnects     atomic.Int64
 
 	peers sync.Map // peer name -> *federationPeer
 }
@@ -95,6 +98,33 @@ func (s *FederationStats) LoserCancelled(peer string) {
 	}
 }
 
+// Directed counts one domain-routed delegation: a query whose domain the
+// ownership table resolved to a single peer, sent as one directed hop
+// instead of a fan-out.
+func (s *FederationStats) Directed(peer string) {
+	if s != nil {
+		s.directed.Add(1)
+		s.peer(peer).forwards.Add(1)
+	}
+}
+
+// DirectedWin counts a directed hop answered with a usable lease.
+func (s *FederationStats) DirectedWin(peer string) {
+	if s != nil {
+		s.directedWins.Add(1)
+		s.peer(peer).wins.Add(1)
+	}
+}
+
+// DirectedMiss counts a directed hop that failed, dropping the query back
+// to the local-then-fan-out path.
+func (s *FederationStats) DirectedMiss(peer string) {
+	if s != nil {
+		s.directedMisses.Add(1)
+		s.peer(peer).failures.Add(1)
+	}
+}
+
 // WatchEvents counts n change-stream events received from a remote
 // registry.
 func (s *FederationStats) WatchEvents(n int) {
@@ -136,15 +166,18 @@ type FederationPeerCounts struct {
 
 // FederationSnapshot is a point-in-time copy of every counter.
 type FederationSnapshot struct {
-	Fanouts      int64                           `json:"fanouts"`
-	Wins         int64                           `json:"wins"`
-	Hedges       int64                           `json:"hedges"`
-	Cancelled    int64                           `json:"cancelled"`
-	WatchEvents  int64                           `json:"watchEvents"`
-	WatchResyncs int64                           `json:"watchResyncs"`
-	WatchPolls   int64                           `json:"watchPolls"`
-	Reconnects   int64                           `json:"reconnects"`
-	Peers        map[string]FederationPeerCounts `json:"peers,omitempty"`
+	Fanouts        int64                           `json:"fanouts"`
+	Wins           int64                           `json:"wins"`
+	Hedges         int64                           `json:"hedges"`
+	Cancelled      int64                           `json:"cancelled"`
+	Directed       int64                           `json:"directed"`
+	DirectedWins   int64                           `json:"directedWins"`
+	DirectedMisses int64                           `json:"directedMisses"`
+	WatchEvents    int64                           `json:"watchEvents"`
+	WatchResyncs   int64                           `json:"watchResyncs"`
+	WatchPolls     int64                           `json:"watchPolls"`
+	Reconnects     int64                           `json:"reconnects"`
+	Peers          map[string]FederationPeerCounts `json:"peers,omitempty"`
 }
 
 // Snapshot copies every counter (each read atomically; the set is not a
@@ -158,6 +191,9 @@ func (s *FederationStats) Snapshot() FederationSnapshot {
 	out.Wins = s.wins.Load()
 	out.Hedges = s.hedges.Load()
 	out.Cancelled = s.cancelled.Load()
+	out.Directed = s.directed.Load()
+	out.DirectedWins = s.directedWins.Load()
+	out.DirectedMisses = s.directedMisses.Load()
 	out.WatchEvents = s.watchEvents.Load()
 	out.WatchResyncs = s.watchResyncs.Load()
 	out.WatchPolls = s.watchPolls.Load()
@@ -182,8 +218,8 @@ func (s *FederationStats) Snapshot() FederationSnapshot {
 // aggregate line plus one line per peer, sorted by name.
 func (s FederationSnapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fanouts=%d wins=%d hedges=%d cancelled=%d watch-events=%d resyncs=%d polls=%d reconnects=%d",
-		s.Fanouts, s.Wins, s.Hedges, s.Cancelled, s.WatchEvents, s.WatchResyncs, s.WatchPolls, s.Reconnects)
+	fmt.Fprintf(&b, "fanouts=%d wins=%d hedges=%d cancelled=%d directed=%d/%d (%d miss) watch-events=%d resyncs=%d polls=%d reconnects=%d",
+		s.Fanouts, s.Wins, s.Hedges, s.Cancelled, s.DirectedWins, s.Directed, s.DirectedMisses, s.WatchEvents, s.WatchResyncs, s.WatchPolls, s.Reconnects)
 	names := make([]string, 0, len(s.Peers))
 	for name := range s.Peers {
 		names = append(names, name)

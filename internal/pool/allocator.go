@@ -82,9 +82,21 @@ type Allocator interface {
 	// as a full Refresh — which is exactly what lets the differential
 	// tests pin the event-applied indexed state to a full rebuild.
 	Apply(events []registry.Event, get func(name string) (*registry.Machine, error))
+	// Leases enumerates the live leases (unordered): the domain-migration
+	// drain reads them to ship a domain's grants to the new owner.
+	Leases() []LeaseInfo
 	// Stats reports successful allocations, exhausted misses, and the
 	// total number of cache entries examined while selecting.
 	Stats() (allocs, misses int, scanned int64)
+}
+
+// LeaseInfo is one live lease as an engine tracks it: enough to re-adopt
+// the grant elsewhere (the full pool.Lease the holder carries is not kept
+// by engines — only the holder needs access keys and ports).
+type LeaseInfo struct {
+	ID      string
+	Machine string
+	Expires time.Time // zero: no expiry
 }
 
 // allocRequest carries one allocation's identity and eligibility gates,

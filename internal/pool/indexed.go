@@ -602,6 +602,17 @@ func (x *indexedAlloc) Stats() (allocs, misses int, scanned int64) {
 	return int(x.allocs.Load()), int(x.misses.Load()), x.scanned.Load()
 }
 
+// Leases implements Allocator.
+func (x *indexedAlloc) Leases() []LeaseInfo {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	out := make([]LeaseInfo, 0, len(x.leases))
+	for id, e := range x.leases {
+		out = append(out, LeaseInfo{ID: id, Machine: e.machine.Static.Name, Expires: e.expires})
+	}
+	return out
+}
+
 // iheap is a binary min-heap of free entries under the engine's total
 // order. Each resident entry tracks its index (ientry.pos), so Apply can
 // reposition or remove an arbitrary entry in O(log n) when a change event

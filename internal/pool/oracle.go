@@ -239,6 +239,17 @@ func (o *oracleAlloc) Apply(events []registry.Event, get func(name string) (*reg
 	o.Refresh(get)
 }
 
+// Leases implements Allocator.
+func (o *oracleAlloc) Leases() []LeaseInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]LeaseInfo, 0, len(o.leases))
+	for id, e := range o.leases {
+		out = append(out, LeaseInfo{ID: id, Machine: e.machine.Static.Name, Expires: e.expires})
+	}
+	return out
+}
+
 // Stats implements Allocator.
 func (o *oracleAlloc) Stats() (allocs, misses int, scanned int64) {
 	return int(o.allocs.Load()), int(o.misses.Load()), o.scanned.Load()

@@ -15,6 +15,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -252,6 +253,13 @@ func (p *Pool) Free() int { return p.engine.Free() }
 
 // Members returns the machine names in cache order.
 func (p *Pool) Members() []string { return p.engine.Members() }
+
+// Leases enumerates the live leases the engine tracks, sorted by id.
+func (p *Pool) Leases() []LeaseInfo {
+	out := p.engine.Leases()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // Allocate answers a basic query with a machine lease. It performs the
 // engine's search over the cache, honouring the scheduling objective, the

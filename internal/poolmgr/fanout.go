@@ -23,6 +23,7 @@ import (
 	"actyp/internal/directory"
 	"actyp/internal/pool"
 	"actyp/internal/query"
+	"actyp/internal/route"
 )
 
 // stringSet answers visited-list membership in O(1); the serial walk's
@@ -51,22 +52,26 @@ func extendVisited(visited []string, name string) []string {
 }
 
 // delegatedLease records which peer granted a lease that this manager
-// handed upward, so the eventual Release routes back through that peer
-// (recursively, for multi-hop delegation: each manager on the path
-// remembers only its own next hop). Entries are evicted on release and,
-// as a backstop against clients that never release, lazily after
+// handed upward, keyed (peer, domain) so the eventual Release can route
+// back correctly even after the domain changes hands: the release goes to
+// the domain's *current* owner per the route table, falling back to the
+// recorded grantor for unroutable leases. Entries are evicted on release
+// and, as a backstop against clients that never release, lazily after
 // delegatedTTL — by then the grantor's reaper has reclaimed the machine
-// anyway.
+// anyway. Deliberately NOT a captured Forwarder handle: a handle pins the
+// stale grantor across ownership-table reloads.
 type delegatedLease struct {
-	peer directory.Forwarder
-	at   time.Time
+	peerName string // grantor at win time
+	domain   string // domain the query pinned; "" when unroutable
+	at       time.Time
 }
 
 const delegatedTTL = time.Hour
 
-// rememberDelegated notes that lease was granted through peer. Called on
-// every delegation win before the lease is returned upward.
-func (m *Manager) rememberDelegated(lease *pool.Lease, peer directory.Forwarder) {
+// rememberDelegated notes that lease was granted through the named peer
+// for a query pinning domain ("" when unroutable). Called on every
+// delegation win before the lease is returned upward.
+func (m *Manager) rememberDelegated(lease *pool.Lease, peerName, domain string) {
 	if lease == nil {
 		return
 	}
@@ -81,43 +86,96 @@ func (m *Manager) rememberDelegated(lease *pool.Lease, peer directory.Forwarder)
 			delete(m.delegated, id)
 		}
 	}
-	m.delegated[lease.ID] = delegatedLease{peer: peer, at: now}
+	m.delegated[lease.ID] = delegatedLease{peerName: peerName, domain: domain, at: now}
 	if m.delegations != nil {
-		m.delegations.DelegationWon(lease, peer.Name())
+		m.delegations.DelegationWon(lease, peerName, domain)
 	}
 }
 
 // takeDelegated looks a lease up in the delegated table and removes it.
-func (m *Manager) takeDelegated(id string) (directory.Forwarder, bool) {
+func (m *Manager) takeDelegated(id string) (peerName, domain string, ok bool) {
 	m.delegatedMu.Lock()
-	d, ok := m.delegated[id]
-	if ok {
+	d, found := m.delegated[id]
+	if found {
 		delete(m.delegated, id)
 	}
 	m.delegatedMu.Unlock()
-	if ok && m.delegations != nil {
+	if found && m.delegations != nil {
 		m.delegations.DelegationDone(id)
 	}
-	return d.peer, ok
+	return d.peerName, d.domain, found
+}
+
+// peerByName finds the directory peer carrying the name, nil when absent.
+func (m *Manager) peerByName(name string) directory.Forwarder {
+	if name == "" {
+		return nil
+	}
+	for _, peer := range m.dir.Peers() {
+		if peer.Name() == name {
+			return peer
+		}
+	}
+	return nil
+}
+
+// releaseRemote routes a delegated lease's release. Target selection is
+// the (peer, domain) rule: the domain's current owner per the route table
+// when the lease carries a routable domain — the grantor may have handed
+// the domain off since the win — otherwise the recorded grantor. When the
+// current owner is this very node (the domain migrated home and the lease
+// was re-adopted into a local pool), the release lands locally.
+func (m *Manager) releaseRemote(peerName, domain string, lease *pool.Lease) error {
+	target := peerName
+	if m.routes != nil && domain != "" {
+		if owner, ok := m.routes.Owner(domain); ok {
+			target = owner
+		}
+	}
+	if target == m.name {
+		if ref, ok := m.dir.ByInstance(lease.Pool); ok && ref.Local != nil {
+			return ref.Local.Release(lease.ID)
+		}
+		return fmt.Errorf("poolmgr %s: domain %s migrated home but lease %s has no local pool %s",
+			m.name, domain, lease.ID, lease.Pool)
+	}
+	peer := m.peerByName(target)
+	if peer == nil && target != peerName {
+		// The current owner is not a dialed peer; fall back to the grantor.
+		peer = m.peerByName(peerName)
+	}
+	if peer == nil {
+		return fmt.Errorf("poolmgr %s: no peer %s to take lease %s back", m.name, target, lease.ID)
+	}
+	rel, ok := peer.(directory.LeaseReleaser)
+	if !ok {
+		return fmt.Errorf("poolmgr %s: peer %s cannot take lease %s back", m.name, peer.Name(), lease.ID)
+	}
+	return rel.Release(lease)
 }
 
 // RestoreDelegated re-installs a delegated-lease route from a journal
-// replay: the lease was won through the named peer before the crash, so
-// its eventual Release must route back through that peer again. It
-// reports false when no current peer carries the name (the mesh changed
+// replay: the lease was won through the named peer (for a query pinning
+// domain, "" when unroutable) before the crash, so its eventual Release
+// must route back again. It reports false when neither the recorded
+// grantor nor the domain's current owner is reachable (the mesh changed
 // across the restart); the caller then drops the lease — the grantor's
 // own reaper reclaims the machine once renewals stop arriving.
-func (m *Manager) RestoreDelegated(lease *pool.Lease, peerName string) bool {
+func (m *Manager) RestoreDelegated(lease *pool.Lease, peerName, domain string) bool {
 	if lease == nil || peerName == "" {
 		return false
 	}
-	for _, peer := range m.dir.Peers() {
-		if peer.Name() == peerName {
-			m.rememberDelegated(lease, peer)
-			return true
+	reachable := m.peerByName(peerName) != nil
+	if !reachable && m.routes != nil && domain != "" {
+		if owner, ok := m.routes.Owner(domain); ok {
+			reachable = owner == m.name || m.peerByName(owner) != nil
 		}
 	}
-	return false
+	if !reachable {
+		return false
+	}
+	m.rememberDelegated(lease, peerName, domain)
+	return true
 }
 
 // ForwardContext is Forward with cancellation; it implements
@@ -133,6 +191,43 @@ func (m *Manager) ForwardContext(ctx context.Context, q *query.Query, ttl int, v
 	if vset.has(m.name) {
 		m.failed.Add(1)
 		return nil, fmt.Errorf("poolmgr %s: query already visited this manager", m.name)
+	}
+
+	// Directed hop: when the ownership table pins the query's domain on a
+	// remote peer, that peer's white pages are the only ones holding the
+	// domain's records — go straight there, before scanning local pools
+	// and instead of racing every peer. One hop of TTL is spent, exactly
+	// as a serial delegation would. A failed hop (owner overloaded, owner
+	// not dialed) falls back to the pre-partition path — local resolve,
+	// then fan-out over the remaining peers — with the owner marked
+	// visited so no branch retries it.
+	domain, routable := "", false
+	if m.routes != nil {
+		if domain, routable = route.DomainOf(q); routable {
+			if owner, ok := m.routes.Owner(domain); ok && owner != m.name && !vset.has(owner) {
+				if peer := m.peerByName(owner); peer != nil {
+					m.forwarded.Add(1)
+					m.fstats.Directed(owner)
+					lease, err := forwardPeer(ctx, peer, q, ttl-1, extendVisited(visited, m.name))
+					if err == nil {
+						m.fstats.DirectedWin(owner)
+						m.rememberDelegated(lease, owner, domain)
+						return lease, nil
+					}
+					m.fstats.DirectedMiss(owner)
+					if errors.Is(err, ErrTTLExpired) {
+						m.failed.Add(1)
+						return nil, err
+					}
+					if ctx.Err() != nil {
+						m.failed.Add(1)
+						return nil, ctx.Err()
+					}
+					visited = extendVisited(visited, owner)
+					vset[owner] = struct{}{}
+				}
+			}
+		}
 	}
 
 	name := query.Name(q)
@@ -161,22 +256,22 @@ func (m *Manager) ForwardContext(ctx context.Context, q *query.Query, ttl int, v
 		return nil, ErrUnresolvable
 	}
 	if m.fanout <= 1 || len(peers) == 1 {
-		return m.delegateSerial(ctx, q, ttl, visited, peers)
+		return m.delegateSerial(ctx, q, domain, ttl, visited, peers)
 	}
-	return m.delegateFanout(ctx, q, ttl, visited, peers)
+	return m.delegateFanout(ctx, q, domain, ttl, visited, peers)
 }
 
 // delegateSerial walks the candidate peers one at a time — the paper's
 // policy, kept bit-for-bit for fanout<=1 (and as the differential
 // baseline the benchmark measures the fan-out against).
-func (m *Manager) delegateSerial(ctx context.Context, q *query.Query, ttl int, visited []string, peers []directory.Forwarder) (*pool.Lease, error) {
+func (m *Manager) delegateSerial(ctx context.Context, q *query.Query, domain string, ttl int, visited []string, peers []directory.Forwarder) (*pool.Lease, error) {
 	for _, peer := range peers {
 		m.forwarded.Add(1)
 		m.fstats.Forwarded(peer.Name())
 		lease, err := forwardPeer(ctx, peer, q, ttl, visited)
 		if err == nil {
 			m.fstats.Win(peer.Name())
-			m.rememberDelegated(lease, peer)
+			m.rememberDelegated(lease, peer.Name(), domain)
 			return lease, nil
 		}
 		m.fstats.Failure(peer.Name())
@@ -211,7 +306,7 @@ type fanResult struct {
 // m.hedgeDelay (zero launches the full width at once), and a failed
 // branch is replaced by the next candidate immediately, so the width
 // bounds concurrency, not attempts.
-func (m *Manager) delegateFanout(ctx context.Context, q *query.Query, ttl int, visited []string, peers []directory.Forwarder) (*pool.Lease, error) {
+func (m *Manager) delegateFanout(ctx context.Context, q *query.Query, domain string, ttl int, visited []string, peers []directory.Forwarder) (*pool.Lease, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	m.fstats.Fanout()
 	width := min(m.fanout, len(peers))
@@ -249,7 +344,7 @@ func (m *Manager) delegateFanout(ctx context.Context, q *query.Query, ttl int, v
 	finish := func(lease *pool.Lease, err error) (*pool.Lease, error) {
 		cancel()
 		if inflight > 0 {
-			go m.drainLosers(results, inflight)
+			go m.drainLosers(domain, results, inflight)
 		}
 		return lease, err
 	}
@@ -259,7 +354,7 @@ func (m *Manager) delegateFanout(ctx context.Context, q *query.Query, ttl int, v
 			inflight--
 			if r.err == nil {
 				m.fstats.Win(r.peer.Name())
-				m.rememberDelegated(r.lease, r.peer)
+				m.rememberDelegated(r.lease, r.peer.Name(), domain)
 				return finish(r.lease, nil)
 			}
 			m.fstats.Failure(r.peer.Name())
@@ -300,14 +395,15 @@ func (m *Manager) delegateFanout(ctx context.Context, q *query.Query, ttl int, v
 // drainLosers reaps the branches still in flight after the race settled:
 // each one either failed (nothing to do) or granted a lease on its peer,
 // which must go back — a lease nobody will use is leaked remote capacity.
-func (m *Manager) drainLosers(results <-chan fanResult, inflight int) {
+// Releases route through the (peer, domain) rule like any delegated
+// release, so a loser lease in a domain that just changed hands still
+// reaches the instance that holds it.
+func (m *Manager) drainLosers(domain string, results <-chan fanResult, inflight int) {
 	for i := 0; i < inflight; i++ {
 		r := <-results
 		m.fstats.LoserCancelled(r.peer.Name())
 		if r.err == nil && r.lease != nil {
-			if rel, ok := r.peer.(directory.LeaseReleaser); ok {
-				_ = rel.Release(r.lease)
-			}
+			_ = m.releaseRemote(r.peer.Name(), domain, r.lease)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"actyp/internal/metrics"
 	"actyp/internal/pool"
 	"actyp/internal/query"
+	"actyp/internal/route"
 )
 
 // DefaultTTL is the forwarding budget attached to queries that arrive
@@ -78,6 +79,12 @@ type Config struct {
 	// lease won through a peer and every routed-back release — the
 	// durability journal's feed for leases no local pool ever sees.
 	Delegations DelegationLog
+	// Routes, when set, is the domain-ownership table: a query pinning a
+	// domain owned by a remote peer skips the local scan and the fan-out
+	// race for a single directed hop to the owner, and delegated-lease
+	// releases re-resolve the domain's *current* owner instead of trusting
+	// the peer recorded at grant time. Nil keeps pre-partition behaviour.
+	Routes *route.Table
 }
 
 // DelegationLog observes the delegated-lease table. Unlike pool.LeaseLog,
@@ -85,8 +92,11 @@ type Config struct {
 // the peer's pool, so no local hook ever fired for it and the journal
 // must capture the whole record plus the routing peer here.
 type DelegationLog interface {
-	// DelegationWon records a lease won through the named peer.
-	DelegationWon(lease *pool.Lease, peer string)
+	// DelegationWon records a lease won through the named peer, with the
+	// administrative domain the query pinned ("" for unroutable queries) —
+	// recovery needs it to re-resolve the release route after an
+	// ownership change.
+	DelegationWon(lease *pool.Lease, peer, domain string)
 	// DelegationDone records that the delegated lease left the table
 	// (released back through its peer, or dropped by recovery).
 	DelegationDone(leaseID string)
@@ -101,6 +111,7 @@ type Manager struct {
 	fanout     int
 	hedgeDelay time.Duration
 	fstats     *metrics.FederationStats // nil-safe; see metrics.FederationStats
+	routes     *route.Table             // nil: no domain-ownership routing
 
 	seed    uint64
 	pickSeq atomic.Uint64
@@ -154,6 +165,7 @@ func New(cfg Config) (*Manager, error) {
 		fanout:      cfg.Fanout,
 		hedgeDelay:  cfg.HedgeDelay,
 		fstats:      cfg.Stats,
+		routes:      cfg.Routes,
 		delegations: cfg.Delegations,
 		seed:        uint64(seed),
 		creating:    make(map[string]*createCall),
@@ -285,15 +297,14 @@ func (m *Manager) Release(lease *pool.Lease) error {
 	if lease == nil {
 		return fmt.Errorf("poolmgr %s: nil lease", m.name)
 	}
-	// A lease won through a peer must go back through that peer: pool
-	// instance names are query signatures, so the grantor's instance and
-	// a local instance collide on name, and the local release would hit
-	// "unknown lease" while the peer's capacity leaks.
-	if peer, ok := m.takeDelegated(lease.ID); ok {
-		if rel, rok := peer.(directory.LeaseReleaser); rok {
-			return rel.Release(lease)
-		}
-		return fmt.Errorf("poolmgr %s: peer %s cannot take lease %s back", m.name, peer.Name(), lease.ID)
+	// A lease won through a peer must go back through the domain's owner:
+	// pool instance names are query signatures, so the grantor's instance
+	// and a local instance collide on name, and the local release would
+	// hit "unknown lease" while the peer's capacity leaks. The owner is
+	// re-resolved at release time (see releaseRemote) — the grantor
+	// recorded at win time may have handed the domain off since.
+	if peerName, domain, ok := m.takeDelegated(lease.ID); ok {
+		return m.releaseRemote(peerName, domain, lease)
 	}
 	ref, ok := m.dir.ByInstance(lease.Pool)
 	if !ok {

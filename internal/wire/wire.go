@@ -41,6 +41,7 @@ const (
 	TypeHelloAck  = "hello-ack"  // negotiation answer, encoded in the chosen codec
 	TypeBusy      = "busy"       // BusyReply (request shed by overload control, never dispatched)
 	TypeSelect    = "select"     // SelectRequest -> SelectReply (machine record batch)
+	TypeRoute     = "route"      // RouteRequest -> RouteReply (domain-ownership table)
 
 	// The watch family extends the protocol from request/reply to server
 	// push: a watch subscribes the connection to the registry change
@@ -256,6 +257,37 @@ type WatchRequest struct {
 	// (<=0 uses the server default). Bigger rings ride out longer
 	// consumer stalls before degrading to a resync.
 	Ring int `json:"ring,omitempty"`
+}
+
+// RouteRequest asks a daemon for its domain-ownership view: the static
+// assignments and rendezvous node set it routes by, plus — when Domains
+// is set — the resolved owner of each named domain. Like "select", the
+// type travels via the inline-string envelope escape on binary
+// connections, so a pre-partition peer decodes the envelope fine and
+// bounces the unknown type as an ordinary error reply.
+type RouteRequest struct {
+	Domains []string `json:"domains,omitempty"`
+}
+
+// RouteEntry is one domain's resolved owner.
+type RouteEntry struct {
+	Domain string `json:"domain"`
+	Owner  string `json:"owner"`
+	Static bool   `json:"static,omitempty"` // operator-pinned, not rendezvous
+}
+
+// RouteReply is a daemon's ownership table as it sees it.
+type RouteReply struct {
+	// Enabled is false when the daemon runs unpartitioned (it owns the
+	// whole namespace and routes nothing).
+	Enabled bool `json:"enabled"`
+	// Node is the daemon's own node name (the name peers route by).
+	Node string `json:"node"`
+	// Nodes is the rendezvous candidate set, sorted.
+	Nodes []string `json:"nodes,omitempty"`
+	// Entries holds the static assignments plus the resolved owners of
+	// any requested domains, sorted by domain.
+	Entries []RouteEntry `json:"entries,omitempty"`
 }
 
 // WatchEvents is one frame of a watch stream: the subscription ack (first
